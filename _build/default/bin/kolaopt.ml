@@ -1,0 +1,211 @@
+(* kolaopt: command-line driver for the KOLA optimizer pipeline.
+
+     kolaopt explain "select p.age from p in P where p.age > 25"
+     kolaopt run     "select p.addr.city from p in P" --people 100
+     kolaopt rules --certify
+     kolaopt untangle
+*)
+
+open Cmdliner
+
+let store_term =
+  let people =
+    Arg.(value & opt int 40 & info [ "people" ] ~doc:"Number of persons in P.")
+  in
+  let vehicles =
+    Arg.(value & opt int 30 & info [ "vehicles" ] ~doc:"Number of vehicles in V.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let make people vehicles seed =
+    Datagen.Store.generate
+      { Datagen.Store.default_params with people; vehicles; seed }
+  in
+  Term.(const make $ people $ vehicles $ seed)
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OQL" ~doc:"An OQL query over extents P, V, A.")
+
+let handle_errors f =
+  try f () with
+  | Oql.Parser.Error msg | Oql.Lexer.Error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    exit 1
+  | Translate.Compile.Untranslatable msg ->
+    Fmt.epr "translation error: %s@." msg;
+    exit 1
+  | Kola.Eval.Error msg | Aqua.Eval.Error msg ->
+    Fmt.epr "evaluation error: %s@." msg;
+    exit 1
+
+let explain_cmd =
+  let run src store =
+    handle_errors (fun () ->
+        let db = Datagen.Store.db store in
+        let report = Optimizer.Pipeline.optimize_oql ~db src in
+        Optimizer.Pipeline.pp_report Fmt.stdout report)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the full optimization report for a query.")
+    Term.(const run $ query_arg $ store_term)
+
+let run_cmd =
+  let run src store =
+    handle_errors (fun () ->
+        let db = Datagen.Store.db store in
+        let report = Optimizer.Pipeline.optimize_oql ~db src in
+        let result = Optimizer.Pipeline.run ~db report in
+        Fmt.pr "%a@." Kola.Value.pp result)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize and execute a query against a generated store.")
+    Term.(const run $ query_arg $ store_term)
+
+let rules_cmd =
+  let certify =
+    Arg.(value & flag & info [ "certify" ] ~doc:"Certify every rule by randomized testing.")
+  in
+  let run certify =
+    if certify then
+      List.iter
+        (fun r -> Fmt.pr "%a@." Rules.Cert.pp_result r)
+        (Rules.Cert.certify_all Rules.Catalog.all)
+    else
+      List.iter (fun r -> Fmt.pr "%a@." Rewrite.Rule.pp r) Rules.Catalog.all
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List (or certify) the rule catalog.")
+    Term.(const run $ certify)
+
+let translate_cmd =
+  let run src =
+    handle_errors (fun () ->
+        let aqua = Oql.Parser.parse src in
+        let q = Translate.Compile.query aqua in
+        let m = Translate.Compile.measure aqua in
+        Fmt.pr "AQUA: %a@." Aqua.Pretty.pp aqua;
+        Fmt.pr "KOLA: %a@." Kola.Pretty.pp_query q;
+        Fmt.pr "size: n=%d m=%d kola=%d ratio=%.2f@."
+          m.Translate.Compile.aqua_size m.Translate.Compile.nesting
+          m.Translate.Compile.kola_size m.Translate.Compile.ratio)
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Show the AQUA and KOLA translations of an OQL query.")
+    Term.(const run $ query_arg)
+
+let coko_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A COKO source file.")
+  in
+  let transformation_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "t"; "transformation" ] ~doc:"Transformation to run.")
+  in
+  let query_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ]
+          ~doc:"KOLA query text to transform (default: the Garage Query KG1).")
+  in
+  let run file transformation query_text =
+    handle_errors (fun () ->
+        let src =
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        let q =
+          match query_text with
+          | Some text -> Kola.Parse.query text
+          | None -> Kola.Paper.kg1
+        in
+        try
+          let o = Coko.Syntax.run_source src ~transformation q in
+          Fmt.pr "input:   %a@." Kola.Pretty.pp_query q;
+          Fmt.pr "applied: %b@." o.Coko.Block.applied;
+          Fmt.pr "rules:   %a@."
+            Fmt.(list ~sep:comma string)
+            (List.map (fun s -> s.Rewrite.Engine.rule_name) o.Coko.Block.trace);
+          Fmt.pr "output:  %a@." Kola.Pretty.pp_query o.Coko.Block.query
+        with
+        | Coko.Syntax.Error msg | Kola.Parse.Error msg ->
+          Fmt.epr "error: %s@." msg;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "coko" ~doc:"Run a transformation from a COKO source file.")
+    Term.(const run $ file_arg $ transformation_arg $ query_opt)
+
+let untangle_cmd =
+  let run () =
+    Fmt.pr "KG1 (Figure 3):@.  %a@." Kola.Pretty.pp_query Kola.Paper.kg1;
+    ignore
+      (List.fold_left
+         (fun q block ->
+           let o = Coko.Block.run block q in
+           Fmt.pr "@.-- %s -->@.  %a@." block.Coko.Block.block_name
+             Kola.Pretty.pp_query o.Coko.Block.query;
+           o.Coko.Block.query)
+         Kola.Paper.kg1 Coko.Programs.hidden_join_steps);
+    Fmt.pr "@.= KG2 (Figure 3).@."
+  in
+  Cmd.v
+    (Cmd.info "untangle" ~doc:"Walk the Garage Query through the five-step strategy.")
+    Term.(const run $ const ())
+
+let search_cmd =
+  let depth =
+    Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Maximum derivation length.")
+  in
+  let states =
+    Arg.(value & opt int 2000 & info [ "states" ] ~doc:"State budget.")
+  in
+  let run src store depth states =
+    handle_errors (fun () ->
+        let db = Datagen.Store.db store in
+        let aqua = Oql.Parser.parse src in
+        let q = Translate.Compile.query aqua in
+        let config =
+          {
+            Optimizer.Search.default_config with
+            max_depth = depth;
+            max_states = states;
+            sample_db = db;
+          }
+        in
+        let o = Optimizer.Search.explore ~config q in
+        Fmt.pr "explored %d states%s@." o.Optimizer.Search.explored
+          (if o.Optimizer.Search.frontier_exhausted then " (space exhausted)" else "");
+        Fmt.pr "derivation: %a@."
+          Fmt.(list ~sep:comma string)
+          o.Optimizer.Search.best.Optimizer.Search.path;
+        Fmt.pr "best plan (cost %.1f):@.  %a@."
+          o.Optimizer.Search.best.Optimizer.Search.cost Kola.Pretty.pp_query
+          o.Optimizer.Search.best.Optimizer.Search.query)
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Optimize by bounded exploration of the rewrite space.")
+    Term.(const run $ query_arg $ store_term $ depth $ states)
+
+let main =
+  Cmd.group
+    (Cmd.info "kolaopt" ~version:"1.0.0"
+       ~doc:"Rule-based query optimization over the KOLA combinator algebra.")
+    [
+      explain_cmd; run_cmd; rules_cmd; untangle_cmd; translate_cmd; coko_cmd;
+      search_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

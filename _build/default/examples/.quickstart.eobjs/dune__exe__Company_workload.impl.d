@@ -1,0 +1,1 @@
+examples/company_workload.ml: Aqua Datagen Eval Fmt Kola Optimizer Value

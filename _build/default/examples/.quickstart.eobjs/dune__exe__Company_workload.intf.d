@@ -1,0 +1,1 @@
+examples/company_workload.mli:

@@ -1,0 +1,1 @@
+examples/count_bug.ml: Datagen Eval Fmt Kola List Pretty Term Value

@@ -1,0 +1,1 @@
+examples/count_bug.mli:

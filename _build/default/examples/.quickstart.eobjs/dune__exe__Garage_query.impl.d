@@ -1,0 +1,1 @@
+examples/garage_query.ml: Coko Datagen Eval Fmt Kola List Optimizer Option Pretty Value

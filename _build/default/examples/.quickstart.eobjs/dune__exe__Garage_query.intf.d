@@ -1,0 +1,1 @@
+examples/garage_query.mli:

@@ -1,0 +1,1 @@
+examples/nested_children.ml: Aqua Baseline Coko Datagen Eval Fmt Kola List Paper Pretty Rewrite Value

@@ -1,0 +1,1 @@
+examples/nested_children.mli:

@@ -1,0 +1,1 @@
+examples/oql_pipeline.ml: Aqua Datagen Eval Fmt Kola List Optimizer Value

@@ -1,0 +1,1 @@
+examples/oql_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coko Datagen Eval Fmt Kola List Optimizer Paper Pretty Rewrite Rules Schema Term Ty Typing Value

@@ -1,0 +1,68 @@
+(* The "count bug" [Kim 82], cited in Section 1.2 as the canonical nested-
+   query correctness trap.  "For each person, how many of their children
+   are older than 25?"
+
+   The classical unnesting joins persons with qualifying children and
+   groups — silently dropping persons with no qualifying children.  KOLA's
+   nest is *relative to a second set* (rule 19's shape), so the rule-derived
+   plan keeps them with count 0.
+
+     dune exec examples/count_bug.exe *)
+
+open Kola
+open Kola.Term
+
+let threshold = 25
+
+let nested_query =
+  Term.query
+    (Iterate
+       ( Kp true,
+         Pairf
+           ( Prim "name",
+             Compose
+               ( Agg Count,
+                 Compose
+                   ( Iter
+                       ( Oplus
+                           (Gt, Pairf (Compose (Prim "age", Pi2), Kf (Value.Int threshold))),
+                         Pi2 ),
+                     Pairf (Id, Prim "child") ) ) ) ))
+    (Value.Named "P")
+
+let () =
+  let db = Datagen.Store.db (Datagen.Store.tiny ()) in
+  Fmt.pr "query: %a@.@." Pretty.pp_query nested_query;
+
+  let reference = Eval.eval_query ~db nested_query in
+  Fmt.pr "nested evaluation (ground truth):@.  %a@.@." Value.pp reference;
+
+  (* The buggy unnesting: filter the person-child join, then group only the
+     surviving keys. *)
+  let persons = List.assoc "P" db in
+  let joined = Eval.eval_func ~db (Unnest (Prim "name", Prim "child")) persons in
+  let filtered =
+    Eval.eval_func ~db
+      (Iterate
+         (Oplus (Gt, Pairf (Compose (Prim "age", Pi2), Kf (Value.Int threshold))), Id))
+      joined
+  in
+  let surviving_keys = Eval.eval_func ~db (Iterate (Kp true, Pi1)) filtered in
+  let count_groups rel =
+    Eval.eval_func ~db
+      (Compose
+         ( Iterate (Kp true, Pairf (Pi1, Compose (Agg Count, Pi2))),
+           Nest (Pi1, Pi2) ))
+      (Value.Pair (filtered, rel))
+  in
+  let buggy = count_groups surviving_keys in
+  Fmt.pr "classical unnesting (count bug):@.  %a@.@." Value.pp buggy;
+
+  (* The repair: nest relative to all of P's names — rule 19/20's shape. *)
+  let all_names = Eval.eval_func ~db (Iterate (Kp true, Prim "name")) persons in
+  let repaired = count_groups all_names in
+  Fmt.pr "nest relative to P (KOLA rules' shape):@.  %a@.@." Value.pp repaired;
+
+  Fmt.pr "buggy = ground truth:    %b (persons with no qualifying children lost)@."
+    (Value.equal buggy reference);
+  Fmt.pr "repaired = ground truth: %b@." (Value.equal repaired reference)

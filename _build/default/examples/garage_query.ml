@@ -1,0 +1,57 @@
+(* The paper's running example end-to-end: the "Garage Query" of Figure 3.
+
+   Starting from OQL text, the query becomes AQUA, then the KOLA hidden-join
+   form KG1, is untangled by the five-step strategy of Section 4.1 into KG2
+   (nest of a join), and finally executed with a hash join — the
+   implementation choice the untangling makes possible.
+
+     dune exec examples/garage_query.exe *)
+
+open Kola
+
+let src =
+  "select [v, flatten(select p.grgs from p in P where v in p.cars)] from v in V"
+
+let () =
+  let store =
+    Datagen.Store.generate
+      { Datagen.Store.default_params with people = 200; vehicles = 120; seed = 7 }
+  in
+  let db = Datagen.Store.db store in
+
+  Fmt.pr "OQL:@.  %s@.@." src;
+
+  let report = Optimizer.Pipeline.optimize_oql ~db src in
+  Fmt.pr "%a@." Optimizer.Pipeline.pp_report report;
+
+  (* Show the five steps individually, as the paper walks through them. *)
+  Fmt.pr "@.The five-step untangling, step by step:@.";
+  let q0 = report.Optimizer.Pipeline.translated in
+  ignore
+    (List.fold_left
+       (fun q block ->
+         let o = Coko.Block.run block q in
+         Fmt.pr "@.-- %s (%d firings) -->@.  %a@." block.Coko.Block.block_name
+           (List.length o.Coko.Block.trace)
+           Pretty.pp_query o.Coko.Block.query;
+         o.Coko.Block.query)
+       q0 Coko.Programs.hidden_join_steps);
+
+  (* And the punchline: cost of each plan. *)
+  let tuples backend q =
+    let ctx = Eval.ctx ~db ~backend () in
+    ignore (Eval.run ctx q);
+    ctx.Eval.counters.Eval.tuples
+  in
+  let untangled = Option.get report.Optimizer.Pipeline.untangled in
+  Fmt.pr "@.tuples touched:@.";
+  Fmt.pr "  KG1 (hidden join, nested loops):   %7d@." (tuples Eval.Naive q0);
+  Fmt.pr "  KG2 (nest of join, nested loops):  %7d@."
+    (tuples Eval.Naive untangled);
+  Fmt.pr "  KG2 (nest of join, hash join):     %7d@."
+    (tuples Eval.Hashed untangled);
+  Fmt.pr "@.Both forms denote the same set: %b@."
+    (Value.equal
+       (Eval.deep_resolve (Eval.ctx ~db ()) (Eval.eval_query ~db q0))
+       (Eval.deep_resolve (Eval.ctx ~db ())
+          (Eval.eval_query ~db ~backend:Eval.Hashed untangled)))

@@ -1,0 +1,1 @@
+lib/aqua/ast.ml: Kola List String

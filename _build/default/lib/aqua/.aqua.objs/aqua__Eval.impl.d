@@ -1,0 +1,1 @@
+lib/aqua/eval.ml: Ast Fmt Kola List Term Value

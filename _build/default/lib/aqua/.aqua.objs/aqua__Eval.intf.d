@@ -1,0 +1,1 @@
+lib/aqua/eval.mli: Ast Kola

@@ -1,0 +1,1 @@
+lib/aqua/examples.ml: Ast Kola

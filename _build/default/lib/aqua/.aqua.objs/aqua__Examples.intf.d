@@ -1,0 +1,1 @@
+lib/aqua/examples.mli: Ast

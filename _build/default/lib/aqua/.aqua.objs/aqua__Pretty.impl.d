@@ -1,0 +1,1 @@
+lib/aqua/pretty.ml: Ast Fmt Kola

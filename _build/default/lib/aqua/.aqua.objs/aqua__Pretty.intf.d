@@ -1,0 +1,1 @@
+lib/aqua/pretty.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/aqua/vars.ml: Ast Fmt Kola List Set String

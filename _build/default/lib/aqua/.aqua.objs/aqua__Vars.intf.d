@@ -1,0 +1,1 @@
+lib/aqua/vars.mli: Ast Set

@@ -1,0 +1,110 @@
+(* AQUA [25]: the variable-based object algebra the paper uses as its case
+   study (Section 2).  Anonymous functions and predicates are written with
+   λ-notation; queries are expressions over named extents.
+
+   This is the representation the paper argues *against* for rule-based
+   optimizers: transformations over it need variable renaming, expression
+   composition and environmental (free-variable) analysis — all implemented
+   in {!Vars} and exercised by the {!Baseline} engine. *)
+
+type binop =
+  | Eq
+  | Leq
+  | Lt
+  | Gt
+  | Geq
+  | And
+  | Or
+  | In
+  | Add
+  | Sub
+  | Mul
+  | Union
+  | Inter
+  | Diff
+
+type expr =
+  | Var of string
+  | Const of Kola.Value.t
+  | Extent of string                  (** a named database set, e.g. P *)
+  | Path of expr * string             (** e.attr *)
+  | Pair of expr * expr               (** [e1, e2] *)
+  | App of lam * expr                 (** app(λx.body)(set) *)
+  | Sel of lam * expr                 (** sel(λx.pred)(set) *)
+  | Flatten of expr
+  | Join of lam2 * lam2 * expr * expr (** join(λxy.p, λxy.f)([A, B]) *)
+  | If of expr * expr * expr
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Agg of Kola.Term.agg * expr
+  | SetLit of expr list
+
+and lam = { v : string; body : expr }
+and lam2 = { v1 : string; v2 : string; body2 : expr }
+
+let lam v body = { v; body }
+let lam2 v1 v2 body2 = { v1; v2; body2 }
+
+let rec equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const u, Const v -> Kola.Value.equal u v
+  | Extent x, Extent y -> String.equal x y
+  | Path (e1, a1), Path (e2, a2) -> String.equal a1 a2 && equal e1 e2
+  | Pair (a1, b1), Pair (a2, b2) -> equal a1 a2 && equal b1 b2
+  | App (l1, e1), App (l2, e2) | Sel (l1, e1), Sel (l2, e2) ->
+    String.equal l1.v l2.v && equal l1.body l2.body && equal e1 e2
+  | Flatten e1, Flatten e2 -> equal e1 e2
+  | Join (p1, f1, a1, b1), Join (p2, f2, a2, b2) ->
+    String.equal p1.v1 p2.v1 && String.equal p1.v2 p2.v2
+    && equal p1.body2 p2.body2
+    && String.equal f1.v1 f2.v1 && String.equal f1.v2 f2.v2
+    && equal f1.body2 f2.body2 && equal a1 a2 && equal b1 b2
+  | If (c1, t1, e1), If (c2, t2, e2) -> equal c1 c2 && equal t1 t2 && equal e1 e2
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Not e1, Not e2 -> equal e1 e2
+  | Agg (g1, e1), Agg (g2, e2) -> g1 = g2 && equal e1 e2
+  | SetLit xs, SetLit ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | ( ( Var _ | Const _ | Extent _ | Path _ | Pair _ | App _ | Sel _
+      | Flatten _ | Join _ | If _ | Bin _ | Not _ | Agg _ | SetLit _ ),
+      _ ) -> false
+
+(* Node count, the paper's n in its O(mn) translation bound. *)
+let rec size = function
+  | Var _ | Const _ | Extent _ -> 1
+  | Path (e, _) | Flatten e | Not e | Agg (_, e) -> 1 + size e
+  | Pair (a, b) | Bin (_, a, b) -> 1 + size a + size b
+  | App (l, e) | Sel (l, e) -> 2 + size l.body + size e
+  | Join (p, f, a, b) -> 3 + size p.body2 + size f.body2 + size a + size b
+  | If (c, t, e) -> 1 + size c + size t + size e
+  | SetLit xs -> 1 + List.fold_left (fun n x -> n + size x) 0 xs
+
+(* Maximum number of simultaneously bound variables — the paper's m
+   ("degree of nesting"). *)
+let max_nesting e =
+  let rec go depth = function
+    | Var _ | Const _ | Extent _ -> depth
+    | Path (e, _) | Flatten e | Not e | Agg (_, e) -> go depth e
+    | Pair (a, b) | Bin (_, a, b) -> max (go depth a) (go depth b)
+    | App (l, e) | Sel (l, e) -> max (go (depth + 1) l.body) (go depth e)
+    | Join (p, f, a, b) ->
+      max
+        (max (go (depth + 2) p.body2) (go (depth + 2) f.body2))
+        (max (go depth a) (go depth b))
+    | If (c, t, e) -> max (go depth c) (max (go depth t) (go depth e))
+    | SetLit xs -> List.fold_left (fun d x -> max d (go depth x)) depth xs
+  in
+  go 0 e
+
+(* Desugar a nested join into app/sel form so the translator only meets
+   join in closed position:
+   join(λab.p, λab.f)([A,B]) =
+     flatten(app(λa. app(λb. f)(sel(λb. p)(B)))(A)) *)
+let desugar_join (p : lam2) (f : lam2) a b =
+  if not (String.equal p.v1 f.v1 && String.equal p.v2 f.v2) then
+    invalid_arg "desugar_join: predicate and function bind different names";
+  Flatten
+    (App
+       ( lam p.v1 (App (lam p.v2 f.body2, Sel (lam p.v2 p.body2, b))),
+         a ))

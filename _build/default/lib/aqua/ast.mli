@@ -1,0 +1,50 @@
+(** AQUA — the variable-based object algebra the paper uses as its case
+    study (Section 2).  Anonymous functions and predicates are written with
+    λ-notation; queries are expressions over named extents.
+
+    This is the representation the paper argues {e against} for rule-based
+    optimizers: transformations over it need variable renaming, expression
+    composition and free-variable analysis ({!Vars}), exercised by the
+    {!Baseline} engine. *)
+
+type binop =
+  | Eq | Leq | Lt | Gt | Geq
+  | And | Or
+  | In
+  | Add | Sub | Mul
+  | Union | Inter | Diff
+
+type expr =
+  | Var of string
+  | Const of Kola.Value.t
+  | Extent of string                   (** a named database set, e.g. P *)
+  | Path of expr * string              (** e.attr *)
+  | Pair of expr * expr
+  | App of lam * expr                  (** app(λx.body)(set) *)
+  | Sel of lam * expr                  (** sel(λx.pred)(set) *)
+  | Flatten of expr
+  | Join of lam2 * lam2 * expr * expr  (** join(λxy.p, λxy.f)([A, B]) *)
+  | If of expr * expr * expr
+  | Bin of binop * expr * expr
+  | Not of expr
+  | Agg of Kola.Term.agg * expr
+  | SetLit of expr list
+
+and lam = { v : string; body : expr }
+and lam2 = { v1 : string; v2 : string; body2 : expr }
+
+val lam : string -> expr -> lam
+val lam2 : string -> string -> expr -> lam2
+
+val equal : expr -> expr -> bool
+(** Syntactic equality (not α-equivalence; see {!Vars.alpha_equal}). *)
+
+val size : expr -> int
+(** Node count — the paper's n in its O(mn) translation bound. *)
+
+val max_nesting : expr -> int
+(** Maximum number of simultaneously bound variables — the paper's m. *)
+
+val desugar_join : lam2 -> lam2 -> expr -> expr -> expr
+(** [join(λab.p, λab.f)([A,B]) =
+     flatten(app(λa. app(λb. f)(sel(λb. p)(B)))(A))]. *)

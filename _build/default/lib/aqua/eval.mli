@@ -1,0 +1,16 @@
+(** Reference evaluator for AQUA expressions, over the same value domain as
+    KOLA; used to validate the AQUA→KOLA translator. *)
+
+exception Error of string
+
+type ctx = {
+  db : (string * Kola.Value.t) list;
+  env : (string * Kola.Value.t) list;
+}
+
+val ctx : ?db:(string * Kola.Value.t) list -> unit -> ctx
+
+val eval : ctx -> Ast.expr -> Kola.Value.t
+(** @raise Error on unbound variables/extents or type-improper use. *)
+
+val eval_closed : ?db:(string * Kola.Value.t) list -> Ast.expr -> Kola.Value.t

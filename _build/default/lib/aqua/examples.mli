@@ -1,0 +1,38 @@
+(** The paper's AQUA examples (Figures 1 and 2, and the Garage Query). *)
+
+(** {1 Figure 1} *)
+
+val t1_source : Ast.expr
+(** app (λ(a) a.city)(app (λ(p) p.addr)(P)) *)
+
+val t1_target : Ast.expr
+(** app (λ(p) p.addr.city)(P) *)
+
+val t2_source : Ast.expr
+(** app (λ(x) x.age)(sel (λ(p) p.age > 25)(P)) — note the deliberately
+    different binder, the paper's renaming example. *)
+
+val t2_target : Ast.expr
+(** sel (λ(a) a > 25)(app (λ(p) p.age)(P)) *)
+
+(** {1 Figure 2} *)
+
+val a3 : Ast.expr
+(** Persons paired with their children older than 25 (child's age free of
+    the outer variable). *)
+
+val a4 : Ast.expr
+(** Structurally identical, but the predicate mentions the outer p. *)
+
+val a4_optimized : Ast.expr
+(** A4 after code motion (Section 2.2). *)
+
+(** {1 The Garage Query and generated hidden joins} *)
+
+val garage : Ast.expr
+(** Each vehicle paired with the garage addresses of its owners; its
+    translation is the paper's KG1 verbatim. *)
+
+val hidden_join_depth : int -> Ast.expr
+(** A hidden join with [n] nested query layers (Figure 7's general form),
+    alternating filter and map layers over extent P. *)

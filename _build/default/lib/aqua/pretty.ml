@@ -1,0 +1,57 @@
+(* AQUA pretty printer, in the paper's notation:
+   app (λ(x) x.age)(sel (λ(p) p.age > 25)(P)) *)
+
+open Ast
+
+let binop_name = function
+  | Eq -> "="
+  | Leq -> "\u{2264}"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Geq -> "\u{2265}"
+  | And -> "and"
+  | Or -> "or"
+  | In -> "\u{2208}"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Union -> "\u{222A}"
+  | Inter -> "\u{2229}"
+  | Diff -> "\\"
+
+let rec pp ppf = function
+  | Var x -> Fmt.string ppf x
+  | Const v -> Kola.Value.pp ppf v
+  | Extent s -> Fmt.string ppf s
+  | Path (e, attr) -> Fmt.pf ppf "%a.%s" pp_atom e attr
+  | Pair (a, b) -> Fmt.pf ppf "[@[%a,@ %a@]]" pp a pp b
+  | App (l, e) ->
+    Fmt.pf ppf "app (@[\u{3BB}(%s) %a@])(@[%a@])" l.v pp l.body pp e
+  | Sel (l, e) ->
+    Fmt.pf ppf "sel (@[\u{3BB}(%s) %a@])(@[%a@])" l.v pp l.body pp e
+  | Flatten e -> Fmt.pf ppf "flatten(@[%a@])" pp e
+  | Join (p, f, a, b) ->
+    Fmt.pf ppf "join (@[\u{3BB}(%s,%s) %a@], @[\u{3BB}(%s,%s) %a@])([@[%a,@ %a@]])"
+      p.v1 p.v2 pp p.body2 f.v1 f.v2 pp f.body2 pp a pp b
+  | If (c, t, e) ->
+    Fmt.pf ppf "if @[%a@] then @[%a@] else @[%a@]" pp c pp t pp e
+  | Bin (op, a, b) ->
+    Fmt.pf ppf "(@[%a %s@ %a@])" pp a (binop_name op) pp b
+  | Not e -> Fmt.pf ppf "not(@[%a@])" pp e
+  | Agg (op, e) ->
+    let name =
+      match op with
+      | Kola.Term.Count -> "cnt"
+      | Kola.Term.Sum -> "sum"
+      | Kola.Term.Max -> "max"
+      | Kola.Term.Min -> "min"
+    in
+    Fmt.pf ppf "%s(@[%a@])" name pp e
+  | SetLit xs -> Fmt.pf ppf "{@[%a@]}" (Fmt.list ~sep:Fmt.comma pp) xs
+
+and pp_atom ppf e =
+  match e with
+  | Var _ | Const _ | Extent _ | Path _ -> pp ppf e
+  | _ -> Fmt.pf ppf "(%a)" pp e
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,6 @@
+(** AQUA pretty printer, in the paper's notation:
+    [app (λ(x) x.age)(sel (λ(p) p.age > 25)(P))]. *)
+
+val binop_name : Ast.binop -> string
+val pp : Ast.expr Fmt.t
+val to_string : Ast.expr -> string

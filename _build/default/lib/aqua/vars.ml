@@ -1,0 +1,118 @@
+(* The "additional machinery" of Section 2.1: free-variable analysis,
+   fresh-name generation, alpha-renaming and capture-avoiding substitution.
+
+   None of this exists on the KOLA side — that asymmetry is the paper's
+   point.  The {!Baseline} engine's head and body routines are built from
+   these functions. *)
+
+open Ast
+
+module S = Set.Make (String)
+
+let rec free_vars = function
+  | Var x -> S.singleton x
+  | Const _ | Extent _ -> S.empty
+  | Path (e, _) | Flatten e | Not e | Agg (_, e) -> free_vars e
+  | Pair (a, b) | Bin (_, a, b) -> S.union (free_vars a) (free_vars b)
+  | App (l, e) | Sel (l, e) ->
+    S.union (S.remove l.v (free_vars l.body)) (free_vars e)
+  | Join (p, f, a, b) ->
+    let inner l2 = S.remove l2.v1 (S.remove l2.v2 (free_vars l2.body2)) in
+    S.union (S.union (inner p) (inner f)) (S.union (free_vars a) (free_vars b))
+  | If (c, t, e) -> S.union (free_vars c) (S.union (free_vars t) (free_vars e))
+  | SetLit xs -> List.fold_left (fun s x -> S.union s (free_vars x)) S.empty xs
+
+let is_free x e = S.mem x (free_vars e)
+
+let counter = ref 0
+
+let fresh ?(base = "v") avoid =
+  let rec go () =
+    incr counter;
+    let name = Fmt.str "%s%d" base !counter in
+    if S.mem name avoid then go () else name
+  in
+  go ()
+
+(* Capture-avoiding substitution e[x := r]. *)
+let rec subst x r e =
+  match e with
+  | Var y -> if String.equal x y then r else e
+  | Const _ | Extent _ -> e
+  | Path (e1, a) -> Path (subst x r e1, a)
+  | Pair (a, b) -> Pair (subst x r a, subst x r b)
+  | Flatten e1 -> Flatten (subst x r e1)
+  | Not e1 -> Not (subst x r e1)
+  | Agg (g, e1) -> Agg (g, subst x r e1)
+  | Bin (op, a, b) -> Bin (op, subst x r a, subst x r b)
+  | If (c, t, e1) -> If (subst x r c, subst x r t, subst x r e1)
+  | SetLit xs -> SetLit (List.map (subst x r) xs)
+  | App (l, e1) ->
+    let l' = subst_lam x r l in
+    App (l', subst x r e1)
+  | Sel (l, e1) ->
+    let l' = subst_lam x r l in
+    Sel (l', subst x r e1)
+  | Join (p, f, a, b) ->
+    Join (subst_lam2 x r p, subst_lam2 x r f, subst x r a, subst x r b)
+
+and subst_lam x r l =
+  if String.equal l.v x then l
+  else if is_free l.v r && is_free x l.body then begin
+    (* rename the binder to avoid capture *)
+    let avoid = S.union (free_vars r) (free_vars l.body) in
+    let v' = fresh ~base:l.v avoid in
+    let body' = subst l.v (Var v') l.body in
+    { v = v'; body = subst x r body' }
+  end
+  else { l with body = subst x r l.body }
+
+and subst_lam2 x r l =
+  if String.equal l.v1 x || String.equal l.v2 x then l
+  else if
+    (is_free l.v1 r || is_free l.v2 r) && is_free x l.body2
+  then begin
+    let avoid = S.union (free_vars r) (free_vars l.body2) in
+    let v1' = fresh ~base:l.v1 avoid in
+    let v2' = fresh ~base:l.v2 (S.add v1' avoid) in
+    let body' = subst l.v1 (Var v1') (subst l.v2 (Var v2') l.body2) in
+    { v1 = v1'; v2 = v2'; body2 = subst x r body' }
+  end
+  else { l with body2 = subst x r l.body2 }
+
+(* Alpha-equivalence: the "variable renaming" machinery the paper says T2
+   requires (recognising λz.z.age as λp.p.age). *)
+let rec alpha_equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const u, Const v -> Kola.Value.equal u v
+  | Extent x, Extent y -> String.equal x y
+  | Path (e1, a1), Path (e2, a2) -> String.equal a1 a2 && alpha_equal e1 e2
+  | Pair (a1, b1), Pair (a2, b2) -> alpha_equal a1 a2 && alpha_equal b1 b2
+  | Flatten e1, Flatten e2 | Not e1, Not e2 -> alpha_equal e1 e2
+  | Agg (g1, e1), Agg (g2, e2) -> g1 = g2 && alpha_equal e1 e2
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) ->
+    o1 = o2 && alpha_equal a1 a2 && alpha_equal b1 b2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+    alpha_equal c1 c2 && alpha_equal t1 t2 && alpha_equal e1 e2
+  | SetLit xs, SetLit ys ->
+    List.length xs = List.length ys && List.for_all2 alpha_equal xs ys
+  | App (l1, e1), App (l2, e2) | Sel (l1, e1), Sel (l2, e2) ->
+    alpha_equal e1 e2
+    && (let avoid = S.union (free_vars l1.body) (free_vars l2.body) in
+        let v = fresh avoid in
+        alpha_equal (subst l1.v (Var v) l1.body) (subst l2.v (Var v) l2.body))
+  | Join (p1, f1, a1, b1), Join (p2, f2, a2, b2) ->
+    let lam2_eq l1 l2 =
+      let avoid = S.union (free_vars l1.body2) (free_vars l2.body2) in
+      let v1 = fresh avoid in
+      let v2 = fresh (S.add v1 avoid) in
+      let open_l l =
+        subst l.v1 (Var v1) (subst l.v2 (Var v2) l.body2)
+      in
+      alpha_equal (open_l l1) (open_l l2)
+    in
+    lam2_eq p1 p2 && lam2_eq f1 f2 && alpha_equal a1 a2 && alpha_equal b1 b2
+  | ( ( Var _ | Const _ | Extent _ | Path _ | Pair _ | App _ | Sel _
+      | Flatten _ | Join _ | If _ | Bin _ | Not _ | Agg _ | SetLit _ ),
+      _ ) -> false

@@ -1,0 +1,17 @@
+(** The "additional machinery" of Section 2.1 that variable-based algebras
+    force on an optimizer: free-variable analysis, fresh names,
+    α-equivalence and capture-avoiding substitution.  None of this exists
+    on the KOLA side — that asymmetry is the paper's point. *)
+
+module S : Set.S with type elt = string
+
+val free_vars : Ast.expr -> S.t
+val is_free : string -> Ast.expr -> bool
+
+val fresh : ?base:string -> S.t -> string
+(** A name not in the avoid set. *)
+
+val subst : string -> Ast.expr -> Ast.expr -> Ast.expr
+(** [subst x r e] is e[x := r], renaming binders to avoid capture. *)
+
+val alpha_equal : Ast.expr -> Ast.expr -> bool

@@ -1,0 +1,1 @@
+lib/baseline/catalog.ml: Aqua Rule String

@@ -1,0 +1,1 @@
+lib/baseline/engine.ml: Aqua List Option Rule

@@ -1,0 +1,1 @@
+lib/baseline/engine.mli: Aqua Rule

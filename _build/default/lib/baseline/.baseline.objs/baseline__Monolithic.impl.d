@@ -1,0 +1,1 @@
+lib/baseline/monolithic.ml: Kola List Option Value

@@ -1,0 +1,1 @@
+lib/baseline/monolithic.mli: Kola

@@ -1,0 +1,1 @@
+lib/baseline/rule.ml: Aqua

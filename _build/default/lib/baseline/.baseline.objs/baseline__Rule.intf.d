@@ -1,0 +1,1 @@
+lib/baseline/rule.mli: Aqua

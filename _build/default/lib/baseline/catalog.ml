@@ -1,0 +1,125 @@
+(* The paper's Section 2 transformations implemented the Starburst way:
+   over AQUA, with head and body routines.
+
+   Contrast each with its KOLA counterpart:
+   - [t1_compose_maps] needs *expression composition* (substituting one
+     expression for the free variable of another) — KOLA rule 11 is one
+     declarative pattern.
+   - [t2_decompose_predicate] needs *variable renaming* to recognise the
+     map's body inside the selection predicate — KOLA rules 13/12⁻¹ need
+     none.
+   - [code_motion] needs *environmental analysis* (is the predicate free of
+     the inner variable?) — in KOLA the distinction is structural (π1 vs
+     π2), decided by unification alone (rule 15). *)
+
+open Aqua.Ast
+
+(* T1 (Figure 1): app(λa.B1)(app(λp.B2)(S)) ⟹ app(λp.B1[a := B2])(S).
+   The body routine performs capture-avoiding expression composition. *)
+let t1_compose_maps =
+  Rule.make ~name:"aqua-t1" ~description:"compose nested app bodies"
+    ~head:(function
+      | App (_, App (_, _)) -> true
+      | _ -> false)
+    ~body:(function
+      | App (outer, App (inner, set)) ->
+        let body' = Aqua.Vars.subst outer.v inner.body outer.body in
+        Some (App ({ v = inner.v; body = Aqua.Vars.subst inner.v (Var inner.v) body' }, set))
+      | _ -> None)
+
+(* T2 (Figure 1): app(λx.F)(sel(λp.P)(S)) ⟹ sel(λa.P')(app(λp.F')(S))
+   provided P is a comparison whose left side is exactly the app's body
+   modulo α-renaming (the paper's point: recognising this "subfunction"
+   requires renaming machinery). *)
+let t2_decompose_predicate =
+  Rule.make ~name:"aqua-t2"
+    ~description:"swap a map with a selection over the mapped value"
+    ~head:(function
+      | App (f, Sel (p, _)) -> (
+        match p.body with
+        | Bin ((Gt | Leq | Lt | Geq | Eq), lhs, rhs) ->
+          (* head routine: α-compare the app body against the comparison's
+             left operand, and require the right operand closed *)
+          Aqua.Vars.alpha_equal
+            (Aqua.Vars.subst f.v (Var "$x") f.body)
+            (Aqua.Vars.subst p.v (Var "$x") lhs)
+          && Aqua.Vars.S.is_empty (Aqua.Vars.free_vars rhs)
+        | _ -> false)
+      | _ -> false)
+    ~body:(function
+      | App (f, Sel (p, set)) -> (
+        match p.body with
+        | Bin (op, _, rhs) ->
+          let a = Aqua.Vars.fresh (Aqua.Vars.free_vars rhs) in
+          Some
+            (Sel
+               ( { v = a; body = Bin (op, Var a, rhs) },
+                 App ({ v = p.v; body = Aqua.Vars.subst f.v (Var p.v) f.body }, set) ))
+        | _ -> None)
+      | _ -> None)
+
+(* Code motion (Section 2.2, [2]): app(λp.[p, sel(λc.P)(E)])(S) ⟹
+   app(λp. if P then [p, E] else [p, {}])(S), *only when c is not free in
+   P*.  The head routine is the environmental analysis the paper says the
+   rule cannot avoid over this representation: A4 passes it, A3 fails it,
+   despite the two queries being structurally identical. *)
+let code_motion =
+  Rule.make ~name:"aqua-code-motion"
+    ~description:"hoist an inner selection whose predicate ignores its variable"
+    ~head:(function
+      | App (outer, _) -> (
+        match outer.body with
+        | Pair (Var p, Sel (inner, _)) ->
+          String.equal p outer.v && not (Aqua.Vars.is_free inner.v inner.body)
+        | _ -> false)
+      | _ -> false)
+    ~body:(function
+      | App (outer, set) -> (
+        match outer.body with
+        | Pair (Var p, Sel (inner, source)) ->
+          Some
+            (App
+               ( {
+                   v = outer.v;
+                   body =
+                     If
+                       ( inner.body,
+                         Pair (Var p, source),
+                         Pair (Var p, SetLit []) );
+                 },
+                 set ))
+        | _ -> None)
+      | _ -> None)
+
+(* Selection cascade: sel(λx.P)(sel(λy.Q)(S)) ⟹ sel(λx.P and Q[y:=x])(S).
+   Needs substitution (a body routine) to merge the predicates. *)
+let sel_cascade =
+  Rule.make ~name:"aqua-sel-cascade" ~description:"merge stacked selections"
+    ~head:(function
+      | Sel (_, Sel (_, _)) -> true
+      | _ -> false)
+    ~body:(function
+      | Sel (outer, Sel (inner, set)) ->
+        let merged = Bin (And, outer.body, Aqua.Vars.subst inner.v (Var outer.v) inner.body) in
+        Some (Sel ({ v = outer.v; body = merged }, set))
+      | _ -> None)
+
+(* flatten(app(λx.{e})(S)) ⟹ app(λx.e)(S) for singleton-set bodies — an
+   example of a rule whose head routine must inspect body shape. *)
+let flatten_singleton =
+  Rule.make ~name:"aqua-flatten-singleton"
+    ~description:"flatten over singleton sets"
+    ~head:(function
+      | Flatten (App (l, _)) -> (
+        match l.body with SetLit [ _ ] -> true | _ -> false)
+      | _ -> false)
+    ~body:(function
+      | Flatten (App (l, set)) -> (
+        match l.body with
+        | SetLit [ e ] -> Some (App ({ l with body = e }, set))
+        | _ -> None)
+      | _ -> None)
+
+let all =
+  [ t1_compose_maps; t2_decompose_predicate; code_motion; sel_cascade;
+    flatten_singleton ]

@@ -1,0 +1,79 @@
+(* A miniature Starburst-style rewrite driver over AQUA expressions:
+   outermost-first traversal firing the first applicable rule. *)
+
+open Aqua.Ast
+
+type step = { rule_name : string; result : expr }
+
+type outcome = { expr : expr; trace : step list }
+
+(* Try [rw] on [e]'s subexpressions, leftmost-outermost. *)
+let rec rewrite_once rw e =
+  match rw e with
+  | Some e' -> Some e'
+  | None -> (
+    match e with
+    | Var _ | Const _ | Extent _ -> None
+    | Path (e1, a) -> Option.map (fun e1 -> Path (e1, a)) (rewrite_once rw e1)
+    | Flatten e1 -> Option.map (fun e1 -> Flatten e1) (rewrite_once rw e1)
+    | Not e1 -> Option.map (fun e1 -> Not e1) (rewrite_once rw e1)
+    | Agg (g, e1) -> Option.map (fun e1 -> Agg (g, e1)) (rewrite_once rw e1)
+    | Pair (a, b) -> (
+      match rewrite_once rw a with
+      | Some a' -> Some (Pair (a', b))
+      | None -> Option.map (fun b' -> Pair (a, b')) (rewrite_once rw b))
+    | Bin (op, a, b) -> (
+      match rewrite_once rw a with
+      | Some a' -> Some (Bin (op, a', b))
+      | None -> Option.map (fun b' -> Bin (op, a, b')) (rewrite_once rw b))
+    | If (c, t, e1) -> (
+      match rewrite_once rw c with
+      | Some c' -> Some (If (c', t, e1))
+      | None -> (
+        match rewrite_once rw t with
+        | Some t' -> Some (If (c, t', e1))
+        | None -> Option.map (fun e' -> If (c, t, e')) (rewrite_once rw e1)))
+    | App (l, e1) -> (
+      match rewrite_once rw l.body with
+      | Some b' -> Some (App ({ l with body = b' }, e1))
+      | None -> Option.map (fun e1 -> App (l, e1)) (rewrite_once rw e1))
+    | Sel (l, e1) -> (
+      match rewrite_once rw l.body with
+      | Some b' -> Some (Sel ({ l with body = b' }, e1))
+      | None -> Option.map (fun e1 -> Sel (l, e1)) (rewrite_once rw e1))
+    | Join (p, f, a, b) -> (
+      match rewrite_once rw p.body2 with
+      | Some p' -> Some (Join ({ p with body2 = p' }, f, a, b))
+      | None -> (
+        match rewrite_once rw f.body2 with
+        | Some f' -> Some (Join (p, { f with body2 = f' }, a, b))
+        | None -> (
+          match rewrite_once rw a with
+          | Some a' -> Some (Join (p, f, a', b))
+          | None -> Option.map (fun b' -> Join (p, f, a, b')) (rewrite_once rw b))))
+    | SetLit xs ->
+      let rec go acc = function
+        | [] -> None
+        | x :: rest -> (
+          match rewrite_once rw x with
+          | Some x' -> Some (List.rev_append acc (x' :: rest))
+          | None -> go (x :: acc) rest)
+      in
+      Option.map (fun xs -> SetLit xs) (go [] xs))
+
+let step_once rules e =
+  List.find_map
+    (fun r ->
+      Option.map (fun e' -> (r.Rule.name, e')) (rewrite_once (Rule.apply r) e))
+    rules
+
+let run ?(fuel = 1_000) rules e : outcome =
+  let rec go n e trace =
+    if n = 0 then (e, trace)
+    else
+      match step_once rules e with
+      | Some (name, e') -> go (n - 1) e' ({ rule_name = name; result = e' } :: trace)
+      | None -> (e, trace)
+  in
+  let e', trace = go fuel e [] in
+  { expr = e'; trace = List.rev trace }

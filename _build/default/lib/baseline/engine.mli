@@ -1,0 +1,16 @@
+(** A miniature Starburst-style rewrite driver over AQUA expressions:
+    leftmost-outermost traversal firing the first applicable rule. *)
+
+type step = { rule_name : string; result : Aqua.Ast.expr }
+type outcome = { expr : Aqua.Ast.expr; trace : step list }
+
+val rewrite_once :
+  (Aqua.Ast.expr -> Aqua.Ast.expr option) ->
+  Aqua.Ast.expr ->
+  Aqua.Ast.expr option
+(** Apply a rewrite at the first (outermost) position where it succeeds. *)
+
+val step_once :
+  Rule.t list -> Aqua.Ast.expr -> (string * Aqua.Ast.expr) option
+
+val run : ?fuel:int -> Rule.t list -> Aqua.Ast.expr -> outcome

@@ -1,0 +1,24 @@
+(** A monolithic hidden-join rule in the style of [12], for the ablation
+    against the gradual five-step strategy: its head routine dives to
+    unbounded depth just to decide applicability, its body routine handles
+    only the nesting shapes its author anticipated (depths one and two),
+    and on failure the query is left untouched. *)
+
+type layer = { flattened : bool; pred : Kola.Term.pred; func : Kola.Term.func }
+
+type recognition = {
+  outer : Kola.Term.func;
+  layers : layer list;  (** outermost first *)
+  base : Kola.Value.t;  (** the constant set at the bottom *)
+  nodes_visited : int;  (** head-routine work *)
+}
+
+val recognize : Kola.Term.query -> recognition option
+(** The head routine: is this a Figure 7 hidden join, at any depth? *)
+
+val transform : Kola.Term.query -> Kola.Term.query option
+(** The body routine: direct nest-of-join construction; [None] beyond the
+    anticipated depths (the generality gap). *)
+
+val match_cost : Kola.Term.query -> int
+(** Nodes the head routine visits just to decide. *)

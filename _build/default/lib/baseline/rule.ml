@@ -1,0 +1,27 @@
+(* Starburst/EXODUS-style rules over the variable-based AQUA representation
+   (Section 2 of the paper).
+
+   Each rule carries:
+   - a [head] routine ("condition function" in Starburst, "condition" in
+     EXODUS): arbitrary code deciding applicability, here typically doing
+     free-variable / environmental analysis;
+   - a [body] routine ("action routine" / "support function"): arbitrary
+     code building the replacement expression, here typically doing
+     α-renaming and capture-avoiding substitution.
+
+   This is precisely the design the paper criticises: the engine below is
+   only as correct as these closures, and nothing about them is declarative
+   or analysable. *)
+
+type t = {
+  name : string;
+  description : string;
+  head : Aqua.Ast.expr -> bool;
+      (** may the rule fire on this (sub)expression? *)
+  body : Aqua.Ast.expr -> Aqua.Ast.expr option;
+      (** transform; may still decline (head routines are often partial) *)
+}
+
+let make ~name ~description ~head ~body = { name; description; head; body }
+
+let apply t e = if t.head e then t.body e else None

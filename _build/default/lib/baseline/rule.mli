@@ -1,0 +1,22 @@
+(** Starburst/EXODUS-style rules over the variable-based AQUA
+    representation: applicability and transformation are arbitrary code
+    (the "head routines" and "body routines" of the paper's Section 1.1) —
+    precisely the design the paper criticises. *)
+
+type t = {
+  name : string;
+  description : string;
+  head : Aqua.Ast.expr -> bool;
+      (** condition function / "condition": may the rule fire here? *)
+  body : Aqua.Ast.expr -> Aqua.Ast.expr option;
+      (** action routine / "support function": build the replacement *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  head:(Aqua.Ast.expr -> bool) ->
+  body:(Aqua.Ast.expr -> Aqua.Ast.expr option) ->
+  t
+
+val apply : t -> Aqua.Ast.expr -> Aqua.Ast.expr option

@@ -1,0 +1,1 @@
+lib/coko/block.ml: Kola List Rewrite Rules

@@ -1,0 +1,1 @@
+lib/coko/block.mli: Kola Rewrite

@@ -1,0 +1,1 @@
+lib/coko/programs.mli: Block Kola

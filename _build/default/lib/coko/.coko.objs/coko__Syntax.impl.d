@@ -1,0 +1,1 @@
+lib/coko/syntax.ml: Block Filename Fmt Kola List Rewrite Rules String

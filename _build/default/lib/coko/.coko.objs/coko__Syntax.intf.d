@@ -1,0 +1,1 @@
+lib/coko/syntax.mli: Block Kola Rewrite

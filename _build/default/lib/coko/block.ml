@@ -1,0 +1,91 @@
+(* COKO rule blocks (Section 4.2: "rule blocks; sets of rules that are used
+   together, together with strategies for their firing").
+
+   A block is a firing strategy over named rules.  Blocks compose into
+   "conceptual transformations" — transformations too large for one rule but
+   small enough to think about as a unit, such as each of the five steps of
+   the hidden-join untangler. *)
+
+open Kola.Term
+
+type step =
+  | Use of string list
+      (** fire any of the named rules once, anywhere (outermost first) *)
+  | Seq of step list
+  | Choice of step list  (** first step that applies *)
+  | Repeat of step       (** as long as it applies *)
+  | Try of step          (** apply if possible; never fails *)
+
+type t = { block_name : string; step : step }
+
+let block block_name step = { block_name; step }
+
+type outcome = {
+  query : query;
+  trace : Rewrite.Engine.trace;
+  applied : bool;
+}
+
+(* Rule names are resolved through a lookup so that text-defined COKO files
+   (see {!Syntax}) can add rules beyond the built-in catalog. *)
+let default_lookup name =
+  match Rules.Catalog.rules [ name ] with
+  | [ r ] -> r
+  | _ -> invalid_arg name
+
+(* Run one engine firing restricted to [names]. *)
+let fire_once ?schema ~lookup names (q : query) =
+  Rewrite.Engine.step_once ?schema (List.map lookup names) q
+
+let rec run_step ?schema ~lookup step q trace =
+  match step with
+  | Use names -> (
+    match fire_once ?schema ~lookup names q with
+    | Some (rule_name, q') ->
+      Some (q', { Rewrite.Engine.rule_name; result = q' } :: trace)
+    | None -> None)
+  | Seq steps ->
+    let rec go steps q trace =
+      match steps with
+      | [] -> Some (q, trace)
+      | s :: rest -> (
+        match run_step ?schema ~lookup s q trace with
+        | Some (q', trace') -> go rest q' trace'
+        | None -> None)
+    in
+    go steps q trace
+  | Choice steps ->
+    List.find_map (fun s -> run_step ?schema ~lookup s q trace) steps
+  | Repeat s ->
+    let rec go q trace applied fuel =
+      if fuel = 0 then if applied then Some (q, trace) else None
+      else
+        match run_step ?schema ~lookup s q trace with
+        | Some (q', trace') -> go q' trace' true (fuel - 1)
+        | None -> if applied then Some (q, trace) else None
+    in
+    go q trace false 10_000
+  | Try s -> (
+    match run_step ?schema ~lookup s q trace with
+    | Some _ as res -> res
+    | None -> Some (q, trace))
+
+let run ?schema ?(lookup = default_lookup) (t : t) (q : query) : outcome =
+  match run_step ?schema ~lookup t.step q [] with
+  | Some (q', trace) -> { query = q'; trace = List.rev trace; applied = true }
+  | None -> { query = q; trace = []; applied = false }
+
+(* Run blocks in sequence; blocks that do not apply leave the query
+   unchanged (the paper's point that failed strategies still leave behind
+   the simplifications of earlier steps). *)
+let run_pipeline ?schema ?lookup (blocks : t list) (q : query) :
+    outcome * (string * bool) list =
+  let q, rev_trace, applied_list =
+    List.fold_left
+      (fun (q, trace, applied) b ->
+        let o = run ?schema ?lookup b q in
+        (o.query, List.rev_append o.trace trace, (b.block_name, o.applied) :: applied))
+      (q, [], []) blocks
+  in
+  ( { query = q; trace = List.rev rev_trace; applied = applied_list <> [] },
+    List.rev applied_list )

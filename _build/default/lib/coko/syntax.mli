@@ -1,0 +1,38 @@
+(** The COKO surface language (the follow-on language the paper announces).
+
+    A COKO file holds textual rule definitions and transformations:
+    {v
+    -- comments run to end of line
+    GIVEN injective(?f)
+    RULE my-inter: inter o (iterate(Kp(T), ?f) x iterate(Kp(T), ?f))
+                   --> iterate(Kp(T), ?f) o inter
+
+    TRANSFORMATION cleanup
+    BEGIN
+      TRY REPEAT { my-inter | r1 };
+      USE r3
+    END
+    v}
+    Rule sides are KOLA terms in {!Kola.Parse} notation; the side kind
+    (function / predicate / query) is inferred from the left-hand side.
+    Step connectives: [;] atomic sequencing, [{ a | b }] one firing from a
+    rule set, [REPEAT], [TRY], [CHOICE { s1 / s2 }]. *)
+
+exception Error of string
+
+type program = {
+  rules : Rewrite.Rule.t list;
+  transformations : Block.t list;
+}
+
+val parse_program : string -> program
+
+val lookup_of : program -> string -> Rewrite.Rule.t
+(** Program rules shadow same-named catalog rules; ["-1"] flips. *)
+
+val find_transformation : program -> string -> Block.t option
+
+val run_source :
+  ?schema:Kola.Schema.t ->
+  string -> transformation:string -> Kola.Term.query -> Block.outcome
+(** Parse [source] and run its named transformation. *)

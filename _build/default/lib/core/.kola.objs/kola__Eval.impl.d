@@ -1,0 +1,1 @@
+lib/core/eval.ml: Fmt Hashtbl List Option Term Value

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Term Value

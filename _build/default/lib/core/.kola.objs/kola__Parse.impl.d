@@ -1,0 +1,1 @@
+lib/core/parse.ml: Fmt List String Term Value

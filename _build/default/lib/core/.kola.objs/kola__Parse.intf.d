@@ -1,0 +1,1 @@
+lib/core/parse.mli: Term Value

@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Fmt Term Value

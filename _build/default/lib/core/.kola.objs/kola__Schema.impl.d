@@ -1,0 +1,1 @@
+lib/core/schema.ml: Fmt List String Ty

@@ -1,0 +1,1 @@
+lib/core/term.ml: Bool List String Value

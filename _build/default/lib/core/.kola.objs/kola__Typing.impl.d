@@ -1,0 +1,1 @@
+lib/core/typing.ml: Fmt List Schema String Term Ty Value

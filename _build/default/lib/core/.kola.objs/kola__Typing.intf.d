@@ -1,0 +1,1 @@
+lib/core/typing.mli: Schema Term Ty

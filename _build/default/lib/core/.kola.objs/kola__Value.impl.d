@@ -1,0 +1,1 @@
+lib/core/value.ml: Fmt Hashtbl Int List Stdlib String

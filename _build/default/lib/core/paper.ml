@@ -1,0 +1,166 @@
+(* The worked examples of the paper, as KOLA terms.
+
+   Naming follows the paper: [kg1]/[kg2] are the two "Garage Query" forms of
+   Figure 3, [k3]/[k4] the KOLA translations of the structurally identical
+   nested queries A3/A4 of Figure 2 (Section 3.2), and [t1k_*]/[t2k_*] the
+   source and target forms of Figure 4. *)
+
+open Term
+
+let kp_t = Kp true
+let age = Prim "age"
+let addr = Prim "addr"
+let city = Prim "city"
+let child = Prim "child"
+let cars = Prim "cars"
+let grgs = Prim "grgs"
+let p_set = Value.Named "P"
+let v_set = Value.Named "V"
+
+(* Figure 4, T1K.
+   Source: iterate(Kp(T), city) ∘ iterate(Kp(T), addr) ! P
+   Target: iterate(Kp(T), city ∘ addr) ! P *)
+let t1k_source =
+  query (Compose (Iterate (kp_t, city), Iterate (kp_t, addr))) p_set
+
+let t1k_target = query (Iterate (kp_t, Compose (city, addr))) p_set
+
+(* Figure 4, T2K.
+   Source: iterate(Kp(T), age) ∘ iterate(gt ⊕ ⟨age, Kf(25)⟩, id) ! P
+   Target: iterate(Cp(gtᵒ, 25), id) ∘ iterate(Kp(T), age) ! P
+   (the paper prints Cp(leq, 25); see DESIGN.md on the rule-13 boundary
+   erratum — gtᵒ is the converse of gt, i.e. strictly-less-than). *)
+let age_gt_25 = Oplus (Gt, Pairf (age, Kf (Value.Int 25)))
+
+let t2k_source =
+  query (Compose (Iterate (kp_t, age), Iterate (age_gt_25, Id))) p_set
+
+let t2k_target =
+  query
+    (Compose
+       (Iterate (Cp (Conv Gt, Value.Int 25), Id), Iterate (kp_t, age)))
+    p_set
+
+(* Intermediate form after rule 13: iterate(Cp(gtᵒ,25) ⊕ age, age) ! P *)
+let t2k_mid =
+  query (Iterate (Oplus (Cp (Conv Gt, Value.Int 25), age), age)) p_set
+
+(* Section 3.2: K3 and K4, the KOLA versions of queries A3 and A4.
+     iterate(Kp(T), ⟨id, iter(gt ⊕ ⟨age ∘ π, Kf(25)⟩, π2) ∘ ⟨id, child⟩⟩) ! P
+   with π = π2 for K3 (child's age — free variable is bound) and π = π1 for
+   K4 (person's age — refers to the environment). *)
+let nested_children proj =
+  query
+    (Iterate
+       ( kp_t,
+         Pairf
+           ( Id,
+             Compose
+               ( Iter
+                   ( Oplus (Gt, Pairf (Compose (age, proj), Kf (Value.Int 25))),
+                     Pi2 ),
+                 Pairf (Id, child) ) ) ))
+    p_set
+
+let k3 = nested_children Pi2
+let k4 = nested_children Pi1
+
+(* Figure 6's end point for K4: the iter is replaced by a conditional, i.e.
+   iterate(Kp(T), ⟨id, con(Cp(gtᵒ, 25) ⊕ age, child, Kf(∅))⟩) ! P *)
+let k4_optimized =
+  query
+    (Iterate
+       ( kp_t,
+         Pairf
+           ( Id,
+             Con
+               ( Oplus (Cp (Conv Gt, Value.Int 25), age),
+                 child,
+                 Kf (Value.set []) ) ) ))
+    p_set
+
+(* Figure 3: the hidden-join "Garage Query" KG1 and its untangled form KG2.
+
+   KG1: iterate (Kp(T), ⟨id,
+          flat ∘
+          iter (Kp(T), grgs ∘ π2) ∘
+          ⟨id, iter (in ⊕ ⟨π1, cars ∘ π2⟩, π2) ∘
+            ⟨id, Kf(P)⟩⟩⟩) ! V *)
+let kg1_inner_pred = Oplus (In, Pairf (Pi1, Compose (cars, Pi2)))
+
+let kg1 =
+  query
+    (Iterate
+       ( kp_t,
+         Pairf
+           ( Id,
+             Compose
+               ( Compose (Flat, Iter (kp_t, Compose (grgs, Pi2))),
+                 Pairf
+                   ( Id,
+                     Compose (Iter (kg1_inner_pred, Pi2), Pairf (Id, Kf p_set))
+                   ) ) ) ))
+    v_set
+
+(* KG2: nest (π1, π2) ∘ (unnest (π1, π2) × id) ∘
+        ⟨join (in ⊕ (id × cars), id × grgs), π1⟩ ! [V, P] *)
+let kg2_join =
+  Join (Oplus (In, Times (Id, cars)), Times (Id, grgs))
+
+let kg2 =
+  query
+    (Compose
+       ( Compose (Nest (Pi1, Pi2), Times (Unnest (Pi1, Pi2), Id)),
+         Pairf (kg2_join, Pi1) ))
+    (Value.Pair (v_set, p_set))
+
+(* Intermediate forms of the Section 4.1 walkthrough. *)
+
+(* KG1a: after Step 1 (break up the monolithic iterate). *)
+let kg1a =
+  query
+    (chain
+       [
+         Iterate (kp_t, Pairf (Pi1, Compose (Flat, Pi2)));
+         Iterate (kp_t, Pairf (Pi1, Iter (kp_t, Compose (grgs, Pi2))));
+         Iterate (kp_t, Pairf (Pi1, Iter (kg1_inner_pred, Pi2)));
+         Iterate (kp_t, Pairf (Id, Kf p_set));
+       ])
+    v_set
+
+(* KG1b: after Step 2 (bottom out with a nest of a join). *)
+let kg1b =
+  query
+    (chain
+       [
+         Iterate (kp_t, Pairf (Pi1, Compose (Flat, Pi2)));
+         Iterate (kp_t, Pairf (Pi1, Iter (kp_t, Compose (grgs, Pi2))));
+         Iterate (kp_t, Pairf (Pi1, Iter (kg1_inner_pred, Pi2)));
+         Nest (Pi1, Pi2);
+         Pairf (Join (kp_t, Id), Pi1);
+       ])
+    (Value.Pair (v_set, p_set))
+
+(* KG1c: after Step 3 (pull nest up to the top). *)
+let kg1c =
+  query
+    (chain
+       [
+         Nest (Pi1, Pi2);
+         Times (Unnest (Pi1, Pi2), Id);
+         Times (Iterate (kp_t, Pairf (Pi1, Compose (grgs, Pi2))), Id);
+         Times (Iterate (kg1_inner_pred, Id), Id);
+         Pairf (Join (kp_t, Id), Pi1);
+       ])
+    (Value.Pair (v_set, p_set))
+
+(* Figure 1 over KOLA: T1's source is the composition of two projections;
+   also exported as plain functions for unit tests. *)
+let cities_of_people = Iterate (kp_t, Compose (city, addr))
+
+(* The example precondition rule of Section 4.2: for injective f,
+   (iterate(Kp(T), f) ! A) ∩ (iterate(Kp(T), f) ! B)
+     ≡ iterate(Kp(T), f) ! (A ∩ B). *)
+let injective_example f =
+  ( Compose (Setop Inter, Times (Iterate (kp_t, f), Iterate (kp_t, f))),
+    Compose (Iterate (kp_t, f), Setop Inter) )

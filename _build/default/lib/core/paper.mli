@@ -1,0 +1,74 @@
+(** The paper's worked examples as KOLA terms, named as in the paper. *)
+
+(** {1 Figure 4} *)
+
+val t1k_source : Term.query
+(** iterate(Kp(T), city) ∘ iterate(Kp(T), addr) ! P *)
+
+val t1k_target : Term.query
+(** iterate(Kp(T), city ∘ addr) ! P *)
+
+val age_gt_25 : Term.pred
+
+val t2k_source : Term.query
+(** iterate(Kp(T), age) ∘ iterate(gt ⊕ ⟨age, Kf(25)⟩, id) ! P *)
+
+val t2k_target : Term.query
+(** iterate(Cp(gtᵒ, 25), id) ∘ iterate(Kp(T), age) ! P — the paper prints
+    Cp(leq, 25); see DESIGN.md on the rule-13 boundary erratum. *)
+
+val t2k_mid : Term.query
+(** The intermediate form after rule 13. *)
+
+(** {1 Section 3.2 / Figure 6} *)
+
+val nested_children : Term.func -> Term.query
+(** The shared K3/K4 shape, parameterised by the projection inside the
+    inner predicate (π2 for K3, π1 for K4). *)
+
+val k3 : Term.query
+val k4 : Term.query
+
+val k4_optimized : Term.query
+(** Figure 6's end point: the iter replaced by a conditional. *)
+
+(** {1 Figure 3: the Garage Query} *)
+
+val kg1_inner_pred : Term.pred
+
+(** The hidden-join form. *)
+val kg1 : Term.query
+
+val kg2_join : Term.func
+
+(** The untangled nest-of-join form. *)
+val kg2 : Term.query
+
+(** After Step 1 (break up). *)
+val kg1a : Term.query
+
+(** After Step 2 (bottom out). *)
+val kg1b : Term.query
+
+(** After Step 3 (pull up nest). *)
+val kg1c : Term.query
+
+(** {1 Miscellany} *)
+
+val cities_of_people : Term.func
+
+val injective_example : Term.func -> Term.func * Term.func
+(** The Section 4.2 precondition example: both sides of the
+    intersection-commutes-with-injective-map rule, instantiated at f. *)
+
+(** {1 Schema shorthands} *)
+
+val kp_t : Term.pred
+val age : Term.func
+val addr : Term.func
+val city : Term.func
+val child : Term.func
+val cars : Term.func
+val grgs : Term.func
+val p_set : Value.t
+val v_set : Value.t

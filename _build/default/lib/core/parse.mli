@@ -1,0 +1,24 @@
+(** Parser for KOLA terms in paper notation (ASCII or the pretty-printer's
+    Unicode).
+
+    {v
+    functions:   id, pi1/π1, pi2/π2, flat, sng, attribute names, Kf(v),
+                 Cf(f, v), con(p, f, g), iterate(p, f), iter(p, f),
+                 join(p, f), nest(f, g), unnest(f, g), cnt/sum/max/min,
+                 add/sub/mul, union/inter/diff, <f, g> or ⟨f, g⟩,
+                 f x g or f × g, f o g or f ∘ g, ?hole
+    predicates:  eq, leq, gt, in, Kp(T), Kp(F), Cp(p, v), p (+) f or p ⊕ f,
+                 p & q, p | q, p^-1 or p⁻¹ (negation), p^o or pᵒ (converse)
+    values:      ints, "strings", true, false, (), [v1, v2], {v1, ...},
+                 Uppercase extent names, ?hole
+    queries:     f ! v
+    v}
+
+    Example: [iterate(Kp(T), city o addr) ! P]. *)
+
+exception Error of string
+
+val func : string -> Term.func
+val pred : string -> Term.pred
+val value : string -> Value.t
+val query : string -> Term.query

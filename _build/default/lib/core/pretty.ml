@@ -1,0 +1,72 @@
+(* Paper-notation pretty printer for KOLA terms.
+
+   Composition chains are printed without parentheses (associativity), as the
+   paper does; ⊕ is the predicate/function combiner, ⁻¹ predicate inversion. *)
+
+open Term
+
+let arith_name = function Add -> "add" | Sub -> "sub" | Mul -> "mul"
+
+let agg_name = function
+  | Count -> "cnt"
+  | Sum -> "sum"
+  | Max -> "max"
+  | Min -> "min"
+
+let setop_name = function
+  | Union -> "union"
+  | Inter -> "inter"
+  | Diff -> "diff"
+
+let rec pp_func ppf f =
+  match f with
+  | Compose _ ->
+    let fs = unchain f in
+    Fmt.pf ppf "@[<hv>%a@]" (Fmt.list ~sep:(Fmt.any " \u{2218}@ ") pp_atomf) fs
+  | _ -> pp_atomf ppf f
+
+and pp_atomf ppf = function
+  | Id -> Fmt.string ppf "id"
+  | Pi1 -> Fmt.string ppf "\u{3C0}1"
+  | Pi2 -> Fmt.string ppf "\u{3C0}2"
+  | Prim s -> Fmt.string ppf s
+  | Compose _ as f -> Fmt.pf ppf "(%a)" pp_func f
+  | Pairf (f, g) -> Fmt.pf ppf "\u{27E8}@[%a,@ %a@]\u{27E9}" pp_func f pp_func g
+  | Times (f, g) -> Fmt.pf ppf "(@[%a \u{D7}@ %a@])" pp_atomf f pp_atomf g
+  | Kf v -> Fmt.pf ppf "Kf(%a)" Value.pp v
+  | Cf (f, v) -> Fmt.pf ppf "Cf(@[%a,@ %a@])" pp_func f Value.pp v
+  | Con (p, f, g) ->
+    Fmt.pf ppf "con(@[%a,@ %a,@ %a@])" pp_pred p pp_func f pp_func g
+  | Arith a -> Fmt.string ppf (arith_name a)
+  | Agg a -> Fmt.string ppf (agg_name a)
+  | Setop s -> Fmt.string ppf (setop_name s)
+  | Sng -> Fmt.string ppf "sng"
+  | Flat -> Fmt.string ppf "flat"
+  | Iterate (p, f) -> Fmt.pf ppf "iterate(@[%a,@ %a@])" pp_pred p pp_func f
+  | Iter (p, f) -> Fmt.pf ppf "iter(@[%a,@ %a@])" pp_pred p pp_func f
+  | Join (p, f) -> Fmt.pf ppf "join(@[%a,@ %a@])" pp_pred p pp_func f
+  | Nest (f, g) -> Fmt.pf ppf "nest(@[%a,@ %a@])" pp_func f pp_func g
+  | Unnest (f, g) -> Fmt.pf ppf "unnest(@[%a,@ %a@])" pp_func f pp_func g
+  | Fhole h -> Fmt.pf ppf "?%s" h
+
+and pp_pred ppf = function
+  | Eq -> Fmt.string ppf "eq"
+  | Leq -> Fmt.string ppf "leq"
+  | Gt -> Fmt.string ppf "gt"
+  | In -> Fmt.string ppf "in"
+  | Primp s -> Fmt.string ppf s
+  | Oplus (p, f) -> Fmt.pf ppf "(@[%a \u{2295}@ %a@])" pp_pred p pp_atomf f
+  | Andp (p, q) -> Fmt.pf ppf "(@[%a &@ %a@])" pp_pred p pp_pred q
+  | Orp (p, q) -> Fmt.pf ppf "(@[%a |@ %a@])" pp_pred p pp_pred q
+  | Inv p -> Fmt.pf ppf "%a\u{207B}\u{B9}" pp_pred p
+  | Conv p -> Fmt.pf ppf "%a\u{1D52}" pp_pred p
+  | Kp b -> Fmt.pf ppf "Kp(%c)" (if b then 'T' else 'F')
+  | Cp (p, v) -> Fmt.pf ppf "Cp(@[%a,@ %a@])" pp_pred p Value.pp v
+  | Phole h -> Fmt.pf ppf "?%s" h
+
+let pp_query ppf (q : query) =
+  Fmt.pf ppf "@[<hv>%a@ ! %a@]" pp_func q.body Value.pp q.arg
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let pred_to_string p = Fmt.str "%a" pp_pred p
+let query_to_string q = Fmt.str "%a" pp_query q

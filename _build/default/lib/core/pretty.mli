@@ -1,0 +1,14 @@
+(** Paper-notation pretty printer for KOLA terms.
+
+    Composition chains print without parentheses, as the paper reads them;
+    output re-parses with {!Parse} (property-tested). *)
+
+val pp_func : Term.func Fmt.t
+val pp_pred : Term.pred Fmt.t
+val pp_query : Term.query Fmt.t
+val func_to_string : Term.func -> string
+val pred_to_string : Term.pred -> string
+val query_to_string : Term.query -> string
+val arith_name : Term.arith -> string
+val agg_name : Term.agg -> string
+val setop_name : Term.setop -> string

@@ -1,0 +1,102 @@
+(* Database schemas: abstract data types with attribute functions, plus
+   annotations used by rule preconditions (Section 4.2 of the paper).
+
+   Attribute names are required to be unique across classes so that a
+   primitive function name determines its signature; this matches the
+   paper's examples (age/addr/child/cars/grgs on Person, city on Address). *)
+
+type annotation = Injective | Total
+
+type attribute = {
+  attr_name : string;
+  attr_class : string;  (** class the attribute belongs to *)
+  attr_ty : Ty.t;       (** result type *)
+  attr_annots : annotation list;
+}
+
+type cls = { cls_name : string; cls_attrs : string list }
+
+type t = {
+  classes : cls list;
+  attributes : attribute list;
+  extents : (string * Ty.t) list;
+      (** named top-level collections, e.g. P : {Person} *)
+}
+
+exception Schema_error of string
+
+let empty = { classes = []; attributes = []; extents = [] }
+
+let find_class t name = List.find_opt (fun c -> String.equal c.cls_name name) t.classes
+
+let find_attribute t name =
+  List.find_opt (fun a -> String.equal a.attr_name name) t.attributes
+
+let attribute_exn t name =
+  match find_attribute t name with
+  | Some a -> a
+  | None -> raise (Schema_error (Fmt.str "unknown attribute %s" name))
+
+let extent_ty t name = List.assoc_opt name t.extents
+
+let has_annotation t name annot =
+  match find_attribute t name with
+  | Some a -> List.mem annot a.attr_annots
+  | None -> false
+
+let add_class t ~name ~attrs =
+  List.iter
+    (fun (attr_name, _, _) ->
+      match find_attribute t attr_name with
+      | Some a when not (String.equal a.attr_class name) ->
+        raise
+          (Schema_error
+             (Fmt.str "attribute %s already defined on class %s" attr_name
+                a.attr_class))
+      | _ -> ())
+    attrs;
+  let attributes =
+    t.attributes
+    @ List.map
+        (fun (attr_name, attr_ty, attr_annots) ->
+          { attr_name; attr_class = name; attr_ty; attr_annots })
+        attrs
+  in
+  let classes =
+    t.classes @ [ { cls_name = name; cls_attrs = List.map (fun (n, _, _) -> n) attrs } ]
+  in
+  { t with classes; attributes }
+
+let add_extent t ~name ~ty = { t with extents = t.extents @ [ (name, ty) ] }
+
+(* The paper's running schema (Section 2.1): Person with addr, age, child,
+   cars, grgs; Address with city; Vehicle with make and year.  P and V are
+   the extents queried throughout the paper.  [name] is annotated injective
+   so precondition rules have a key-like primitive to work with. *)
+let paper =
+  let t = empty in
+  let t =
+    add_class t ~name:"Address"
+      ~attrs:
+        [ ("city", Ty.Str, [ Total ]); ("street", Ty.Str, [ Total ]); ("zip", Ty.Int, [ Total ]) ]
+  in
+  let t =
+    add_class t ~name:"Vehicle"
+      ~attrs:[ ("make", Ty.Str, [ Total ]); ("year", Ty.Int, [ Total ]) ]
+  in
+  let t =
+    add_class t ~name:"Person"
+      ~attrs:
+        [
+          ("name", Ty.Str, [ Injective; Total ]);
+          ("age", Ty.Int, [ Total ]);
+          ("addr", Ty.Obj "Address", [ Total ]);
+          ("child", Ty.Set (Ty.Obj "Person"), [ Total ]);
+          ("cars", Ty.Set (Ty.Obj "Vehicle"), [ Total ]);
+          ("grgs", Ty.Set (Ty.Obj "Address"), [ Total ]);
+        ]
+  in
+  let t = add_extent t ~name:"P" ~ty:(Ty.Set (Ty.Obj "Person")) in
+  let t = add_extent t ~name:"V" ~ty:(Ty.Set (Ty.Obj "Vehicle")) in
+  let t = add_extent t ~name:"A" ~ty:(Ty.Set (Ty.Obj "Address")) in
+  t

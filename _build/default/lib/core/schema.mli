@@ -1,0 +1,48 @@
+(** Database schemas: classes (abstract data types) with typed attribute
+    functions, named extents, and the annotations that feed rule
+    preconditions (Section 4.2).
+
+    Attribute names must be unique across classes so that a primitive
+    function name determines its signature, as in the paper's examples. *)
+
+type annotation =
+  | Injective  (** the attribute is key-like *)
+  | Total      (** never fails on a well-typed receiver *)
+
+type attribute = {
+  attr_name : string;
+  attr_class : string;
+  attr_ty : Ty.t;
+  attr_annots : annotation list;
+}
+
+type cls = { cls_name : string; cls_attrs : string list }
+
+type t = {
+  classes : cls list;
+  attributes : attribute list;
+  extents : (string * Ty.t) list;
+}
+
+exception Schema_error of string
+
+val empty : t
+
+val add_class :
+  t -> name:string -> attrs:(string * Ty.t * annotation list) list -> t
+(** @raise Schema_error if an attribute name is reused across classes. *)
+
+val add_extent : t -> name:string -> ty:Ty.t -> t
+val find_class : t -> string -> cls option
+val find_attribute : t -> string -> attribute option
+
+val attribute_exn : t -> string -> attribute
+(** @raise Schema_error on unknown attributes. *)
+
+val extent_ty : t -> string -> Ty.t option
+val has_annotation : t -> string -> annotation -> bool
+
+val paper : t
+(** The paper's running schema: Person (name, age, addr, child, cars,
+    grgs), Address (city, street, zip), Vehicle (make, year); extents P, V
+    and A.  [name] is annotated {!Injective}. *)

@@ -1,0 +1,243 @@
+(* KOLA terms: the combinator algebra of Tables 1 and 2.
+
+   Functions are invoked with [!] and predicates with [?] (see {!Eval}).
+   [Fhole]/[Phole] are metavariables; they may appear only in rule patterns
+   (see {!Rewrite}) and make ground terms and patterns share one
+   representation, so rules need no separate pattern language.
+
+   Beyond the paper's Tables 1-2 we include arithmetic and aggregate
+   primitives ([Arith], [Agg]) and set operations ([Setop]); these are needed
+   for the precondition examples of Section 4.2 (intersection), the count-bug
+   reproduction, and realistic workloads. *)
+
+type arith = Add | Sub | Mul
+type agg = Count | Sum | Max | Min
+type setop = Union | Inter | Diff
+
+type func =
+  | Id                       (** identity: id!x = x *)
+  | Pi1                      (** π1![x,y] = x *)
+  | Pi2                      (** π2![x,y] = y *)
+  | Prim of string           (** schema attribute function, e.g. age *)
+  | Compose of func * func   (** (f ∘ g)!x = f!(g!x) *)
+  | Pairf of func * func     (** (f, g)!x = [f!x, g!x] *)
+  | Times of func * func     (** (f × g)![x,y] = [f!x, g!y] *)
+  | Kf of Value.t            (** Kf(c)!x = c *)
+  | Cf of func * Value.t     (** Cf(f, c)!y = f![c, y] *)
+  | Con of pred * func * func (** con(p,f,g)!x = if p?x then f!x else g!x *)
+  | Arith of arith           (** binary, on pairs of ints *)
+  | Agg of agg               (** aggregate over a set of ints *)
+  | Setop of setop           (** binary, on pairs of sets *)
+  | Sng                      (** sng!x = {x} *)
+  | Flat                     (** flat!A = {x | x ∈ B, B ∈ A} *)
+  | Iterate of pred * func   (** iterate(p,f)!A = {f!x | x ∈ A, p?x} *)
+  | Iter of pred * func      (** iter(p,f)![e,B] = {f![e,y] | y ∈ B, p?[e,y]} *)
+  | Join of pred * func      (** join(p,f)![A,B] = {f![x,y] | x∈A, y∈B, p?[x,y]} *)
+  | Nest of func * func      (** nest(f,g)![A,B] = {[y, {g!x | x∈A, f!x=y}] | y∈B} *)
+  | Unnest of func * func    (** unnest(f,g)!A = {[f!x, y] | x∈A, y ∈ g!x} *)
+  | Fhole of string
+
+and pred =
+  | Eq                       (** eq?[x,y] = (x = y) *)
+  | Leq                      (** leq?[x,y] = x ≤ y *)
+  | Gt                       (** gt?[x,y] = x > y *)
+  | In                       (** in?[x,A] = x ∈ A *)
+  | Primp of string          (** schema predicate *)
+  | Oplus of pred * func     (** (p ⊕ f)?x = p?(f!x) *)
+  | Andp of pred * pred      (** (p & q)?x = p?x ∧ q?x *)
+  | Orp of pred * pred       (** (p | q)?x = p?x ∨ q?x *)
+  | Inv of pred              (** p⁻¹?x = ¬(p?x); negation, satisfying rule 7 *)
+  | Conv of pred             (** pᵒ?[x,y] = p?[y,x]; converse, repairing rule 13 *)
+  | Kp of bool               (** Kp(b)?x = b *)
+  | Cp of pred * Value.t     (** Cp(p, c)?y = p?[c, y] *)
+  | Phole of string
+
+(* A query pairs a KOLA function with the argument it is invoked on, as in
+   the paper's [iterate (...) ! V]. *)
+type query = { body : func; arg : Value.t }
+
+let query body arg = { body; arg }
+
+(* Smart constructors / common abbreviations.  [sel] and [proj] are the
+   paper's footnote-3 derived forms. *)
+let ( ^>> ) g f = Compose (f, g)
+let compose f g = Compose (f, g)
+let sel p = Iterate (p, Id)
+let proj f = Iterate (Kp true, f)
+let ktrue = Kp true
+let kfalse = Kp false
+
+(* Composition chains, exploiting associativity as the paper does for its
+   printed forms.  [chain [f1; f2; f3]] is f1 ∘ f2 ∘ f3. *)
+let chain = function
+  | [] -> Id
+  | f :: fs -> List.fold_left (fun acc g -> Compose (acc, g)) f fs
+
+let rec unchain = function
+  | Compose (f, g) -> unchain f @ unchain g
+  | f -> [ f ]
+
+(* Rebuild every composition chain in left-associated form, recursively.
+   Rules match chains modulo associativity (see {!Rewrite.Rule}), so terms
+   are compared after [reassoc]. *)
+let rec reassoc_func f =
+  match f with
+  | Compose _ ->
+    let parts = List.map reassoc_func (unchain f) in
+    chain parts
+  | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _
+  | Kf _ | Fhole _ -> f
+  | Pairf (a, b) -> Pairf (reassoc_func a, reassoc_func b)
+  | Times (a, b) -> Times (reassoc_func a, reassoc_func b)
+  | Nest (a, b) -> Nest (reassoc_func a, reassoc_func b)
+  | Unnest (a, b) -> Unnest (reassoc_func a, reassoc_func b)
+  | Cf (a, v) -> Cf (reassoc_func a, v)
+  | Con (p, a, b) -> Con (reassoc_pred p, reassoc_func a, reassoc_func b)
+  | Iterate (p, a) -> Iterate (reassoc_pred p, reassoc_func a)
+  | Iter (p, a) -> Iter (reassoc_pred p, reassoc_func a)
+  | Join (p, a) -> Join (reassoc_pred p, reassoc_func a)
+
+and reassoc_pred p =
+  match p with
+  | Eq | Leq | Gt | In | Primp _ | Kp _ | Phole _ -> p
+  | Oplus (q, f) -> Oplus (reassoc_pred q, reassoc_func f)
+  | Andp (q, r) -> Andp (reassoc_pred q, reassoc_pred r)
+  | Orp (q, r) -> Orp (reassoc_pred q, reassoc_pred r)
+  | Inv q -> Inv (reassoc_pred q)
+  | Conv q -> Conv (reassoc_pred q)
+  | Cp (q, v) -> Cp (reassoc_pred q, v)
+
+let rec equal_func a b =
+  match a, b with
+  | Id, Id | Pi1, Pi1 | Pi2, Pi2 | Flat, Flat | Sng, Sng -> true
+  | Prim x, Prim y -> String.equal x y
+  | Compose (f1, g1), Compose (f2, g2)
+  | Pairf (f1, g1), Pairf (f2, g2)
+  | Times (f1, g1), Times (f2, g2)
+  | Nest (f1, g1), Nest (f2, g2)
+  | Unnest (f1, g1), Unnest (f2, g2) -> equal_func f1 f2 && equal_func g1 g2
+  | Kf v1, Kf v2 -> Value.equal v1 v2
+  | Cf (f1, v1), Cf (f2, v2) -> equal_func f1 f2 && Value.equal v1 v2
+  | Con (p1, f1, g1), Con (p2, f2, g2) ->
+    equal_pred p1 p2 && equal_func f1 f2 && equal_func g1 g2
+  | Arith x, Arith y -> x = y
+  | Agg x, Agg y -> x = y
+  | Setop x, Setop y -> x = y
+  | Iterate (p1, f1), Iterate (p2, f2)
+  | Iter (p1, f1), Iter (p2, f2)
+  | Join (p1, f1), Join (p2, f2) -> equal_pred p1 p2 && equal_func f1 f2
+  | Fhole x, Fhole y -> String.equal x y
+  | ( ( Id | Pi1 | Pi2 | Prim _ | Compose _ | Pairf _ | Times _ | Kf _ | Cf _
+      | Con _ | Arith _ | Agg _ | Setop _ | Flat | Sng | Iterate _ | Iter _
+      | Join _ | Nest _ | Unnest _ | Fhole _ ),
+      _ ) -> false
+
+and equal_pred a b =
+  match a, b with
+  | Eq, Eq | Leq, Leq | Gt, Gt | In, In -> true
+  | Primp x, Primp y -> String.equal x y
+  | Oplus (p1, f1), Oplus (p2, f2) -> equal_pred p1 p2 && equal_func f1 f2
+  | Andp (p1, q1), Andp (p2, q2) | Orp (p1, q1), Orp (p2, q2) ->
+    equal_pred p1 p2 && equal_pred q1 q2
+  | Inv p1, Inv p2 | Conv p1, Conv p2 -> equal_pred p1 p2
+  | Kp b1, Kp b2 -> Bool.equal b1 b2
+  | Cp (p1, v1), Cp (p2, v2) -> equal_pred p1 p2 && Value.equal v1 v2
+  | Phole x, Phole y -> String.equal x y
+  | ( (Eq | Leq | Gt | In | Primp _ | Oplus _ | Andp _ | Orp _ | Inv _
+      | Conv _ | Kp _ | Cp _ | Phole _),
+      _ ) -> false
+
+let equal_query q1 q2 = equal_func q1.body q2.body && Value.equal q1.arg q2.arg
+
+(* Size in parse-tree nodes, the measure used by the paper's Section 4.2
+   complexity discussion.  Constant values count their own nodes. *)
+let rec size_func = function
+  | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _
+  | Fhole _ -> 1
+  | Compose (f, g) | Pairf (f, g) | Times (f, g) | Nest (f, g) | Unnest (f, g)
+    -> 1 + size_func f + size_func g
+  | Kf v -> 1 + Value.size v
+  | Cf (f, v) -> 1 + size_func f + Value.size v
+  | Con (p, f, g) -> 1 + size_pred p + size_func f + size_func g
+  | Iterate (p, f) | Iter (p, f) | Join (p, f) -> 1 + size_pred p + size_func f
+
+and size_pred = function
+  | Eq | Leq | Gt | In | Primp _ | Kp _ | Phole _ -> 1
+  | Oplus (p, f) -> 1 + size_pred p + size_func f
+  | Andp (p, q) | Orp (p, q) -> 1 + size_pred p + size_pred q
+  | Inv p | Conv p -> 1 + size_pred p
+  | Cp (p, v) -> 1 + size_pred p + Value.size v
+
+let rec func_is_ground = function
+  | Fhole _ -> false
+  | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _ -> true
+  | Compose (f, g) | Pairf (f, g) | Times (f, g) | Nest (f, g) | Unnest (f, g)
+    -> func_is_ground f && func_is_ground g
+  | Kf v -> Value.is_ground v
+  | Cf (f, v) -> func_is_ground f && Value.is_ground v
+  | Con (p, f, g) -> pred_is_ground p && func_is_ground f && func_is_ground g
+  | Iterate (p, f) | Iter (p, f) | Join (p, f) ->
+    pred_is_ground p && func_is_ground f
+
+and pred_is_ground = function
+  | Phole _ -> false
+  | Eq | Leq | Gt | In | Primp _ | Kp _ -> true
+  | Oplus (p, f) -> pred_is_ground p && func_is_ground f
+  | Andp (p, q) | Orp (p, q) -> pred_is_ground p && pred_is_ground q
+  | Inv p | Conv p -> pred_is_ground p
+  | Cp (p, v) -> pred_is_ground p && Value.is_ground v
+
+(* Holes occurring in a term, used by rule well-formedness checks. *)
+let holes_func f =
+  let acc = ref [] in
+  let add h = if not (List.mem h !acc) then acc := h :: !acc in
+  let rec gof = function
+    | Fhole h -> add ("f:" ^ h)
+    | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _ -> ()
+    | Compose (f, g) | Pairf (f, g) | Times (f, g) | Nest (f, g) | Unnest (f, g)
+      ->
+      gof f;
+      gof g
+    | Kf v -> gov v
+    | Cf (f, v) ->
+      gof f;
+      gov v
+    | Con (p, f, g) ->
+      gop p;
+      gof f;
+      gof g
+    | Iterate (p, f) | Iter (p, f) | Join (p, f) ->
+      gop p;
+      gof f
+  and gop = function
+    | Phole h -> add ("p:" ^ h)
+    | Eq | Leq | Gt | In | Primp _ | Kp _ -> ()
+    | Oplus (p, f) ->
+      gop p;
+      gof f
+    | Andp (p, q) | Orp (p, q) ->
+      gop p;
+      gop q
+    | Inv p | Conv p -> gop p
+    | Cp (p, v) ->
+      gop p;
+      gov v
+  and gov = function
+    | Value.Hole h -> add ("v:" ^ h)
+    | Value.Pair (a, b) ->
+      gov a;
+      gov b
+    | Value.Set xs | Value.Bag xs | Value.List xs -> List.iter gov xs
+    | Value.Obj o -> List.iter (fun (_, x) -> gov x) o.fields
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Named _ ->
+      ()
+  in
+  gof f;
+  List.rev !acc
+
+(* Equality modulo associativity of composition. *)
+let equal_func_assoc a b = equal_func (reassoc_func a) (reassoc_func b)
+let equal_pred_assoc a b = equal_pred (reassoc_pred a) (reassoc_pred b)
+
+let equal_query_assoc q1 q2 =
+  equal_func_assoc q1.body q2.body && Value.equal q1.arg q2.arg

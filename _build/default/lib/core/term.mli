@@ -1,0 +1,121 @@
+(** KOLA terms — the combinator algebra of the paper's Tables 1 and 2.
+
+    Functions ([func]) are invoked with [!], predicates ([pred]) with [?]
+    (see {!Eval}).  [Fhole]/[Phole] are pattern metavariables: ground terms
+    and rule patterns share one representation, so the rule language needs
+    no separate pattern syntax.
+
+    [Arith], [Agg] and [Setop] extend the paper's tables with arithmetic,
+    aggregates and set operations — needed for the Section 4.2 precondition
+    examples, the count-bug reproduction and realistic workloads. *)
+
+type arith = Add | Sub | Mul
+type agg = Count | Sum | Max | Min
+type setop = Union | Inter | Diff
+
+type func =
+  | Id                        (** id!x = x *)
+  | Pi1                       (** π1![x,y] = x *)
+  | Pi2                       (** π2![x,y] = y *)
+  | Prim of string            (** schema attribute function, e.g. [age] *)
+  | Compose of func * func    (** (f ∘ g)!x = f!(g!x) *)
+  | Pairf of func * func      (** ⟨f, g⟩!x = [f!x, g!x] *)
+  | Times of func * func      (** (f × g)![x,y] = [f!x, g!y] *)
+  | Kf of Value.t             (** Kf(c)!x = c *)
+  | Cf of func * Value.t      (** Cf(f, c)!y = f![c, y] *)
+  | Con of pred * func * func (** con(p,f,g)!x = if p?x then f!x else g!x *)
+  | Arith of arith            (** binary, over pairs of ints *)
+  | Agg of agg                (** over a set; Max/Min raise on ∅ *)
+  | Setop of setop            (** binary, over pairs of sets *)
+  | Sng                       (** sng!x = \{x\} *)
+  | Flat                      (** flat!A = \{x | x ∈ B, B ∈ A\} *)
+  | Iterate of pred * func    (** iterate(p,f)!A = \{f!x | x ∈ A, p?x\} *)
+  | Iter of pred * func
+      (** iter(p,f)![e,B] = \{f![e,y] | y ∈ B, p?[e,y]\} — the environment-
+          passing loop used to translate nested queries *)
+  | Join of pred * func
+      (** join(p,f)![A,B] = \{f![x,y] | x ∈ A, y ∈ B, p?[x,y]\} *)
+  | Nest of func * func
+      (** nest(f,g)![A,B] = \{[y, \{g!x | x ∈ A, f!x = y\}] | y ∈ B\} —
+          grouping relative to B; unmatched y get ∅, never NULL *)
+  | Unnest of func * func
+      (** unnest(f,g)!A = \{[f!x, y] | x ∈ A, y ∈ g!x\} *)
+  | Fhole of string           (** pattern metavariable *)
+
+and pred =
+  | Eq                        (** eq?[x,y] ⟺ x = y *)
+  | Leq
+  | Gt
+  | In                        (** in?[x,A] ⟺ x ∈ A *)
+  | Primp of string           (** boolean schema attribute *)
+  | Oplus of pred * func      (** (p ⊕ f)?x = p?(f!x) *)
+  | Andp of pred * pred
+  | Orp of pred * pred
+  | Inv of pred               (** negation: rule 7's gt⁻¹ ≡ leq holds *)
+  | Conv of pred              (** converse: pᵒ?[x,y] = p?[y,x]; repairs the
+                                  paper's rule 13 boundary erratum *)
+  | Kp of bool
+  | Cp of pred * Value.t      (** Cp(p, c)?y = p?[c, y] *)
+  | Phole of string
+
+(** A query is a function applied to an argument, the paper's [f ! v]. *)
+type query = { body : func; arg : Value.t }
+
+val query : func -> Value.t -> query
+
+(** {1 Abbreviations} *)
+
+val ( ^>> ) : func -> func -> func
+(** [g ^>> f] is [f ∘ g] (left-to-right reading). *)
+
+val compose : func -> func -> func
+
+val sel : pred -> func
+(** The paper's footnote-3 [sel p = iterate(p, id)]. *)
+
+val proj : func -> func
+(** [proj f = iterate(Kp(T), f)]. *)
+
+val ktrue : pred
+val kfalse : pred
+
+(** {1 Composition chains}
+
+    The paper reads [f1 ∘ f2 ∘ ... ∘ fn] without parentheses; rules match
+    chains modulo associativity (see {!Rewrite.Rule}). *)
+
+val chain : func list -> func
+(** Left-associated composition; [chain [] = Id]. *)
+
+val unchain : func -> func list
+(** Flatten nested compositions, any associativity. *)
+
+val reassoc_func : func -> func
+(** Left-associate every composition chain, recursively. *)
+
+val reassoc_pred : pred -> pred
+
+(** {1 Equality} *)
+
+val equal_func : func -> func -> bool
+val equal_pred : pred -> pred -> bool
+val equal_query : query -> query -> bool
+
+val equal_func_assoc : func -> func -> bool
+(** Equality modulo associativity of ∘. *)
+
+val equal_pred_assoc : pred -> pred -> bool
+val equal_query_assoc : query -> query -> bool
+
+(** {1 Measures and pattern support} *)
+
+val size_func : func -> int
+(** Parse-tree node count, the measure of the paper's Section 4.2. *)
+
+val size_pred : pred -> int
+val func_is_ground : func -> bool
+val pred_is_ground : pred -> bool
+
+val holes_func : func -> string list
+(** Holes in a term, each tagged with its sort: ["f:name"], ["p:name"] or
+    ["v:name"]. *)

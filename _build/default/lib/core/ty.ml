@@ -1,0 +1,46 @@
+(* Types for KOLA and AQUA terms.
+
+   [Var] is a unification variable used by {!Typing} for inference over the
+   polymorphic combinators (id, π1, ...). *)
+
+type t =
+  | Unit
+  | Bool
+  | Int
+  | Str
+  | Pair of t * t
+  | Set of t
+  | Bag of t
+  | List of t
+  | Obj of string
+  | Var of int
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "unit"
+  | Bool -> Fmt.string ppf "bool"
+  | Int -> Fmt.string ppf "int"
+  | Str -> Fmt.string ppf "str"
+  | Pair (a, b) -> Fmt.pf ppf "[%a, %a]" pp a pp b
+  | Set a -> Fmt.pf ppf "{%a}" pp a
+  | Bag a -> Fmt.pf ppf "{|%a|}" pp a
+  | List a -> Fmt.pf ppf "<%a>" pp a
+  | Obj c -> Fmt.string ppf c
+  | Var i -> Fmt.pf ppf "'t%d" i
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit | Bool, Bool | Int, Int | Str, Str -> true
+  | Pair (a1, b1), Pair (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Set a, Set b | Bag a, Bag b | List a, List b -> equal a b
+  | Obj c1, Obj c2 -> String.equal c1 c2
+  | Var i, Var j -> i = j
+  | (Unit | Bool | Int | Str | Pair _ | Set _ | Bag _ | List _ | Obj _ | Var _), _
+    -> false
+
+let rec occurs i = function
+  | Var j -> i = j
+  | Pair (a, b) -> occurs i a || occurs i b
+  | Set a | Bag a | List a -> occurs i a
+  | Unit | Bool | Int | Str | Obj _ -> false

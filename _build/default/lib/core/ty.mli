@@ -1,0 +1,21 @@
+(** Types for KOLA and AQUA terms.  [Var] is a unification variable used by
+    {!Typing}. *)
+
+type t =
+  | Unit
+  | Bool
+  | Int
+  | Str
+  | Pair of t * t
+  | Set of t
+  | Bag of t
+  | List of t
+  | Obj of string  (** class name *)
+  | Var of int
+
+val pp : t Fmt.t
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val occurs : int -> t -> bool
+(** Occurs-check for the unifier. *)

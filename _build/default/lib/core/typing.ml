@@ -1,0 +1,259 @@
+(* Type inference for KOLA terms.
+
+   Combinators are polymorphic (id : a → a, π1 : [a,b] → a, ...), so we infer
+   with unification variables.  [func_ty] returns the most general
+   (input, output) typing of a function; [pred_ty] the domain of a predicate.
+   Holes are treated as polymorphic unknowns so rule patterns can be checked
+   for internal type consistency too. *)
+
+open Term
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type state = {
+  schema : Schema.t;
+  mutable next : int;
+  mutable subst : (int * Ty.t) list;
+  mutable hole_tys : (string * Ty.t) list;
+      (** consistent typing for named holes across a pattern *)
+}
+
+let make_state schema = { schema; next = 0; subst = []; hole_tys = [] }
+
+let fresh st =
+  let i = st.next in
+  st.next <- i + 1;
+  Ty.Var i
+
+let rec repr st t =
+  match t with
+  | Ty.Var i -> (
+    match List.assoc_opt i st.subst with
+    | Some t' -> repr st t'
+    | None -> t)
+  | t -> t
+
+let rec resolve st t =
+  match repr st t with
+  | Ty.Pair (a, b) -> Ty.Pair (resolve st a, resolve st b)
+  | Ty.Set a -> Ty.Set (resolve st a)
+  | Ty.Bag a -> Ty.Bag (resolve st a)
+  | Ty.List a -> Ty.List (resolve st a)
+  | t -> t
+
+let rec unify st a b =
+  let a = repr st a and b = repr st b in
+  match a, b with
+  | Ty.Var i, Ty.Var j when i = j -> ()
+  | Ty.Var i, t | t, Ty.Var i ->
+    if Ty.occurs i (resolve st t) then
+      type_error "occurs check failed: 't%d in %a" i Ty.pp (resolve st t)
+    else st.subst <- (i, t) :: st.subst
+  | Ty.Unit, Ty.Unit | Ty.Bool, Ty.Bool | Ty.Int, Ty.Int | Ty.Str, Ty.Str -> ()
+  | Ty.Pair (a1, b1), Ty.Pair (a2, b2) ->
+    unify st a1 a2;
+    unify st b1 b2
+  | Ty.Set a, Ty.Set b | Ty.Bag a, Ty.Bag b | Ty.List a, Ty.List b ->
+    unify st a b
+  | Ty.Obj c1, Ty.Obj c2 when String.equal c1 c2 -> ()
+  | _ ->
+    type_error "cannot unify %a with %a" Ty.pp (resolve st a) Ty.pp
+      (resolve st b)
+
+let hole_ty st name =
+  match List.assoc_opt name st.hole_tys with
+  | Some t -> t
+  | None ->
+    let t = fresh st in
+    st.hole_tys <- (name, t) :: st.hole_tys;
+    t
+
+(* Typing of ground values.  Heterogeneous sets are rejected. *)
+let rec value_ty st (v : Value.t) : Ty.t =
+  match v with
+  | Value.Unit -> Ty.Unit
+  | Value.Bool _ -> Ty.Bool
+  | Value.Int _ -> Ty.Int
+  | Value.Str _ -> Ty.Str
+  | Value.Pair (a, b) -> Ty.Pair (value_ty st a, value_ty st b)
+  | Value.Set xs -> Ty.Set (elems_ty st xs)
+  | Value.Bag xs -> Ty.Bag (elems_ty st xs)
+  | Value.List xs -> Ty.List (elems_ty st xs)
+  | Value.Obj o -> Ty.Obj o.cls
+  | Value.Named n -> (
+    match Schema.extent_ty st.schema n with
+    | Some t -> t
+    | None -> type_error "unknown extent %s" n)
+  | Value.Hole h -> hole_ty st ("v:" ^ h)
+
+and elems_ty st xs =
+  let elem = fresh st in
+  List.iter (fun x -> unify st elem (value_ty st x)) xs;
+  elem
+
+let prim_sig st name =
+  let attr = Schema.attribute_exn st.schema name in
+  (Ty.Obj attr.Schema.attr_class, attr.Schema.attr_ty)
+
+(* infer_func st f = (input, output) *)
+let rec infer_func st f : Ty.t * Ty.t =
+  match f with
+  | Id ->
+    let a = fresh st in
+    (a, a)
+  | Pi1 ->
+    let a = fresh st and b = fresh st in
+    (Ty.Pair (a, b), a)
+  | Pi2 ->
+    let a = fresh st and b = fresh st in
+    (Ty.Pair (a, b), b)
+  | Prim name -> prim_sig st name
+  | Compose (f, g) ->
+    let gin, gout = infer_func st g in
+    let fin, fout = infer_func st f in
+    unify st gout fin;
+    (gin, fout)
+  | Pairf (f, g) ->
+    let fin, fout = infer_func st f in
+    let gin, gout = infer_func st g in
+    unify st fin gin;
+    (fin, Ty.Pair (fout, gout))
+  | Times (f, g) ->
+    let fin, fout = infer_func st f in
+    let gin, gout = infer_func st g in
+    (Ty.Pair (fin, gin), Ty.Pair (fout, gout))
+  | Kf v ->
+    let a = fresh st in
+    (a, value_ty st v)
+  | Cf (f, c) ->
+    let fin, fout = infer_func st f in
+    let a = fresh st in
+    unify st fin (Ty.Pair (value_ty st c, a));
+    (a, fout)
+  | Con (p, f, g) ->
+    let pdom = infer_pred st p in
+    let fin, fout = infer_func st f in
+    let gin, gout = infer_func st g in
+    unify st pdom fin;
+    unify st fin gin;
+    unify st fout gout;
+    (fin, fout)
+  | Arith _ -> (Ty.Pair (Ty.Int, Ty.Int), Ty.Int)
+  | Agg Count ->
+    let a = fresh st in
+    (Ty.Set a, Ty.Int)
+  | Agg Sum -> (Ty.Set Ty.Int, Ty.Int)
+  | Agg (Max | Min) ->
+    let a = fresh st in
+    (Ty.Set a, a)
+  | Setop _ ->
+    let a = fresh st in
+    (Ty.Pair (Ty.Set a, Ty.Set a), Ty.Set a)
+  | Sng ->
+    let a = fresh st in
+    (a, Ty.Set a)
+  | Flat ->
+    let a = fresh st in
+    (Ty.Set (Ty.Set a), Ty.Set a)
+  | Iterate (p, f) ->
+    let pdom = infer_pred st p in
+    let fin, fout = infer_func st f in
+    unify st pdom fin;
+    (Ty.Set fin, Ty.Set fout)
+  | Iter (p, f) ->
+    let e = fresh st and a = fresh st in
+    let pdom = infer_pred st p in
+    unify st pdom (Ty.Pair (e, a));
+    let fin, fout = infer_func st f in
+    unify st fin (Ty.Pair (e, a));
+    (Ty.Pair (e, Ty.Set a), Ty.Set fout)
+  | Join (p, f) ->
+    let a = fresh st and b = fresh st in
+    let pdom = infer_pred st p in
+    unify st pdom (Ty.Pair (a, b));
+    let fin, fout = infer_func st f in
+    unify st fin (Ty.Pair (a, b));
+    (Ty.Pair (Ty.Set a, Ty.Set b), Ty.Set fout)
+  | Nest (f, g) ->
+    let fin, fout = infer_func st f in
+    let gin, gout = infer_func st g in
+    unify st fin gin;
+    (Ty.Pair (Ty.Set fin, Ty.Set fout), Ty.Set (Ty.Pair (fout, Ty.Set gout)))
+  | Unnest (f, g) ->
+    let fin, fout = infer_func st f in
+    let gin, gout = infer_func st g in
+    unify st fin gin;
+    let elem = fresh st in
+    unify st gout (Ty.Set elem);
+    (Ty.Set fin, Ty.Set (Ty.Pair (fout, elem)))
+  | Fhole h ->
+    let input = hole_ty st ("fi:" ^ h) and output = hole_ty st ("fo:" ^ h) in
+    (input, output)
+
+and infer_pred st p : Ty.t =
+  match p with
+  | Eq | Leq | Gt ->
+    let a = fresh st in
+    Ty.Pair (a, a)
+  | In ->
+    let a = fresh st in
+    Ty.Pair (a, Ty.Set a)
+  | Primp name ->
+    let input, output = prim_sig st name in
+    unify st output Ty.Bool;
+    input
+  | Oplus (p, f) ->
+    let pdom = infer_pred st p in
+    let fin, fout = infer_func st f in
+    unify st pdom fout;
+    fin
+  | Andp (p, q) | Orp (p, q) ->
+    let pdom = infer_pred st p in
+    let qdom = infer_pred st q in
+    unify st pdom qdom;
+    pdom
+  | Inv p -> infer_pred st p
+  | Conv p ->
+    let a = fresh st and b = fresh st in
+    unify st (infer_pred st p) (Ty.Pair (a, b));
+    Ty.Pair (b, a)
+  | Kp _ -> fresh st
+  | Cp (p, c) ->
+    let pdom = infer_pred st p in
+    let a = fresh st in
+    unify st pdom (Ty.Pair (value_ty st c, a));
+    a
+  | Phole h -> hole_ty st ("pd:" ^ h)
+
+(* Public entry points: fully-resolved typings. *)
+let func_ty schema f =
+  let st = make_state schema in
+  let input, output = infer_func st f in
+  (resolve st input, resolve st output)
+
+let pred_ty schema p =
+  let st = make_state schema in
+  resolve st (infer_pred st p)
+
+let query_ty schema (q : query) =
+  let st = make_state schema in
+  let input, output = infer_func st q.body in
+  unify st input (value_ty st q.arg);
+  resolve st output
+
+let well_typed_func schema f =
+  match func_ty schema f with
+  | _ -> true
+  | exception Type_error _ -> false
+
+let well_typed_pred schema p =
+  match pred_ty schema p with
+  | _ -> true
+  | exception Type_error _ -> false
+
+let well_typed_query schema q =
+  match query_ty schema q with
+  | _ -> true
+  | exception Type_error _ -> false

@@ -1,0 +1,24 @@
+(** Type inference for KOLA terms.
+
+    Combinators are polymorphic (id : α → α, π1 : [α,β] → α, ...), so
+    typing infers with unification variables.  Holes are treated as
+    polymorphic unknowns with one type per hole name, so rule patterns can
+    be checked for internal consistency too. *)
+
+exception Type_error of string
+
+val func_ty : Schema.t -> Term.func -> Ty.t * Ty.t
+(** Most general (input, output) typing.
+    @raise Type_error if the term does not type.
+    @raise Schema.Schema_error on unknown attributes. *)
+
+val pred_ty : Schema.t -> Term.pred -> Ty.t
+(** Most general domain of a predicate. *)
+
+val query_ty : Schema.t -> Term.query -> Ty.t
+(** Result type of a query, checking the argument against the function's
+    input type. *)
+
+val well_typed_func : Schema.t -> Term.func -> bool
+val well_typed_pred : Schema.t -> Term.pred -> bool
+val well_typed_query : Schema.t -> Term.query -> bool

@@ -1,0 +1,145 @@
+(* Values of the KOLA / AQUA object model.
+
+   Sets are kept in canonical form (sorted, deduplicated) so that structural
+   equality coincides with set equality.  Objects carry a class name and an
+   object identifier; object equality is identity-based ([cls], [oid]), as in
+   the object-oriented data models the paper targets.  [Named] denotes a
+   top-level database collection (e.g. the paper's P and V); it is resolved
+   against a database environment at evaluation time, which keeps printed
+   terms small ([Kf(P)] rather than an inlined extent). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | Set of t list
+  | Bag of t list
+  | List of t list
+  | Obj of obj
+  | Named of string
+  | Hole of string  (** metavariable; only valid inside rule patterns *)
+
+and obj = { cls : string; oid : int; fields : (string * t) list }
+
+exception Not_ground of string
+
+let rec compare a b =
+  match a, b with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> Stdlib.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | Set xs, Set ys -> compare_list xs ys
+  | Set _, _ -> -1
+  | _, Set _ -> 1
+  | Bag xs, Bag ys -> compare_list xs ys
+  | Bag _, _ -> -1
+  | _, Bag _ -> 1
+  | List xs, List ys -> compare_list xs ys
+  | List _, _ -> -1
+  | _, List _ -> 1
+  | Obj x, Obj y ->
+    let c = String.compare x.cls y.cls in
+    if c <> 0 then c else Int.compare x.oid y.oid
+  | Obj _, _ -> -1
+  | _, Obj _ -> 1
+  | Named x, Named y -> String.compare x y
+  | Named _, _ -> -1
+  | _, Named _ -> 1
+  | Hole x, Hole y -> String.compare x y
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+let equal a b = compare a b = 0
+
+(* Hashing folds object identity, mirroring [compare]. *)
+let rec hash v =
+  match v with
+  | Unit -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash i
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (hash a * 65599) + hash b
+  | Set xs -> List.fold_left (fun acc x -> (acc * 131) + hash x) 3 xs
+  | Bag xs -> List.fold_left (fun acc x -> (acc * 131) + hash x) 5 xs
+  | List xs -> List.fold_left (fun acc x -> (acc * 131) + hash x) 7 xs
+  | Obj { cls; oid; _ } -> Hashtbl.hash (cls, oid)
+  | Named s -> Hashtbl.hash ("named", s)
+  | Hole s -> Hashtbl.hash ("hole", s)
+
+(* Smart constructor keeping sets canonical. *)
+let set elems = Set (List.sort_uniq compare elems)
+let bag elems = Bag (List.sort compare elems)
+let list elems = List elems
+let pair a b = Pair (a, b)
+let int i = Int i
+let str s = Str s
+let bool b = Bool b
+
+let obj ~cls ~oid fields = Obj { cls; oid; fields }
+
+let field name v =
+  match v with
+  | Obj o -> (
+    match List.assoc_opt name o.fields with
+    | Some x -> Some x
+    | None -> None)
+  | _ -> None
+
+let set_elements = function
+  | Set xs -> Some xs
+  | _ -> None
+
+let is_ground v =
+  let rec go = function
+    | Hole _ -> false
+    | Unit | Bool _ | Int _ | Str _ | Named _ -> true
+    | Pair (a, b) -> go a && go b
+    | Set xs | Bag xs | List xs -> List.for_all go xs
+    | Obj o -> List.for_all (fun (_, x) -> go x) o.fields
+  in
+  go v
+
+let rec size = function
+  | Unit | Bool _ | Int _ | Str _ | Named _ | Hole _ -> 1
+  | Pair (a, b) -> 1 + size a + size b
+  | Set xs | Bag xs | List xs -> 1 + List.fold_left (fun n x -> n + size x) 0 xs
+  | Obj _ -> 1
+
+let rec pp ppf v =
+  match v with
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "[@[%a,@ %a@]]" pp a pp b
+  | Set xs -> Fmt.pf ppf "{@[%a@]}" (Fmt.list ~sep:Fmt.comma pp) xs
+  | Bag xs -> Fmt.pf ppf "{|@[%a@]|}" (Fmt.list ~sep:Fmt.comma pp) xs
+  | List xs -> Fmt.pf ppf "<@[%a@]>" (Fmt.list ~sep:Fmt.comma pp) xs
+  | Obj { cls; oid; _ } -> Fmt.pf ppf "%s#%d" cls oid
+  | Named s -> Fmt.string ppf s
+  | Hole s -> Fmt.pf ppf "?%s" s
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,1 @@
+lib/datagen/company.ml: Fmt Kola List Schema Store Ty Value

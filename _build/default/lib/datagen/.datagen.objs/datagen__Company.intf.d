@@ -1,0 +1,1 @@
+lib/datagen/company.mli: Kola

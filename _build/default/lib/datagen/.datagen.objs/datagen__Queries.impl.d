@@ -1,0 +1,1 @@
+lib/datagen/queries.ml: Aqua Fmt Kola List Store

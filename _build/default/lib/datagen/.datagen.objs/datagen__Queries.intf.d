@@ -1,0 +1,1 @@
+lib/datagen/queries.mli: Aqua

@@ -1,0 +1,1 @@
+lib/datagen/store.ml: Fmt Int64 Kola List Value

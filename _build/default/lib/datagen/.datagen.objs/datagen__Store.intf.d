@@ -1,0 +1,1 @@
+lib/datagen/store.mli: Kola

@@ -1,0 +1,99 @@
+(* A second schema and workload — a company database — demonstrating that
+   the algebra, translator, rules and optimizer are schema-generic (only
+   precondition inference consults annotations).
+
+   Employee(ename*, salary, dept, mentors: {Employee})
+   Department(dname*, budget, city)
+   extents E : {Employee}, D : {Department}
+   (attributes marked with * are injective/key) *)
+
+open Kola
+
+let schema =
+  let t = Schema.empty in
+  let t =
+    Schema.add_class t ~name:"Department"
+      ~attrs:
+        [
+          ("dname", Ty.Str, [ Schema.Injective; Schema.Total ]);
+          ("budget", Ty.Int, [ Schema.Total ]);
+          ("dcity", Ty.Str, [ Schema.Total ]);
+        ]
+  in
+  let t =
+    Schema.add_class t ~name:"Employee"
+      ~attrs:
+        [
+          ("ename", Ty.Str, [ Schema.Injective; Schema.Total ]);
+          ("salary", Ty.Int, [ Schema.Total ]);
+          ("dept", Ty.Obj "Department", [ Schema.Total ]);
+          ("mentors", Ty.Set (Ty.Obj "Employee"), [ Schema.Total ]);
+        ]
+  in
+  let t = Schema.add_extent t ~name:"E" ~ty:(Ty.Set (Ty.Obj "Employee")) in
+  let t = Schema.add_extent t ~name:"D" ~ty:(Ty.Set (Ty.Obj "Department")) in
+  t
+
+type params = { employees : int; departments : int; max_mentors : int; seed : int }
+
+let default_params = { employees = 50; departments = 8; max_mentors = 3; seed = 77 }
+
+type t = {
+  employees : Value.t list;
+  departments : Value.t list;
+  db : (string * Value.t) list;
+}
+
+let generate (p : params) : t =
+  let r = Store.rng p.seed in
+  let departments =
+    List.init p.departments (fun i ->
+        Value.obj ~cls:"Department" ~oid:i
+          [
+            ("dname", Value.str (Fmt.str "dept-%d" i));
+            ("budget", Value.int (10_000 + Store.int r 90_000));
+            ("dcity", Value.str (Store.pick r Store.cities));
+          ])
+  in
+  let shallow =
+    List.init p.employees (fun i ->
+        Value.obj ~cls:"Employee" ~oid:i
+          [
+            ("ename", Value.str (Fmt.str "emp-%d" i));
+            ("salary", Value.int (30_000 + Store.int r 120_000));
+            ("dept", Store.pick r departments);
+            ("mentors", Value.set []);
+          ])
+  in
+  let employees =
+    List.mapi
+      (fun i e ->
+        match e with
+        | Value.Obj o ->
+          let n = Store.int r (p.max_mentors + 1) in
+          let mentors = Value.set (List.init n (fun _ -> Store.pick r shallow)) in
+          Value.obj ~cls:"Employee" ~oid:i
+            (List.map
+               (fun (k, v) -> if k = "mentors" then (k, mentors) else (k, v))
+               o.Value.fields)
+        | _ -> assert false)
+      shallow
+  in
+  {
+    employees;
+    departments;
+    db = [ ("E", Value.set employees); ("D", Value.set departments) ];
+  }
+
+let db t = t.db
+
+(* A hidden join over this schema: each department paired with the names of
+   employees working in it — the Garage Query's shape with different
+   vocabulary. *)
+let dept_roster_oql =
+  "select [d, flatten(select {e.ename} from e in E where e.dept = d)] from d in D"
+
+(* A non-join nested query: employees paired with their higher-paid
+   mentors. *)
+let rich_mentors_oql =
+  "select [e, (select m from m in e.mentors where m.salary > e.salary)] from e in E"

@@ -1,0 +1,30 @@
+(** A second schema and workload (Employee/Department), demonstrating that
+    the algebra, translator, rules and optimizer are schema-generic. *)
+
+val schema : Kola.Schema.t
+(** Employee(ename*, salary, dept, mentors), Department(dname*, budget,
+    dcity); extents E and D.  Starred attributes are annotated injective. *)
+
+type params = {
+  employees : int;
+  departments : int;
+  max_mentors : int;
+  seed : int;
+}
+
+val default_params : params
+
+type t = {
+  employees : Kola.Value.t list;
+  departments : Kola.Value.t list;
+  db : (string * Kola.Value.t) list;
+}
+
+val generate : params -> t
+val db : t -> (string * Kola.Value.t) list
+
+val dept_roster_oql : string
+(** A hidden join over this schema (the Garage Query's shape). *)
+
+val rich_mentors_oql : string
+(** A data-dependent nested query that must not bottom out. *)

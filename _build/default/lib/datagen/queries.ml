@@ -1,0 +1,101 @@
+(* Type-directed random AQUA query generator over the paper schema.
+
+   Used by (a) the translator-correctness property (AQUA and translated-KOLA
+   denotations agree on random stores) and (b) the Section 4.2 size
+   experiment, which needs queries of controlled nesting depth m. *)
+
+open Aqua.Ast
+
+type genv = {
+  rng : Store.rng;
+  persons : string list;   (* in-scope variables of type Person *)
+  vehicles : string list;
+  mutable counter : int;
+  budget : int;            (* remaining nesting depth *)
+}
+
+let fresh g base =
+  g.counter <- g.counter + 1;
+  Fmt.str "%s%d" base g.counter
+
+let deeper g = { g with budget = g.budget - 1 }
+
+let chance g percent = Store.int g.rng 100 < percent
+
+(* An integer-valued expression. *)
+let rec int_expr g =
+  match Store.int g.rng (if g.persons = [] then 2 else 4) with
+  | 0 -> Const (Kola.Value.Int (Store.int g.rng 80))
+  | 1 when g.budget > 0 ->
+    Agg (Kola.Term.Count, person_set (deeper g))
+  | 1 -> Const (Kola.Value.Int (Store.int g.rng 80))
+  | _ -> Path (Var (Store.pick g.rng g.persons), "age")
+
+(* A boolean expression usable as a selection predicate. *)
+and pred g =
+  match Store.int g.rng 6 with
+  | 0 | 1 ->
+    let cmp = Store.pick g.rng [ Gt; Leq; Lt; Geq; Eq ] in
+    Bin (cmp, int_expr g, int_expr g)
+  | 2 when g.persons <> [] && g.budget > 0 ->
+    Bin (In, Var (Store.pick g.rng g.persons), person_set (deeper g))
+  | 3 when g.vehicles <> [] && g.persons <> [] ->
+    Bin
+      ( In,
+        Var (Store.pick g.rng g.vehicles),
+        Path (Var (Store.pick g.rng g.persons), "cars") )
+  | 4 -> Bin (And, pred { g with budget = 0 }, pred { g with budget = 0 })
+  | _ -> Not (pred { g with budget = 0 })
+
+(* A set-of-Person expression. *)
+and person_set g =
+  if g.budget <= 0 then
+    if g.persons <> [] && chance g 40 then
+      Path (Var (Store.pick g.rng g.persons), "child")
+    else Extent "P"
+  else
+    match Store.int g.rng 4 with
+    | 0 ->
+      let v = fresh g "p" in
+      Sel (lam v (pred { (deeper g) with persons = v :: g.persons }), person_set (deeper g))
+    | 1 ->
+      let v = fresh g "p" in
+      (* identity-ish map keeps the type closed under generation *)
+      App (lam v (Var v), person_set (deeper g))
+    | 2 when g.persons <> [] -> Path (Var (Store.pick g.rng g.persons), "child")
+    | _ -> Extent "P"
+
+(* A result expression for the select head. *)
+let rec head_expr g =
+  match Store.int g.rng 6 with
+  | 0 when g.persons <> [] -> Var (Store.pick g.rng g.persons)
+  | 1 when g.persons <> [] -> Path (Var (Store.pick g.rng g.persons), "age")
+  | 2 when g.persons <> [] && g.budget > 0 ->
+    Pair (Var (Store.pick g.rng g.persons), person_set (deeper g))
+  | 3 when g.budget > 0 -> Pair (head_expr (deeper g), int_expr g)
+  | 4 when g.persons <> [] ->
+    Path (Path (Var (Store.pick g.rng g.persons), "addr"), "city")
+  | _ -> int_expr g
+
+(* A closed query of nesting depth at most [depth]. *)
+let query ~seed ~depth : expr =
+  let g =
+    { rng = Store.rng seed; persons = []; vehicles = []; counter = 0; budget = depth }
+  in
+  let v = fresh g "p" in
+  let inner = { g with persons = [ v ]; budget = depth - 1 } in
+  let body = head_expr inner in
+  let source =
+    if chance g 50 then Sel (lam (fresh g "q") (Const (Kola.Value.Bool true)), Extent "P")
+    else Extent "P"
+  in
+  let filtered =
+    if chance g 60 then
+      let w = fresh g "w" in
+      Sel (lam w (pred { inner with persons = [ w ] }), source)
+    else source
+  in
+  App (lam v body, filtered)
+
+let suite ~count ~seed ~depth =
+  List.init count (fun i -> query ~seed:(seed + (7919 * i)) ~depth)

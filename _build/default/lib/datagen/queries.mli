@@ -1,0 +1,9 @@
+(** Type-directed random AQUA query generator over the paper schema, used
+    by the translator-correctness property and the Section 4.2 size
+    experiment (which needs queries of controlled nesting depth m). *)
+
+val query : seed:int -> depth:int -> Aqua.Ast.expr
+(** A closed, well-typed query of nesting depth at most [depth];
+    deterministic in [seed]. *)
+
+val suite : count:int -> seed:int -> depth:int -> Aqua.Ast.expr list

@@ -1,0 +1,182 @@
+(* Deterministic generator for the paper's Person/Address/Vehicle database.
+
+   A simple splitmix-style PRNG keeps generation reproducible across runs and
+   independent of the global [Random] state (benchmarks and property tests
+   must agree on the data they see). *)
+
+open Kola
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (seed lxor 0x9e3779b9) }
+
+let next_int64 r =
+  let open Int64 in
+  r.state <- add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int r bound =
+  if bound <= 0 then invalid_arg "Store.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 r) Int64.max_int)
+                  (Int64.of_int bound))
+
+let pick r xs = List.nth xs (int r (List.length xs))
+
+type params = {
+  people : int;
+  vehicles : int;
+  addresses : int;
+  max_children : int;   (** children per person, uniform in [0, max] *)
+  max_cars : int;
+  max_garages : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    people = 40;
+    vehicles = 30;
+    addresses = 20;
+    max_children = 3;
+    max_cars = 2;
+    max_garages = 2;
+    seed = 42;
+  }
+
+let small = { default_params with people = 12; vehicles = 10; addresses = 8 }
+
+let cities = [ "Providence"; "Boston"; "Montreal"; "Cambridge"; "Waterloo" ]
+let makes = [ "Saab"; "Volvo"; "Dodge"; "Honda"; "Citroen" ]
+
+type t = {
+  persons : Value.t list;
+  vehicles : Value.t list;
+  addresses : Value.t list;
+  db : (string * Value.t) list;  (** extents P, V, A *)
+}
+
+(* People's [child] sets point at other generated people.  To keep values
+   acyclic we embed children as objects with their scalar fields only (their
+   own child/cars/grgs sets are empty); object equality is oid-based so joins
+   and membership tests still behave as identity joins. *)
+let generate (p : params) : t =
+  let r = rng p.seed in
+  let addresses =
+    List.init p.addresses (fun i ->
+        Value.obj ~cls:"Address" ~oid:i
+          [
+            ("city", Value.str (pick r cities));
+            ("street", Value.str (Fmt.str "%d Main St" (i + 1)));
+            ("zip", Value.int (10000 + int r 89999));
+          ])
+  in
+  let vehicles =
+    List.init p.vehicles (fun i ->
+        Value.obj ~cls:"Vehicle" ~oid:i
+          [
+            ("make", Value.str (pick r makes));
+            ("year", Value.int (1970 + int r 50));
+          ])
+  in
+  let shallow_person i age name =
+    Value.obj ~cls:"Person" ~oid:i
+      [
+        ("name", Value.str name);
+        ("age", Value.int age);
+        ("addr", pick r addresses);
+        ("child", Value.set []);
+        ("cars", Value.set []);
+        ("grgs", Value.set []);
+      ]
+  in
+  let ages = List.init p.people (fun _ -> int r 80) in
+  let names = List.init p.people (fun i -> Fmt.str "person-%d" i) in
+  let shallow = List.mapi (fun i (age, name) -> shallow_person i age name)
+      (List.combine ages names)
+  in
+  let sample_set max pool =
+    if max = 0 || pool = [] then Value.set []
+    else
+      let n = int r (max + 1) in
+      Value.set (List.init n (fun _ -> pick r pool))
+  in
+  let persons =
+    List.mapi
+      (fun i person ->
+        match person with
+        | Value.Obj o ->
+          let fields =
+            List.map
+              (fun (k, v) ->
+                match k with
+                | "child" -> (k, sample_set p.max_children shallow)
+                | "cars" -> (k, sample_set p.max_cars vehicles)
+                | "grgs" -> (k, sample_set p.max_garages addresses)
+                | _ -> (k, v))
+              o.Value.fields
+          in
+          Value.obj ~cls:"Person" ~oid:i fields
+        | _ -> assert false)
+      shallow
+  in
+  {
+    persons;
+    vehicles;
+    addresses;
+    db =
+      [
+        ("P", Value.set persons);
+        ("V", Value.set vehicles);
+        ("A", Value.set addresses);
+      ];
+  }
+
+let db t = t.db
+
+(* A fixed, tiny, hand-auditable store used by unit tests. *)
+let tiny () =
+  let a0 = Value.obj ~cls:"Address" ~oid:0
+      [ ("city", Value.str "Providence"); ("street", Value.str "1 Elm");
+        ("zip", Value.int 10001) ]
+  and a1 = Value.obj ~cls:"Address" ~oid:1
+      [ ("city", Value.str "Boston"); ("street", Value.str "2 Oak");
+        ("zip", Value.int 10002) ]
+  in
+  let v0 = Value.obj ~cls:"Vehicle" ~oid:0
+      [ ("make", Value.str "Saab"); ("year", Value.int 1990) ]
+  and v1 = Value.obj ~cls:"Vehicle" ~oid:1
+      [ ("make", Value.str "Volvo"); ("year", Value.int 2001) ]
+  and v2 = Value.obj ~cls:"Vehicle" ~oid:2
+      [ ("make", Value.str "Dodge"); ("year", Value.int 2010) ]
+  in
+  let person oid name age addr children cars grgs =
+    Value.obj ~cls:"Person" ~oid
+      [
+        ("name", Value.str name);
+        ("age", Value.int age);
+        ("addr", addr);
+        ("child", Value.set children);
+        ("cars", Value.set cars);
+        ("grgs", Value.set grgs);
+      ]
+  in
+  let carol = person 2 "carol" 12 a0 [] [] [] in
+  let dave = person 3 "dave" 40 a1 [] [ v2 ] [ a1 ] in
+  let alice = person 0 "alice" 30 a0 [ carol; dave ] [ v0; v1 ] [ a0; a1 ] in
+  let bob = person 1 "bob" 20 a1 [ carol ] [ v1 ] [] in
+  let persons = [ alice; bob; carol; dave ] in
+  {
+    persons;
+    vehicles = [ v0; v1; v2 ];
+    addresses = [ a0; a1 ];
+    db =
+      [
+        ("P", Value.set persons);
+        ("V", Value.set [ v0; v1; v2 ]);
+        ("A", Value.set [ a0; a1 ]);
+      ];
+  }

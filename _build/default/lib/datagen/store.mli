@@ -1,0 +1,46 @@
+(** Deterministic generator for the paper's Person/Address/Vehicle
+    database, plus the splitmix-style PRNG shared by the property tests and
+    benchmarks. *)
+
+type rng
+
+val rng : int -> rng
+
+val int : rng -> int -> int
+(** Uniform in [0, bound). *)
+
+val pick : rng -> 'a list -> 'a
+
+type params = {
+  people : int;
+  vehicles : int;
+  addresses : int;
+  max_children : int;
+  max_cars : int;
+  max_garages : int;
+  seed : int;
+}
+
+val default_params : params
+val small : params
+
+val cities : string list
+(** City-name domain shared by generators. *)
+
+val makes : string list
+
+type t = {
+  persons : Kola.Value.t list;
+  vehicles : Kola.Value.t list;
+  addresses : Kola.Value.t list;
+  db : (string * Kola.Value.t) list;
+}
+
+val generate : params -> t
+(** Deterministic in [params.seed]. *)
+
+val db : t -> (string * Kola.Value.t) list
+(** The extents P, V, A. *)
+
+val tiny : unit -> t
+(** A fixed, hand-auditable four-person store used by unit tests. *)

@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Eval Fmt Kola Term Value

@@ -1,0 +1,1 @@
+lib/optimizer/cost.mli: Fmt Kola

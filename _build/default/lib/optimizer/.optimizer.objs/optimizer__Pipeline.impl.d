@@ -1,0 +1,1 @@
+lib/optimizer/pipeline.ml: Aqua Coko Cost Eval Fmt Kola List Option Oql Pretty Rewrite Term Translate Value

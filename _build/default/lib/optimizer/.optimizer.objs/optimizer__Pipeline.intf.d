@@ -1,0 +1,1 @@
+lib/optimizer/pipeline.mli: Aqua Cost Fmt Kola Rewrite

@@ -1,0 +1,1 @@
+lib/optimizer/search.ml: Cost Datagen Eval Hashtbl Kola List Option Pretty Rewrite Rules Term Value

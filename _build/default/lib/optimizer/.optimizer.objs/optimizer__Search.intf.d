@@ -1,0 +1,1 @@
+lib/optimizer/search.mli: Kola Rewrite

@@ -1,0 +1,40 @@
+(* A simple calibration-based cost model: run the candidate plan on a
+   (small) sample database and charge it for the work counters the
+   evaluator maintains.  Tuples touched dominate; combinator dispatch is
+   cheap.  This is deliberately an *executed* cost model — the paper leaves
+   cost-based search to the optimizers that would host KOLA, and counters
+   make the benches' cost claims implementation-independent. *)
+
+open Kola
+
+type t = {
+  tuples : int;
+  func_calls : int;
+  pred_calls : int;
+  weighted : float;
+}
+
+let weighted ~tuples ~func_calls ~pred_calls =
+  float_of_int tuples +. (0.1 *. float_of_int func_calls)
+  +. (0.1 *. float_of_int pred_calls)
+
+let of_counters (c : Eval.counters) =
+  {
+    tuples = c.Eval.tuples;
+    func_calls = c.Eval.func_calls;
+    pred_calls = c.Eval.pred_calls;
+    weighted =
+      weighted ~tuples:c.Eval.tuples ~func_calls:c.Eval.func_calls
+        ~pred_calls:c.Eval.pred_calls;
+  }
+
+(* Evaluate [q] against [db] under [backend]; return its result and cost. *)
+let measure ?(backend = Eval.Naive) ?(dedup = Eval.Eager) ~db (q : Term.query)
+    : Value.t * t =
+  let ctx = Eval.ctx ~db ~backend ~dedup () in
+  let v = Eval.run ctx q in
+  (v, of_counters ctx.Eval.counters)
+
+let pp ppf t =
+  Fmt.pf ppf "tuples=%d funcs=%d preds=%d (weighted %.1f)" t.tuples
+    t.func_calls t.pred_calls t.weighted

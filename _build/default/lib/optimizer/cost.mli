@@ -1,0 +1,22 @@
+(** A calibration-based cost model: run the candidate plan on a sample
+    database and charge it for the evaluator's work counters.  Tuples
+    touched dominate; combinator dispatch is cheap. *)
+
+type t = {
+  tuples : int;
+  func_calls : int;
+  pred_calls : int;
+  weighted : float;
+}
+
+val weighted : tuples:int -> func_calls:int -> pred_calls:int -> float
+val of_counters : Kola.Eval.counters -> t
+
+val measure :
+  ?backend:Kola.Eval.backend ->
+  ?dedup:Kola.Eval.dedup ->
+  db:(string * Kola.Value.t) list ->
+  Kola.Term.query ->
+  Kola.Value.t * t
+
+val pp : t Fmt.t

@@ -1,0 +1,135 @@
+(* The end-to-end optimizer: OQL → AQUA → KOLA → COKO normalization and
+   hidden-join untangling → cost-based plan choice (original vs untangled,
+   naive vs hashed backend).
+
+   The output [report] is an explanation artifact: each phase records what
+   it produced, and the rewrite trace names every rule fired — the paper's
+   declarative-rules thesis made operational. *)
+
+open Kola
+
+type plan = {
+  label : string;
+  query : Term.query;
+  backend : Eval.backend;
+  dedup : Eval.dedup;
+  cost : Cost.t;
+}
+
+type report = {
+  source : string option;           (** OQL text, when that is the entry *)
+  aqua : Aqua.Ast.expr;
+  translated : Term.query;
+  normalized : Term.query;
+  untangled : Term.query option;    (** when the hidden-join blocks applied *)
+  trace : Rewrite.Engine.trace;
+  blocks : (string * bool) list;
+  candidates : plan list;
+  chosen : plan;
+}
+
+let backend_name = function Eval.Naive -> "naive" | Eval.Hashed -> "hashed"
+let dedup_name = function Eval.Eager -> "eager" | Eval.Deferred -> "deferred"
+
+(* Deferring duplicate elimination is only sound for duplicate-insensitive
+   plans; an aggregate anywhere in the plan observes intermediate
+   multiplicities, so it disables the deferred dimension. *)
+let rec contains_agg (f : Term.func) =
+  match f with
+  | Term.Agg _ -> true
+  | Term.Id | Term.Pi1 | Term.Pi2 | Term.Prim _ | Term.Kf _ | Term.Flat
+  | Term.Sng | Term.Arith _ | Term.Setop _ | Term.Fhole _ -> false
+  | Term.Compose (a, b) | Term.Pairf (a, b) | Term.Times (a, b)
+  | Term.Nest (a, b) | Term.Unnest (a, b) -> contains_agg a || contains_agg b
+  | Term.Cf (a, _) -> contains_agg a
+  | Term.Con (p, a, b) -> pred_contains_agg p || contains_agg a || contains_agg b
+  | Term.Iterate (p, a) | Term.Iter (p, a) | Term.Join (p, a) ->
+    pred_contains_agg p || contains_agg a
+
+and pred_contains_agg (p : Term.pred) =
+  match p with
+  | Term.Eq | Term.Leq | Term.Gt | Term.In | Term.Primp _ | Term.Kp _
+  | Term.Phole _ -> false
+  | Term.Oplus (q, f) -> pred_contains_agg q || contains_agg f
+  | Term.Andp (q, r) | Term.Orp (q, r) ->
+    pred_contains_agg q || pred_contains_agg r
+  | Term.Inv q | Term.Conv q -> pred_contains_agg q
+  | Term.Cp (q, _) -> pred_contains_agg q
+
+(* Normalize with the simplify block (identity laws etc.). *)
+let normalize q =
+  let o = Coko.Block.run Coko.Programs.simplify q in
+  (o.Coko.Block.query, o.Coko.Block.trace)
+
+let candidates_of ~db label q =
+  let dedups =
+    if contains_agg q.Term.body then [ Eval.Eager ]
+    else [ Eval.Eager; Eval.Deferred ]
+  in
+  List.concat_map
+    (fun backend ->
+      List.map
+        (fun dedup ->
+          let _, cost = Cost.measure ~backend ~dedup ~db q in
+          { label; query = q; backend; dedup; cost })
+        dedups)
+    [ Eval.Naive; Eval.Hashed ]
+
+let optimize ?source ~db (aqua : Aqua.Ast.expr) : report =
+  let translated = Translate.Compile.query aqua in
+  let normalized, trace1 = normalize translated in
+  let untangle_outcome, blocks = Coko.Programs.hidden_join normalized in
+  let untangled =
+    if List.for_all snd blocks then Some untangle_outcome.Coko.Block.query
+    else None
+  in
+  let candidates =
+    candidates_of ~db "original" normalized
+    @
+    match untangled with
+    | Some q -> candidates_of ~db "untangled" q
+    | None -> []
+  in
+  let chosen =
+    List.fold_left
+      (fun best c -> if c.cost.Cost.weighted < best.cost.Cost.weighted then c else best)
+      (List.hd candidates) (List.tl candidates)
+  in
+  {
+    source;
+    aqua;
+    translated;
+    normalized;
+    untangled;
+    trace = trace1 @ untangle_outcome.Coko.Block.trace;
+    blocks;
+    candidates;
+    chosen;
+  }
+
+let optimize_oql ?extents ~db src =
+  let aqua = Oql.Parser.parse ?extents src in
+  optimize ~source:src ~db aqua
+
+(* Execute the chosen plan against a database. *)
+let run ~db (r : report) : Value.t =
+  Eval.eval_query ~db ~backend:r.chosen.backend ~dedup:r.chosen.dedup
+    r.chosen.query
+
+let pp_report ppf (r : report) =
+  Option.iter (fun s -> Fmt.pf ppf "OQL:        %s@." s) r.source;
+  Fmt.pf ppf "AQUA:       @[%a@]@." Aqua.Pretty.pp r.aqua;
+  Fmt.pf ppf "KOLA:       @[%a@]@." Pretty.pp_query r.translated;
+  Fmt.pf ppf "normalized: @[%a@]@." Pretty.pp_query r.normalized;
+  (match r.untangled with
+  | Some q -> Fmt.pf ppf "untangled:  @[%a@]@." Pretty.pp_query q
+  | None -> Fmt.pf ppf "untangled:  (hidden-join strategy not applicable)@.");
+  Fmt.pf ppf "rules fired: %a@."
+    Fmt.(list ~sep:comma string)
+    (List.map (fun s -> s.Rewrite.Engine.rule_name) r.trace);
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  plan %-10s %-7s %-9s %a%s@." c.label
+        (backend_name c.backend) (dedup_name c.dedup) Cost.pp c.cost
+        (if c == r.chosen then "   <= chosen" else ""))
+    r.candidates

@@ -1,0 +1,46 @@
+(** The end-to-end optimizer: OQL → AQUA → KOLA → COKO normalization and
+    hidden-join untangling → cost-based choice among candidate plans
+    (original vs untangled × naive vs hashed backend).
+
+    The {!report} is an explanation artifact: each phase records its
+    output, and the trace names every rule fired. *)
+
+type plan = {
+  label : string;  (** "original" or "untangled" *)
+  query : Kola.Term.query;
+  backend : Kola.Eval.backend;
+  dedup : Kola.Eval.dedup;
+      (** deferred only offered for aggregate-free plans *)
+  cost : Cost.t;
+}
+
+type report = {
+  source : string option;
+  aqua : Aqua.Ast.expr;
+  translated : Kola.Term.query;
+  normalized : Kola.Term.query;
+  untangled : Kola.Term.query option;
+  trace : Rewrite.Engine.trace;
+  blocks : (string * bool) list;
+  candidates : plan list;
+  chosen : plan;
+}
+
+val backend_name : Kola.Eval.backend -> string
+val dedup_name : Kola.Eval.dedup -> string
+
+val contains_agg : Kola.Term.func -> bool
+(** Whether a plan observes intermediate multiplicities (has an
+    aggregate), which disables the deferred-dedup dimension. *)
+
+val optimize :
+  ?source:string -> db:(string * Kola.Value.t) list -> Aqua.Ast.expr -> report
+
+val optimize_oql :
+  ?extents:string list -> db:(string * Kola.Value.t) list -> string -> report
+(** @raise Oql.Parser.Error on bad input. *)
+
+val run : db:(string * Kola.Value.t) list -> report -> Kola.Value.t
+(** Execute the chosen plan. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,181 @@
+(* Exploration-based optimization over the declarative rule catalog:
+   bounded breadth-first search of the rewrite space, deduplicating states
+   modulo associativity, returning the cheapest plan found.
+
+   This is the "strategies for their use" dimension the paper explicitly
+   leaves open (Section 1.1) and later addresses with COKO: uninformed
+   search discovers short derivations (Figure 4's T1K/T2K, Figure 6's code
+   motion) from the catalog alone, but the 25-firing hidden-join derivation
+   is far beyond any practical frontier — which is precisely the paper's
+   motivation for rule blocks.  The ablation bench quantifies this. *)
+
+open Kola
+
+type config = {
+  rules : Rewrite.Rule.t list;
+  max_depth : int;     (** maximum derivation length *)
+  max_states : int;    (** exploration budget (states expanded) *)
+  sample_db : (string * Value.t) list;  (** database used for costing *)
+}
+
+let default_config =
+  {
+    rules = Rules.Catalog.all;
+    max_depth = 6;
+    max_states = 400;
+    sample_db = Datagen.Store.db (Datagen.Store.tiny ());
+  }
+
+(* Enumerate every single-firing successor of [q]: each rule at each
+   position.  Positions are enumerated with a skip counter: the strategy
+   fires only at the k-th matching position, for k = 0, 1, ... until no
+   position is left. *)
+let successors ?schema (rules : Rewrite.Rule.t list) (q : Term.query) :
+    (string * Term.query) list =
+  let fun_rules, query_rules =
+    List.partition
+      (fun r ->
+        match r.Rewrite.Rule.body with
+        | Rewrite.Rule.Fun_rule _ | Rewrite.Rule.Pred_rule _ -> true
+        | Rewrite.Rule.Query_rule _ -> false)
+      rules
+  in
+  let from_query_rules =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun q' -> (r.Rewrite.Rule.name, q'))
+          (Rewrite.Rule.apply_query ?schema r q))
+      query_rules
+  in
+  let at_kth r k =
+    let remaining = ref k in
+    let s tgt =
+      match Rewrite.Strategy.of_rule ?schema r tgt with
+      | Some t ->
+        if !remaining = 0 then Some t
+        else begin
+          decr remaining;
+          None
+        end
+      | None -> None
+    in
+    Option.map
+      (fun body -> { q with Term.body })
+      (Rewrite.Strategy.apply_func (Rewrite.Strategy.once_topdown s) q.Term.body)
+  in
+  let from_fun_rules =
+    List.concat_map
+      (fun r ->
+        let rec collect k acc =
+          if k > 64 then List.rev acc
+          else
+            match at_kth r k with
+            | Some q' -> collect (k + 1) ((r.Rewrite.Rule.name, q') :: acc)
+            | None -> List.rev acc
+        in
+        collect 0 [])
+      fun_rules
+  in
+  from_query_rules @ from_fun_rules
+
+type state = {
+  query : Term.query;
+  path : string list;  (** rules fired, outermost-first *)
+  cost : float;
+}
+
+type outcome = {
+  best : state;
+  explored : int;       (** states expanded *)
+  frontier_exhausted : bool;
+      (** the whole reachable space within depth was covered *)
+}
+
+let canonical q =
+  Pretty.query_to_string
+    { q with Term.body = Term.reassoc_func q.Term.body }
+
+let cost_of ~db q =
+  match Cost.measure ~db q with
+  | _, c -> c.Cost.weighted
+  | exception Eval.Error _ -> infinity
+
+(* Bounded BFS with global dedup; returns the cheapest state seen. *)
+let explore ?(config = default_config) (q : Term.query) : outcome =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let db = config.sample_db in
+  let start = { query = q; path = []; cost = cost_of ~db q } in
+  Hashtbl.replace seen (canonical q) ();
+  let best = ref start in
+  let expanded = ref 0 in
+  let exhausted = ref true in
+  let rec level states depth =
+    if depth >= config.max_depth || states = [] then ()
+    else begin
+      let next = ref [] in
+      List.iter
+        (fun st ->
+          if !expanded >= config.max_states then exhausted := false
+          else begin
+            incr expanded;
+            List.iter
+              (fun (rule_name, q') ->
+                let key = canonical q' in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  let st' =
+                    {
+                      query = q';
+                      path = st.path @ [ rule_name ];
+                      cost = cost_of ~db q';
+                    }
+                  in
+                  if st'.cost < !best.cost then best := st';
+                  next := st' :: !next
+                end)
+              (successors config.rules st.query)
+          end)
+        states;
+      level (List.rev !next) (depth + 1)
+    end
+  in
+  level [ start ] 0;
+  { best = !best; explored = !expanded; frontier_exhausted = !exhausted }
+
+(* Was [target] reached (modulo associativity) within the budget? *)
+let reaches ?(config = default_config) (q : Term.query)
+    (target : Term.query) : string list option =
+  let found = ref None in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let target_key = canonical target in
+  let expanded = ref 0 in
+  Hashtbl.replace seen (canonical q) ();
+  if canonical q = target_key then Some []
+  else begin
+    let rec level states depth =
+      if depth >= config.max_depth || states = [] || !found <> None then ()
+      else begin
+        let next = ref [] in
+        List.iter
+          (fun (q0, path) ->
+            if !expanded < config.max_states && !found = None then begin
+              incr expanded;
+              List.iter
+                (fun (rule_name, q') ->
+                  let key = canonical q' in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.replace seen key ();
+                    let path' = path @ [ rule_name ] in
+                    if key = target_key then found := Some path'
+                    else next := (q', path') :: !next
+                  end)
+                (successors config.rules q0)
+            end)
+          states;
+        level (List.rev !next) (depth + 1)
+      end
+    in
+    level [ (q, []) ] 0;
+    !found
+  end

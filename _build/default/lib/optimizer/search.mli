@@ -1,0 +1,39 @@
+(** Exploration-based optimization: bounded breadth-first search of the
+    rewrite space under the declarative catalog, deduplicating states
+    modulo associativity.
+
+    This is the "strategies for their use" dimension the paper leaves open
+    (Section 1.1): uninformed search discovers the short derivations of
+    Figures 4 and 6 from the rules alone, but the ≈25-firing hidden-join
+    derivation is beyond any practical frontier — the paper's motivation
+    for COKO rule blocks, quantified. *)
+
+type config = {
+  rules : Rewrite.Rule.t list;
+  max_depth : int;   (** maximum derivation length *)
+  max_states : int;  (** states expanded before giving up *)
+  sample_db : (string * Kola.Value.t) list;  (** database used for costing *)
+}
+
+val default_config : config
+
+val successors :
+  ?schema:Kola.Schema.t ->
+  Rewrite.Rule.t list -> Kola.Term.query -> (string * Kola.Term.query) list
+(** Every single-firing successor: each rule at each matching position. *)
+
+type state = {
+  query : Kola.Term.query;
+  path : string list;  (** rules fired, in order *)
+  cost : float;
+}
+
+type outcome = { best : state; explored : int; frontier_exhausted : bool }
+
+val explore : ?config:config -> Kola.Term.query -> outcome
+(** Cheapest equivalent query found within the budget. *)
+
+val reaches :
+  ?config:config -> Kola.Term.query -> Kola.Term.query -> string list option
+(** A derivation from the first query to the second (modulo associativity),
+    if one exists within the budget. *)

@@ -1,0 +1,1 @@
+lib/oql/lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/oql/lexer.mli: Fmt

@@ -1,0 +1,1 @@
+lib/oql/parser.ml: Aqua Fmt Kola Lexer List

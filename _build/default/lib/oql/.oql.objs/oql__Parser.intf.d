@@ -1,0 +1,1 @@
+lib/oql/parser.mli: Aqua

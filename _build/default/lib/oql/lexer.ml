@@ -1,0 +1,105 @@
+(* Hand-written lexer for the OQL subset (select/from/where queries over
+   named extents).  The paper reports translators from OQL [9] into KOLA
+   [11]; this frontend reproduces that pipeline via AQUA. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | KW of string      (* select from in where and or not ... *)
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LBRACE | RBRACE
+  | COMMA | DOT
+  | LT | LE | GT | GE | EQ | NE
+  | PLUS | MINUS | STAR
+  | EOF
+
+exception Error of string
+
+let keywords =
+  [
+    "select"; "from"; "in"; "where"; "group"; "by"; "and"; "or"; "not";
+    "count"; "sum"; "max"; "min"; "flatten"; "union"; "inter"; "except";
+    "if"; "then"; "else"; "true"; "false"; "exists";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit s.[!j] do incr j done;
+        go !j (INT (int_of_string (String.sub s i (!j - i))) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        let word = String.sub s i (!j - i) in
+        let lower = String.lowercase_ascii word in
+        let tok = if List.mem lower keywords then KW lower else IDENT word in
+        go !j (tok :: acc)
+      end
+      else if c = '"' then begin
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] <> '"' do incr j done;
+        if !j >= n then raise (Error "unterminated string literal");
+        go (!j + 1) (STRING (String.sub s (i + 1) (!j - i - 1)) :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        match two with
+        | "<=" -> go (i + 2) (LE :: acc)
+        | ">=" -> go (i + 2) (GE :: acc)
+        | "!=" | "<>" -> go (i + 2) (NE :: acc)
+        | _ -> (
+          match c with
+          | '(' -> go (i + 1) (LPAREN :: acc)
+          | ')' -> go (i + 1) (RPAREN :: acc)
+          | '[' -> go (i + 1) (LBRACKET :: acc)
+          | ']' -> go (i + 1) (RBRACKET :: acc)
+          | '{' -> go (i + 1) (LBRACE :: acc)
+          | '}' -> go (i + 1) (RBRACE :: acc)
+          | ',' -> go (i + 1) (COMMA :: acc)
+          | '.' -> go (i + 1) (DOT :: acc)
+          | '<' -> go (i + 1) (LT :: acc)
+          | '>' -> go (i + 1) (GT :: acc)
+          | '=' -> go (i + 1) (EQ :: acc)
+          | '+' -> go (i + 1) (PLUS :: acc)
+          | '-' -> go (i + 1) (MINUS :: acc)
+          | '*' -> go (i + 1) (STAR :: acc)
+          | c -> raise (Error (Fmt.str "unexpected character %C at offset %d" c i)))
+  in
+  go 0 []
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "ident %s" s
+  | INT i -> Fmt.pf ppf "int %d" i
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | KW s -> Fmt.string ppf s
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | COMMA -> Fmt.string ppf ","
+  | DOT -> Fmt.string ppf "."
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | EQ -> Fmt.string ppf "="
+  | NE -> Fmt.string ppf "!="
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | EOF -> Fmt.string ppf "<eof>"

@@ -1,0 +1,23 @@
+(** Hand-written lexer for the OQL subset. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | KW of string
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LBRACE | RBRACE
+  | COMMA | DOT
+  | LT | LE | GT | GE | EQ | NE
+  | PLUS | MINUS | STAR
+  | EOF
+
+exception Error of string
+
+val keywords : string list
+
+val tokenize : string -> token list
+(** @raise Error on unterminated strings or unknown characters. *)
+
+val pp_token : token Fmt.t

@@ -1,0 +1,347 @@
+(* Recursive-descent parser for the OQL subset, producing AQUA directly.
+
+   Grammar (informal):
+     query    ::= select expr from binding (, binding)*
+                    [where expr] [group by expr] | expr
+     binding  ::= ident in expr
+     expr     ::= or-expr | "if" expr "then" expr "else" expr
+     or-expr  ::= and-expr ("or" and-expr)*
+     and-expr ::= not-expr ("and" not-expr)*
+     not-expr ::= "not" not-expr | cmp-expr
+     cmp-expr ::= add-expr (( < | <= | > | >= | = | != | in | union | inter
+                             | except ) add-expr)?
+     add-expr ::= mul-expr (( + | - ) mul-expr)*
+     mul-expr ::= postfix ( * postfix )*
+     postfix  ::= primary (. ident)*
+     primary  ::= int | string | true | false | ident | ( query )
+                | [ query , query ] | { query* } | agg ( query )
+                | flatten ( query ) | exists ( query )
+
+   A select with one binding desugars to app over sel; with n bindings, to
+   nested flatten(app(...)); [exists] to a count comparison.
+
+   GROUP BY follows OQL-93: the head is evaluated once per distinct key,
+   with [key] bound to the grouping value and [partition] to the set of
+   source elements in the group:
+
+     select [key, count(partition)] from e in E group by e.dept
+
+   desugars to app(λkey. [key, count(sel(λe. e.dept = key)(E))])
+                  (app(λe. e.dept)(E))
+   — a hidden join, which the five-step strategy untangles into a
+   hash-grouped nest-of-join. *)
+
+open Lexer
+
+exception Error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Error (Fmt.str "expected %s, found %a" what pp_token (peek st)))
+
+let expect_ident st what =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> raise (Error (Fmt.str "expected %s, found %a" what pp_token t))
+
+let rec parse_query st : Aqua.Ast.expr =
+  match peek st with
+  | KW "select" ->
+    advance st;
+    let head = parse_expr st in
+    expect st (KW "from") "from";
+    let bindings = parse_bindings st in
+    let where =
+      if peek st = KW "where" then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    let group_by =
+      if peek st = KW "group" then begin
+        advance st;
+        expect st (KW "by") "by";
+        Some (parse_expr st)
+      end
+      else None
+    in
+    (match group_by with
+    | None -> desugar_select head bindings where
+    | Some key_expr -> desugar_group_by head bindings where key_expr)
+  | _ -> parse_expr st
+
+and parse_bindings st =
+  let b () =
+    let v = expect_ident st "binding variable" in
+    expect st (KW "in") "in";
+    let src = parse_expr st in
+    (v, src)
+  in
+  let first = b () in
+  let rec more acc =
+    if peek st = COMMA then begin
+      advance st;
+      more (b () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+(* select h from x1 in A1, ..., xn in An where p
+   ⇒ wrap_1 (... wrap_{n-1} (app(λxn.h)(sel(λxn.p)(An))))
+   where wrap_i (e) = flatten(app(λxi.e)(Ai)). *)
+and desugar_select head bindings where =
+  match List.rev bindings with
+  | [] -> raise (Error "select with no bindings")
+  | (vn, srcn) :: outer_rev ->
+    let filtered =
+      match where with
+      | None -> srcn
+      | Some p -> Aqua.Ast.Sel (Aqua.Ast.lam vn p, srcn)
+    in
+    let core = Aqua.Ast.App (Aqua.Ast.lam vn head, filtered) in
+    List.fold_left
+      (fun acc (v, src) ->
+        Aqua.Ast.Flatten (Aqua.Ast.App (Aqua.Ast.lam v acc, src)))
+      core outer_rev
+
+(* select h from x in A [where p] group by k
+   ⇒ app(λkey. h[partition := sel(λx. k = key)(A')])(app(λx. k)(A'))
+   where A' is the where-filtered source.  Only single-binding selects can
+   be grouped. *)
+and desugar_group_by head bindings where key_expr =
+  match bindings with
+  | [ (v, src) ] ->
+    let filtered =
+      match where with
+      | None -> src
+      | Some p -> Aqua.Ast.Sel (Aqua.Ast.lam v p, src)
+    in
+    let partition =
+      Aqua.Ast.Sel
+        (Aqua.Ast.lam v (Aqua.Ast.Bin (Aqua.Ast.Eq, key_expr, Aqua.Ast.Var "key")), filtered)
+    in
+    let head' = Aqua.Vars.subst "partition" partition head in
+    Aqua.Ast.App
+      (Aqua.Ast.lam "key" head', Aqua.Ast.App (Aqua.Ast.lam v key_expr, filtered))
+  | _ -> raise (Error "group by requires exactly one from-binding")
+
+and parse_expr st : Aqua.Ast.expr =
+  match peek st with
+  | KW "if" ->
+    advance st;
+    let c = parse_expr st in
+    expect st (KW "then") "then";
+    let t = parse_expr st in
+    expect st (KW "else") "else";
+    let e = parse_expr st in
+    Aqua.Ast.If (c, t, e)
+  | _ -> parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = KW "or" then begin
+    advance st;
+    Aqua.Ast.Bin (Aqua.Ast.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek st = KW "and" then begin
+    advance st;
+    Aqua.Ast.Bin (Aqua.Ast.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if peek st = KW "not" then begin
+    advance st;
+    Aqua.Ast.Not (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let bin op =
+    advance st;
+    Aqua.Ast.Bin (op, lhs, parse_add st)
+  in
+  match peek st with
+  | LT -> bin Aqua.Ast.Lt
+  | LE -> bin Aqua.Ast.Leq
+  | GT -> bin Aqua.Ast.Gt
+  | GE -> bin Aqua.Ast.Geq
+  | EQ -> bin Aqua.Ast.Eq
+  | NE ->
+    advance st;
+    Aqua.Ast.Not (Aqua.Ast.Bin (Aqua.Ast.Eq, lhs, parse_add st))
+  | KW "in" -> bin Aqua.Ast.In
+  | KW "union" -> bin Aqua.Ast.Union
+  | KW "inter" -> bin Aqua.Ast.Inter
+  | KW "except" -> bin Aqua.Ast.Diff
+  | _ -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Aqua.Ast.Bin (Aqua.Ast.Add, lhs, parse_mul st))
+    | MINUS ->
+      advance st;
+      loop (Aqua.Ast.Bin (Aqua.Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    if peek st = STAR then begin
+      advance st;
+      loop (Aqua.Ast.Bin (Aqua.Ast.Mul, lhs, parse_postfix st))
+    end
+    else lhs
+  in
+  loop (parse_postfix st)
+
+and parse_postfix st =
+  let rec loop e =
+    if peek st = DOT then begin
+      advance st;
+      let attr = expect_ident st "attribute name" in
+      loop (Aqua.Ast.Path (e, attr))
+    end
+    else e
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | INT i ->
+    advance st;
+    Aqua.Ast.Const (Kola.Value.Int i)
+  | MINUS ->
+    advance st;
+    (match peek st with
+     | INT i ->
+       advance st;
+       Aqua.Ast.Const (Kola.Value.Int (-i))
+     | t -> raise (Error (Fmt.str "expected integer after -, found %a" pp_token t)))
+  | STRING s ->
+    advance st;
+    Aqua.Ast.Const (Kola.Value.Str s)
+  | KW "true" ->
+    advance st;
+    Aqua.Ast.Const (Kola.Value.Bool true)
+  | KW "false" ->
+    advance st;
+    Aqua.Ast.Const (Kola.Value.Bool false)
+  | KW (("count" | "sum" | "max" | "min") as agg) ->
+    advance st;
+    expect st LPAREN "(";
+    let e = parse_query st in
+    expect st RPAREN ")";
+    let op =
+      match agg with
+      | "count" -> Kola.Term.Count
+      | "sum" -> Kola.Term.Sum
+      | "max" -> Kola.Term.Max
+      | _ -> Kola.Term.Min
+    in
+    Aqua.Ast.Agg (op, e)
+  | KW "flatten" ->
+    advance st;
+    expect st LPAREN "(";
+    let e = parse_query st in
+    expect st RPAREN ")";
+    Aqua.Ast.Flatten e
+  | KW "exists" ->
+    advance st;
+    expect st LPAREN "(";
+    let e = parse_query st in
+    expect st RPAREN ")";
+    Aqua.Ast.Bin (Aqua.Ast.Gt, Aqua.Ast.Agg (Kola.Term.Count, e), Aqua.Ast.Const (Kola.Value.Int 0))
+  | LPAREN ->
+    advance st;
+    let e = parse_query st in
+    expect st RPAREN ")";
+    e
+  | LBRACKET ->
+    advance st;
+    let a = parse_query st in
+    expect st COMMA ",";
+    let b = parse_query st in
+    expect st RBRACKET "]";
+    Aqua.Ast.Pair (a, b)
+  | LBRACE ->
+    advance st;
+    if peek st = RBRACE then begin
+      advance st;
+      Aqua.Ast.SetLit []
+    end
+    else begin
+      let first = parse_query st in
+      let rec more acc =
+        if peek st = COMMA then begin
+          advance st;
+          more (parse_query st :: acc)
+        end
+        else List.rev acc
+      in
+      let elems = more [ first ] in
+      expect st RBRACE "}";
+      Aqua.Ast.SetLit elems
+    end
+  | IDENT name ->
+    advance st;
+    (* Unbound identifiers become variables; [bind_extents] later turns the
+       globally known ones into extents. *)
+    Aqua.Ast.Var name
+  | t -> raise (Error (Fmt.str "unexpected token %a" pp_token t))
+
+(* Turn free variables that name database extents into [Extent] nodes. *)
+let bind_extents extents e =
+  let rec go bound e =
+    let open Aqua.Ast in
+    match e with
+    | Var x ->
+      if (not (List.mem x bound)) && List.mem x extents then Extent x else e
+    | Const _ | Extent _ -> e
+    | Path (e1, a) -> Path (go bound e1, a)
+    | Pair (a, b) -> Pair (go bound a, go bound b)
+    | Flatten e1 -> Flatten (go bound e1)
+    | Not e1 -> Not (go bound e1)
+    | Agg (g, e1) -> Agg (g, go bound e1)
+    | Bin (op, a, b) -> Bin (op, go bound a, go bound b)
+    | If (c, t, e1) -> If (go bound c, go bound t, go bound e1)
+    | SetLit xs -> SetLit (List.map (go bound) xs)
+    | App (l, e1) -> App ({ l with body = go (l.v :: bound) l.body }, go bound e1)
+    | Sel (l, e1) -> Sel ({ l with body = go (l.v :: bound) l.body }, go bound e1)
+    | Join (p, f, a, b) ->
+      Join
+        ( { p with body2 = go (p.v1 :: p.v2 :: bound) p.body2 },
+          { f with body2 = go (f.v1 :: f.v2 :: bound) f.body2 },
+          go bound a, go bound b )
+  in
+  go [] e
+
+let parse ?(extents = [ "P"; "V"; "A" ]) (src : string) : Aqua.Ast.expr =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_query st in
+  (match peek st with
+  | EOF -> ()
+  | t -> raise (Error (Fmt.str "trailing input at %a" pp_token t)));
+  bind_extents extents e

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the OQL subset, producing AQUA.
+
+    {v
+    query    ::= select expr from binding (, binding)* [where expr] | expr
+    binding  ::= ident in expr
+    expr     ::= literals, paths (e.attr), pairs [a, b], sets {..},
+                 comparisons (< <= > >= = != in), and/or/not,
+                 + - *, union/inter/except, count/sum/max/min(q),
+                 flatten(q), exists(q), if ... then ... else ...
+    v}
+
+    A select with one binding desugars to app over sel; with n bindings to
+    nested flatten(app(...)); [exists] to a count comparison.  Free names
+    listed in [extents] become database extents. *)
+
+exception Error of string
+
+val parse : ?extents:string list -> string -> Aqua.Ast.expr
+(** Default extents: P, V, A (the paper schema).
+    @raise Error on syntax errors (also {!Lexer.Error}). *)
+
+val bind_extents : string list -> Aqua.Ast.expr -> Aqua.Ast.expr
+(** Turn free variables naming known extents into [Extent] nodes. *)

@@ -1,0 +1,1 @@
+lib/rewrite/engine.ml: Fmt Kola List Option Pretty Rule Strategy Value

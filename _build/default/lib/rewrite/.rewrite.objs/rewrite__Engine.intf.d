@@ -1,0 +1,1 @@
+lib/rewrite/engine.mli: Fmt Kola Rule

@@ -1,0 +1,1 @@
+lib/rewrite/match.ml: Bool Kola List Option String Subst Value

@@ -1,0 +1,1 @@
+lib/rewrite/match.mli: Kola Subst

@@ -1,0 +1,1 @@
+lib/rewrite/props.ml: Fmt Kola Schema

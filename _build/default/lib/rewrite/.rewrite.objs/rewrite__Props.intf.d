@@ -1,0 +1,1 @@
+lib/rewrite/props.mli: Fmt Kola

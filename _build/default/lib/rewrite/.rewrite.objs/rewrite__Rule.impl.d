@@ -1,0 +1,1 @@
+lib/rewrite/rule.ml: Fmt Kola List Match Option Pretty Props Schema Subst Value

@@ -1,0 +1,1 @@
+lib/rewrite/rule.mli: Fmt Kola Props Subst

@@ -1,0 +1,1 @@
+lib/rewrite/strategy.ml: Kola List Option Rule

@@ -1,0 +1,1 @@
+lib/rewrite/strategy.mli: Kola Rule

@@ -1,0 +1,1 @@
+lib/rewrite/subst.ml: Fmt Kola List Pretty Value

@@ -1,0 +1,1 @@
+lib/rewrite/subst.mli: Fmt Kola

@@ -1,0 +1,98 @@
+(* The rewriting engine: repeatedly fires rules from a set anywhere in a
+   query, recording a trace.  The trace lets tests check the *derivations*
+   of Figures 4 and 6, not just their end points, and gives the optimizer
+   an explanation facility. *)
+
+open Kola
+open Kola.Term
+
+type step = {
+  rule_name : string;
+  result : query;  (** whole query after the firing *)
+}
+
+type trace = step list
+
+type stats = {
+  firings : int;
+  attempts : int;  (** rule-at-node match attempts, the unification cost *)
+}
+
+type outcome = { query : query; trace : trace; stats : stats }
+
+let pp_trace ppf trace =
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  --%s--> %a@." s.rule_name Pretty.pp_query s.result)
+    trace
+
+(* Apply the first rule (in catalog order) that fires anywhere in the query,
+   outermost first; query rules are tried at the query level first.
+   [counter], when given, accumulates rule-at-node match attempts — the
+   unification cost of the step. *)
+let step_once ?schema ?(counter = ref 0) (rules : Rule.t list) (q : query) :
+    (string * query) option =
+  let attempts = counter in
+  let fun_rules, query_rules =
+    List.partition
+      (fun r ->
+        match r.Rule.body with
+        | Rule.Fun_rule _ | Rule.Pred_rule _ -> true
+        | Rule.Query_rule _ -> false)
+      rules
+  in
+  let from_query_rules =
+    List.find_map
+      (fun r ->
+        incr attempts;
+        Option.map (fun q' -> (r.Rule.name, q')) (Rule.apply_query ?schema r q))
+      query_rules
+  in
+  match from_query_rules with
+  | Some _ as res -> res
+  | None ->
+    let strat tgt =
+      List.find_map
+        (fun r ->
+          incr attempts;
+          Option.map (fun t -> (r.Rule.name, t))
+            (Strategy.of_rule ?schema r tgt))
+        fun_rules
+    in
+    let named = ref "" in
+    let s tgt =
+      match strat tgt with
+      | Some (name, t) ->
+        named := name;
+        Some t
+      | None -> None
+    in
+    Option.map
+      (fun body -> (!named, { q with body }))
+      (Strategy.apply_func (Strategy.once_topdown s) q.body)
+
+(* Normalize [q] under [rules], up to [fuel] firings. *)
+let run ?schema ?(fuel = 10_000) (rules : Rule.t list) (q : query) : outcome =
+  let counter = ref 0 in
+  let rec go n q trace firings =
+    if n = 0 then (q, trace, firings)
+    else
+      match step_once ?schema ~counter rules q with
+      | Some (name, q') ->
+        go (n - 1) q' ({ rule_name = name; result = q' } :: trace) (firings + 1)
+      | None -> (q, trace, firings)
+  in
+  let q', trace, firings = go fuel q [] 0 in
+  {
+    query = q';
+    trace = List.rev trace;
+    stats = { firings; attempts = !counter };
+  }
+
+(* Same, over a bare function (no query argument), used when transforming
+   subplans. *)
+let run_func ?schema ?(fuel = 10_000) rules f =
+  let outcome = run ?schema ~fuel rules (query f Value.Unit) in
+  (outcome.query.body, outcome.trace)
+
+let fired_rules outcome = List.map (fun s -> s.rule_name) outcome.trace

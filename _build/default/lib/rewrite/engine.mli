@@ -1,0 +1,35 @@
+(** The rewriting engine: fires rules from a set anywhere in a query,
+    recording a trace, so tests can check the paper's derivations (Figures
+    4 and 6) step by step and the optimizer can explain itself. *)
+
+type step = {
+  rule_name : string;
+  result : Kola.Term.query;  (** the whole query after the firing *)
+}
+
+type trace = step list
+type stats = {
+  firings : int;
+  attempts : int;  (** rule-at-node match attempts: the unification cost *)
+}
+type outcome = { query : Kola.Term.query; trace : trace; stats : stats }
+
+val pp_trace : trace Fmt.t
+
+val step_once :
+  ?schema:Kola.Schema.t ->
+  ?counter:int ref ->
+  Rule.t list -> Kola.Term.query -> (string * Kola.Term.query) option
+(** Fire the first rule (in catalog order) that applies anywhere, outermost
+    first; query rules are tried at the query level before function and
+    predicate rules. *)
+
+val run :
+  ?schema:Kola.Schema.t -> ?fuel:int -> Rule.t list -> Kola.Term.query -> outcome
+(** Normalize under the rule set, up to [fuel] firings. *)
+
+val run_func :
+  ?schema:Kola.Schema.t -> ?fuel:int ->
+  Rule.t list -> Kola.Term.func -> Kola.Term.func * trace
+
+val fired_rules : outcome -> string list

@@ -1,0 +1,106 @@
+(* One-way matching of rule patterns against (sub)terms.
+
+   This is the "unification" of the paper's Section 2.3 discussion: because
+   KOLA terms are variable-free, structural matching with consistent hole
+   binding is the *entire* applicability test — no environmental analysis,
+   no head routines.  Matching is linear in the pattern size. *)
+
+open Kola
+open Kola.Term
+
+let rec func subst pat t =
+  match pat, t with
+  | Fhole h, _ -> Subst.bind_func subst h t
+  | Id, Id | Pi1, Pi1 | Pi2, Pi2 | Flat, Flat | Sng, Sng -> Some subst
+  | Prim a, Prim b when String.equal a b -> Some subst
+  (* Compositions match modulo associativity: both chains are flattened and
+     matched elementwise, except that a bare hole element may absorb any
+     non-empty run of consecutive target elements (the paper's rule 17 binds
+     g to whatever processing follows the inner loop, however long). *)
+  | Compose _, Compose _ -> chain_match subst (unchain pat) (unchain t)
+  | Pairf (p1, p2), Pairf (t1, t2)
+  | Times (p1, p2), Times (t1, t2)
+  | Nest (p1, p2), Nest (t1, t2)
+  | Unnest (p1, p2), Unnest (t1, t2) ->
+    Option.bind (func subst p1 t1) (fun s -> func s p2 t2)
+  | Kf pv, Kf tv -> value subst pv tv
+  | Cf (p1, pv), Cf (t1, tv) ->
+    Option.bind (func subst p1 t1) (fun s -> value s pv tv)
+  | Con (pp, p1, p2), Con (tp, t1, t2) ->
+    Option.bind (pred subst pp tp) (fun s ->
+        Option.bind (func s p1 t1) (fun s -> func s p2 t2))
+  | Arith a, Arith b when a = b -> Some subst
+  | Agg a, Agg b when a = b -> Some subst
+  | Setop a, Setop b when a = b -> Some subst
+  | Iterate (pp, p1), Iterate (tp, t1)
+  | Iter (pp, p1), Iter (tp, t1)
+  | Join (pp, p1), Join (tp, t1) ->
+    Option.bind (pred subst pp tp) (fun s -> func s p1 t1)
+  | ( ( Id | Pi1 | Pi2 | Prim _ | Compose _ | Pairf _ | Times _ | Kf _ | Cf _
+      | Con _ | Arith _ | Agg _ | Setop _ | Flat | Sng | Iterate _ | Iter _
+      | Join _ | Nest _ | Unnest _ ),
+      _ ) -> None
+
+(* Match a flattened pattern chain against a flattened target chain.  Bare
+   hole elements may absorb one or more consecutive target elements; all
+   other elements match exactly one.  Backtracks over absorption lengths. *)
+and chain_match subst lps tps =
+  match lps, tps with
+  | [], [] -> Some subst
+  | [], _ :: _ | _ :: _, [] -> None
+  | Fhole h :: lrest, _ ->
+    let n = List.length tps in
+    let max_take = n - List.length lrest in
+    let rec try_take k =
+      if k > max_take then None
+      else
+        let rec split i acc = function
+          | rest when i = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> split (i - 1) (x :: acc) rest
+        in
+        let taken, rest = split k [] tps in
+        match Subst.bind_func subst h (chain taken) with
+        | Some s -> (
+          match chain_match s lrest rest with
+          | Some _ as res -> res
+          | None -> try_take (k + 1))
+        | None -> try_take (k + 1)
+    in
+    try_take 1
+  | lp :: lrest, tp :: trest ->
+    Option.bind (func subst lp tp) (fun s -> chain_match s lrest trest)
+
+and pred subst pat t =
+  match pat, t with
+  | Phole h, _ -> Subst.bind_pred subst h t
+  | Eq, Eq | Leq, Leq | Gt, Gt | In, In -> Some subst
+  | Primp a, Primp b when String.equal a b -> Some subst
+  | Oplus (pp, pf), Oplus (tp, tf) ->
+    Option.bind (pred subst pp tp) (fun s -> func s pf tf)
+  | Andp (p1, p2), Andp (t1, t2) | Orp (p1, p2), Orp (t1, t2) ->
+    Option.bind (pred subst p1 t1) (fun s -> pred s p2 t2)
+  | Inv p1, Inv t1 | Conv p1, Conv t1 -> pred subst p1 t1
+  | Kp a, Kp b when Bool.equal a b -> Some subst
+  | Cp (p1, pv), Cp (t1, tv) ->
+    Option.bind (pred subst p1 t1) (fun s -> value s pv tv)
+  | ( ( Eq | Leq | Gt | In | Primp _ | Oplus _ | Andp _ | Orp _ | Inv _
+      | Conv _ | Kp _ | Cp _ ),
+      _ ) -> None
+
+and value subst pat t =
+  match pat with
+  | Value.Hole h -> Subst.bind_value subst h t
+  | _ ->
+    (* Non-hole value patterns must match exactly; patterns do not descend
+       into the structure of sets and objects. *)
+    let pat = Subst.apply_value subst pat in
+    if Value.is_ground pat && Value.equal pat t then Some subst
+    else
+      match pat, t with
+      | Value.Pair (p1, p2), Value.Pair (t1, t2) ->
+        Option.bind (value subst p1 t1) (fun s -> value s p2 t2)
+      | _ -> None
+
+let func_matches pat t = Option.is_some (func Subst.empty pat t)
+let pred_matches pat t = Option.is_some (pred Subst.empty pat t)

@@ -1,0 +1,23 @@
+(** One-way matching of rule patterns against (sub)terms — the paper's
+    "unification" applicability test.
+
+    Because KOLA terms are variable-free, structural matching with
+    consistent hole binding is the entire test: no environmental analysis,
+    no head routines.  Compositions match modulo associativity: both chains
+    are flattened and matched elementwise, and a bare hole element may
+    absorb any non-empty run of consecutive target elements. *)
+
+val func : Subst.t -> Kola.Term.func -> Kola.Term.func -> Subst.t option
+(** [func subst pattern target] extends [subst] or fails. *)
+
+val pred : Subst.t -> Kola.Term.pred -> Kola.Term.pred -> Subst.t option
+
+val value : Subst.t -> Kola.Value.t -> Kola.Value.t -> Subst.t option
+(** Value patterns are holes, pairs of patterns, or exact constants. *)
+
+val chain_match :
+  Subst.t -> Kola.Term.func list -> Kola.Term.func list -> Subst.t option
+(** Match a flattened pattern chain against a flattened target chain. *)
+
+val func_matches : Kola.Term.func -> Kola.Term.func -> bool
+val pred_matches : Kola.Term.pred -> Kola.Term.pred -> bool

@@ -1,0 +1,86 @@
+(* Declarative preconditions (Section 4.2 of the paper).
+
+   Rules may require properties of the functions a pattern binds — e.g. the
+   paper's intersection rule requires [injective f].  Crucially these are
+   established *without code*: primitives carry schema annotations, and
+   properties of composite functions are inferred by closure rules such as
+
+     injective(f) ∧ injective(g) ⟹ injective(f ∘ g)
+
+   exactly as in the paper.  The inference is a conservative syntactic
+   analysis: [holds] answering [false] means "not provable", not "false". *)
+
+open Kola
+open Kola.Term
+
+type prop =
+  | Injective        (** unequal inputs give unequal outputs *)
+  | Total            (** never raises on well-typed input *)
+  | Constant         (** ignores its input *)
+  | Preserves_pair   (** maps pairs to pairs componentwise, e.g. f × g *)
+
+let pp_prop ppf = function
+  | Injective -> Fmt.string ppf "injective"
+  | Total -> Fmt.string ppf "total"
+  | Constant -> Fmt.string ppf "constant"
+  | Preserves_pair -> Fmt.string ppf "preserves-pair"
+
+let rec injective schema f =
+  match f with
+  | Id -> true
+  | Prim name -> Schema.has_annotation schema name Schema.Injective
+  | Compose (f, g) -> injective schema f && injective schema g
+  (* ⟨f, g⟩ is injective if either component is. *)
+  | Pairf (f, g) -> injective schema f || injective schema g
+  | Times (f, g) -> injective schema f && injective schema g
+  | Kf _ -> false
+  | Pi1 | Pi2 -> false
+  | Sng -> true
+  | Cf _ | Con _ | Arith _ | Agg _ | Setop _ | Flat | Iterate _ | Iter _
+  | Join _ | Nest _ | Unnest _ | Fhole _ -> false
+
+let rec total schema f =
+  match f with
+  | Id | Pi1 | Pi2 | Kf _ | Flat | Sng | Arith _ | Setop _ -> true
+  | Agg (Count | Sum) -> true
+  | Agg (Max | Min) -> false (* raise on the empty set *)
+  | Prim name -> Schema.has_annotation schema name Schema.Total
+  | Compose (f, g) | Pairf (f, g) | Times (f, g) | Nest (f, g) | Unnest (f, g)
+    -> total schema f && total schema g
+  | Cf (f, _) -> total schema f
+  | Con (p, f, g) -> total_pred schema p && total schema f && total schema g
+  | Iterate (p, f) | Iter (p, f) | Join (p, f) ->
+    total_pred schema p && total schema f
+  | Fhole _ -> false
+
+and total_pred schema p =
+  match p with
+  | Eq | Leq | Gt | In | Kp _ -> true
+  | Primp name -> Schema.has_annotation schema name Schema.Total
+  | Oplus (p, f) -> total_pred schema p && total schema f
+  | Andp (p, q) | Orp (p, q) -> total_pred schema p && total_pred schema q
+  | Inv p | Conv p -> total_pred schema p
+  | Cp (p, _) -> total_pred schema p
+  | Phole _ -> false
+
+let rec constant f =
+  match f with
+  | Kf _ -> true
+  | Compose (f, g) -> constant f || constant g
+  | Pairf (f, g) -> constant f && constant g
+  | _ -> false
+
+let preserves_pair = function
+  | Times _ -> true
+  | Pairf (Compose (_, Pi1), Compose (_, Pi2)) -> true
+  | Pairf (Pi1, Compose (_, Pi2)) | Pairf (Compose (_, Pi1), Pi2) -> true
+  | Pairf (Pi1, Pi2) -> true
+  | Id -> true
+  | _ -> false
+
+let holds schema prop f =
+  match prop with
+  | Injective -> injective schema f
+  | Total -> total schema f
+  | Constant -> constant f
+  | Preserves_pair -> preserves_pair f

@@ -1,0 +1,20 @@
+(** Declarative rule preconditions (Section 4.2).
+
+    Properties of composite functions are inferred from schema annotations
+    and closure rules (e.g. injective(f) ∧ injective(g) ⟹ injective(f∘g))
+    — never from code.  The inference is conservative: [holds] returning
+    [false] means "not provable". *)
+
+type prop =
+  | Injective       (** unequal inputs give unequal outputs *)
+  | Total           (** never raises on well-typed input *)
+  | Constant        (** ignores its input *)
+  | Preserves_pair  (** maps pairs componentwise (f × g shapes) *)
+
+val pp_prop : prop Fmt.t
+val injective : Kola.Schema.t -> Kola.Term.func -> bool
+val total : Kola.Schema.t -> Kola.Term.func -> bool
+val total_pred : Kola.Schema.t -> Kola.Term.pred -> bool
+val constant : Kola.Term.func -> bool
+val preserves_pair : Kola.Term.func -> bool
+val holds : Kola.Schema.t -> prop -> Kola.Term.func -> bool

@@ -1,0 +1,148 @@
+(* Declarative rewrite rules over KOLA terms.
+
+   A rule is a pair of patterns plus (optionally) precondition properties on
+   the functions its holes bind — never code, per the paper's thesis.  Rules
+   come in three kinds: over functions, over predicates, and over whole
+   queries (the paper's rule 19 rewrites [iterate(...) ! A] into a form that
+   changes the query argument, so it cannot be a pure function rule). *)
+
+open Kola
+open Kola.Term
+
+type body =
+  | Fun_rule of func * func
+  | Pred_rule of pred * pred
+  | Query_rule of (func * Value.t) * (func * Value.t)
+
+type precondition = { prop : Props.prop; hole : string }
+
+type t = {
+  name : string;  (** e.g. "r11"; paper rules are numbered as printed *)
+  description : string;
+  body : body;
+  preconditions : precondition list;
+}
+
+let make ?(preconditions = []) ~name ~description body =
+  { name; description; body; preconditions }
+
+let fun_rule ?preconditions ~name ~description lhs rhs =
+  make ?preconditions ~name ~description (Fun_rule (lhs, rhs))
+
+let pred_rule ?preconditions ~name ~description lhs rhs =
+  make ?preconditions ~name ~description (Pred_rule (lhs, rhs))
+
+let query_rule ?preconditions ~name ~description lhs rhs =
+  make ?preconditions ~name ~description (Query_rule (lhs, rhs))
+
+(* A rule read right-to-left, as the paper does with its "i⁻¹" references. *)
+let flip t =
+  let body =
+    match t.body with
+    | Fun_rule (l, r) -> Fun_rule (r, l)
+    | Pred_rule (l, r) -> Pred_rule (r, l)
+    | Query_rule (l, r) -> Query_rule (r, l)
+  in
+  { t with name = t.name ^ "-1"; body }
+
+let check_preconditions schema t subst =
+  List.for_all
+    (fun { prop; hole } ->
+      match Subst.find_func subst hole with
+      | Some f -> Props.holds schema prop f
+      | None -> false)
+    t.preconditions
+
+(* Apply [t] at the root of a function term.
+
+   Composition is matched modulo associativity: when both the pattern and
+   the target are composition chains, the pattern's chain is matched against
+   every window of consecutive elements of the target's chain, and the
+   instantiated right-hand side is spliced back in.  This mirrors the
+   paper's reading of f1 ∘ f2 ∘ ... ∘ fn "without parentheses (exploiting
+   associativity)". *)
+let apply_func ?(schema = Schema.paper) t f =
+  match t.body with
+  | Pred_rule _ | Query_rule _ -> None
+  | Fun_rule (lhs, rhs) -> (
+    let rewrite_root () =
+      match Match.func Subst.empty lhs f with
+      | Some subst when check_preconditions schema t subst ->
+        Some (Subst.apply_func subst rhs)
+      | _ -> None
+    in
+    match lhs, f with
+    | Compose _, Compose _ ->
+      let tparts = unchain f in
+      let n = List.length tparts in
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+      in
+      let rec drop n xs =
+        if n = 0 then xs
+        else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+      in
+      (* Try every window of ≥ 2 consecutive chain elements, leftmost and
+         shortest first; Match.func handles absorption within the window. *)
+      let rec try_at i len =
+        if i + 2 > n then None
+        else if i + len > n then try_at (i + 1) 2
+        else
+          let window = chain (take len (drop i tparts)) in
+          match Match.func Subst.empty lhs window with
+          | Some subst when check_preconditions schema t subst ->
+            let rhs' = unchain (Subst.apply_func subst rhs) in
+            let parts' = take i tparts @ rhs' @ drop (i + len) tparts in
+            Some (chain parts')
+          | _ -> try_at i (len + 1)
+      in
+      try_at 0 2
+    | _ -> rewrite_root ())
+
+(* Apply [t] at the root of a predicate term. *)
+let apply_pred ?(schema = Schema.paper) t p =
+  match t.body with
+  | Pred_rule (lhs, rhs) -> (
+    match Match.pred Subst.empty lhs p with
+    | Some subst when check_preconditions schema t subst ->
+      Some (Subst.apply_pred subst rhs)
+    | _ -> None)
+  | Fun_rule _ | Query_rule _ -> None
+
+(* Apply a query rule to a query.  The function part of the pattern is
+   matched against the *tail* of the query's composition chain (the operator
+   adjacent to the argument), as required by the paper's bottom-out step. *)
+let apply_query ?(schema = Schema.paper) t (q : query) =
+  match t.body with
+  | Query_rule ((lpat, lav), (rpat, rav)) ->
+    let parts = unchain q.body in
+    let rec split_last acc = function
+      | [] -> None
+      | [ last ] -> Some (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    Option.bind (split_last [] parts) (fun (prefix, last) ->
+        match Match.func Subst.empty lpat last with
+        | Some subst -> (
+          match Match.value subst lav q.arg with
+          | Some subst when check_preconditions schema t subst ->
+            let last' = Subst.apply_func subst rpat in
+            let arg' = Subst.apply_value subst rav in
+            Some (query (chain (prefix @ unchain last')) arg')
+          | _ -> None)
+        | None -> None)
+  | Fun_rule _ | Pred_rule _ -> None
+
+let pp ppf t =
+  let arrow = " \u{2192} " in
+  match t.body with
+  | Fun_rule (l, r) ->
+    Fmt.pf ppf "@[<hv 2>%s:@ %a%s%a@]" t.name Pretty.pp_func l arrow
+      Pretty.pp_func r
+  | Pred_rule (l, r) ->
+    Fmt.pf ppf "@[<hv 2>%s:@ %a%s%a@]" t.name Pretty.pp_pred l arrow
+      Pretty.pp_pred r
+  | Query_rule ((l, la), (r, ra)) ->
+    Fmt.pf ppf "@[<hv 2>%s:@ %a ! %a%s%a ! %a@]" t.name Pretty.pp_func l
+      Value.pp la arrow Pretty.pp_func r Value.pp ra

@@ -1,0 +1,61 @@
+(** Declarative rewrite rules over KOLA terms.
+
+    A rule is a pair of patterns plus optional precondition properties on
+    the functions its holes bind — never code, which is the paper's thesis.
+    Three kinds exist: over functions, over predicates, and over whole
+    queries (rule 19 moves a constant set into the query argument, so it
+    cannot be a pure function rule). *)
+
+type body =
+  | Fun_rule of Kola.Term.func * Kola.Term.func
+  | Pred_rule of Kola.Term.pred * Kola.Term.pred
+  | Query_rule of
+      (Kola.Term.func * Kola.Value.t) * (Kola.Term.func * Kola.Value.t)
+
+type precondition = { prop : Props.prop; hole : string }
+
+type t = {
+  name : string;
+  description : string;
+  body : body;
+  preconditions : precondition list;
+}
+
+val make :
+  ?preconditions:precondition list ->
+  name:string -> description:string -> body -> t
+
+val fun_rule :
+  ?preconditions:precondition list ->
+  name:string -> description:string ->
+  Kola.Term.func -> Kola.Term.func -> t
+
+val pred_rule :
+  ?preconditions:precondition list ->
+  name:string -> description:string ->
+  Kola.Term.pred -> Kola.Term.pred -> t
+
+val query_rule :
+  ?preconditions:precondition list ->
+  name:string -> description:string ->
+  Kola.Term.func * Kola.Value.t -> Kola.Term.func * Kola.Value.t -> t
+
+val flip : t -> t
+(** The rule read right-to-left; its name gains a ["-1"] suffix, matching
+    the paper's "rule i⁻¹" references. *)
+
+val check_preconditions : Kola.Schema.t -> t -> Subst.t -> bool
+
+val apply_func : ?schema:Kola.Schema.t -> t -> Kola.Term.func -> Kola.Term.func option
+(** Apply at the root.  Composition chains are matched modulo
+    associativity: when both pattern and target are chains, the pattern is
+    matched against every window of consecutive target elements and the
+    instantiated right-hand side is spliced back in. *)
+
+val apply_pred : ?schema:Kola.Schema.t -> t -> Kola.Term.pred -> Kola.Term.pred option
+
+val apply_query : ?schema:Kola.Schema.t -> t -> Kola.Term.query -> Kola.Term.query option
+(** Query rules match the tail of the query's composition chain (the
+    operator adjacent to the argument) together with the argument itself. *)
+
+val pp : t Fmt.t

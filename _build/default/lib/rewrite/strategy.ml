@@ -1,0 +1,153 @@
+(* Strategy combinators for applying rules throughout a term.
+
+   A strategy is a partial transformation on targets (functions or
+   predicates).  [None] means "did not apply" — the identity on failure is
+   supplied by [attempt].  Strategies descend through every syntactic
+   position where a function or predicate occurs: composition, pair formers,
+   con, iterate/iter/join/nest/unnest, ⊕, &, |, inversions and curried
+   forms. *)
+
+open Kola.Term
+
+type target = F of func | P of pred
+type t = target -> target option
+
+let as_f = function F f -> Some f | P _ -> None
+let as_p = function P p -> Some p | F _ -> None
+
+let of_fun_rewrite (rw : func -> func option) : t = function
+  | F f -> Option.map (fun f -> F f) (rw f)
+  | P _ -> None
+
+let of_pred_rewrite (rw : pred -> pred option) : t = function
+  | P p -> Option.map (fun p -> P p) (rw p)
+  | F _ -> None
+
+(* A rule applied at the root of the target. *)
+let of_rule ?schema (r : Rule.t) : t = function
+  | F f -> Option.map (fun f -> F f) (Rule.apply_func ?schema r f)
+  | P p -> Option.map (fun p -> P p) (Rule.apply_pred ?schema r p)
+
+let of_rules ?schema rules : t =
+ fun tgt ->
+  List.find_map (fun r -> of_rule ?schema r tgt) rules
+
+let fail : t = fun _ -> None
+let id_strategy : t = fun tgt -> Some tgt
+
+let seq (a : t) (b : t) : t = fun tgt -> Option.bind (a tgt) b
+
+let choice (a : t) (b : t) : t =
+ fun tgt ->
+  match a tgt with
+  | Some r -> Some r
+  | None -> b tgt
+
+let choice_all (ss : t list) : t = List.fold_left choice fail ss
+
+(* Succeeds always; identity when the inner strategy fails. *)
+let attempt (s : t) : t = fun tgt -> Some (Option.value ~default:tgt (s tgt))
+
+(* Apply [s] as long as it applies; succeeds if it applied at least once.
+   [fuel] bounds runaway rule sets. *)
+let repeat ?(fuel = 10_000) (s : t) : t =
+ fun tgt ->
+  let rec go n tgt applied =
+    if n = 0 then if applied then Some tgt else None
+    else
+      match s tgt with
+      | Some tgt' -> go (n - 1) tgt' true
+      | None -> if applied then Some tgt else None
+  in
+  go fuel tgt false
+
+(* Try [s] on each child position (left to right); rebuild on the first
+   success. *)
+let one_child (s : t) : t =
+  let sf f = Option.bind (s (F f)) as_f in
+  let sp p = Option.bind (s (P p)) as_p in
+  let in_func f =
+    match f with
+    | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _ | Kf _
+    | Fhole _ -> None
+    | Compose (a, b) -> (
+      match sf a with
+      | Some a' -> Some (Compose (a', b))
+      | None -> Option.map (fun b' -> Compose (a, b')) (sf b))
+    | Pairf (a, b) -> (
+      match sf a with
+      | Some a' -> Some (Pairf (a', b))
+      | None -> Option.map (fun b' -> Pairf (a, b')) (sf b))
+    | Times (a, b) -> (
+      match sf a with
+      | Some a' -> Some (Times (a', b))
+      | None -> Option.map (fun b' -> Times (a, b')) (sf b))
+    | Nest (a, b) -> (
+      match sf a with
+      | Some a' -> Some (Nest (a', b))
+      | None -> Option.map (fun b' -> Nest (a, b')) (sf b))
+    | Unnest (a, b) -> (
+      match sf a with
+      | Some a' -> Some (Unnest (a', b))
+      | None -> Option.map (fun b' -> Unnest (a, b')) (sf b))
+    | Cf (a, v) -> Option.map (fun a' -> Cf (a', v)) (sf a)
+    | Con (p, a, b) -> (
+      match sp p with
+      | Some p' -> Some (Con (p', a, b))
+      | None -> (
+        match sf a with
+        | Some a' -> Some (Con (p, a', b))
+        | None -> Option.map (fun b' -> Con (p, a, b')) (sf b)))
+    | Iterate (p, a) -> (
+      match sp p with
+      | Some p' -> Some (Iterate (p', a))
+      | None -> Option.map (fun a' -> Iterate (p, a')) (sf a))
+    | Iter (p, a) -> (
+      match sp p with
+      | Some p' -> Some (Iter (p', a))
+      | None -> Option.map (fun a' -> Iter (p, a')) (sf a))
+    | Join (p, a) -> (
+      match sp p with
+      | Some p' -> Some (Join (p', a))
+      | None -> Option.map (fun a' -> Join (p, a')) (sf a))
+  in
+  let in_pred p =
+    match p with
+    | Eq | Leq | Gt | In | Primp _ | Kp _ | Phole _ -> None
+    | Oplus (q, f) -> (
+      match sp q with
+      | Some q' -> Some (Oplus (q', f))
+      | None -> Option.map (fun f' -> Oplus (q, f')) (sf f))
+    | Andp (q, r) -> (
+      match sp q with
+      | Some q' -> Some (Andp (q', r))
+      | None -> Option.map (fun r' -> Andp (q, r')) (sp r))
+    | Orp (q, r) -> (
+      match sp q with
+      | Some q' -> Some (Orp (q', r))
+      | None -> Option.map (fun r' -> Orp (q, r')) (sp r))
+    | Inv q -> Option.map (fun q' -> Inv q') (sp q)
+    | Conv q -> Option.map (fun q' -> Conv q') (sp q)
+    | Cp (q, v) -> Option.map (fun q' -> Cp (q', v)) (sp q)
+  in
+  function
+  | F f -> Option.map (fun f -> F f) (in_func f)
+  | P p -> Option.map (fun p -> P p) (in_pred p)
+
+(* Apply [s] once, at the outermost (leftmost) position where it matches. *)
+let rec once_topdown (s : t) : t =
+ fun tgt -> choice s (one_child (once_topdown s)) tgt
+
+(* Apply [s] once, at the innermost position where it matches. *)
+let rec once_bottomup (s : t) : t =
+ fun tgt -> choice (one_child (once_bottomup s)) s tgt
+
+(* Exhaustively apply [s] anywhere until no position matches (leftmost-
+   outermost order).  This is the engine's normalization loop. *)
+let fixpoint ?fuel (s : t) : t = repeat ?fuel (once_topdown s)
+
+(* Run to normal form; always succeeds. *)
+let normalize ?fuel (s : t) : t = attempt (fixpoint ?fuel s)
+
+let apply_func (s : t) f = Option.bind (s (F f)) as_f
+let apply_pred (s : t) p = Option.bind (s (P p)) as_p

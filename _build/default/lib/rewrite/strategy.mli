@@ -1,0 +1,49 @@
+(** Strategy combinators for applying rules throughout a term.
+
+    A strategy is a partial transformation on targets (functions or
+    predicates); [None] means "did not apply".  Strategies descend through
+    every syntactic position where a function or predicate occurs. *)
+
+type target = F of Kola.Term.func | P of Kola.Term.pred
+type t = target -> target option
+
+val as_f : target -> Kola.Term.func option
+val as_p : target -> Kola.Term.pred option
+val of_fun_rewrite : (Kola.Term.func -> Kola.Term.func option) -> t
+val of_pred_rewrite : (Kola.Term.pred -> Kola.Term.pred option) -> t
+
+val of_rule : ?schema:Kola.Schema.t -> Rule.t -> t
+(** The rule applied at the root of the target. *)
+
+val of_rules : ?schema:Kola.Schema.t -> Rule.t list -> t
+(** First rule (in list order) that applies. *)
+
+val fail : t
+val id_strategy : t
+val seq : t -> t -> t
+val choice : t -> t -> t
+val choice_all : t list -> t
+
+val attempt : t -> t
+(** Always succeeds; identity on failure. *)
+
+val repeat : ?fuel:int -> t -> t
+(** Apply while applicable; succeeds iff it applied at least once. *)
+
+val one_child : t -> t
+(** Apply to the first child position (left to right) where it succeeds. *)
+
+val once_topdown : t -> t
+(** Apply once, at the outermost (leftmost) matching position. *)
+
+val once_bottomup : t -> t
+
+val fixpoint : ?fuel:int -> t -> t
+(** Exhaustively apply anywhere (leftmost-outermost) until no position
+    matches. *)
+
+val normalize : ?fuel:int -> t -> t
+(** [attempt (fixpoint s)]. *)
+
+val apply_func : t -> Kola.Term.func -> Kola.Term.func option
+val apply_pred : t -> Kola.Term.pred -> Kola.Term.pred option

@@ -1,0 +1,84 @@
+(* Substitutions binding pattern holes to ground terms.
+
+   A binding environment maps function holes to functions, predicate holes to
+   predicates and value holes to values.  [apply_*] instantiates a pattern
+   under a binding; unbound holes are left in place so substitutions compose. *)
+
+open Kola
+open Kola.Term
+
+type t = {
+  funcs : (string * func) list;
+  preds : (string * pred) list;
+  values : (string * Value.t) list;
+}
+
+let empty = { funcs = []; preds = []; values = [] }
+
+let bind_func t h f =
+  match List.assoc_opt h t.funcs with
+  | Some f' -> if equal_func f f' then Some t else None
+  | None -> Some { t with funcs = (h, f) :: t.funcs }
+
+let bind_pred t h p =
+  match List.assoc_opt h t.preds with
+  | Some p' -> if equal_pred p p' then Some t else None
+  | None -> Some { t with preds = (h, p) :: t.preds }
+
+let bind_value t h v =
+  match List.assoc_opt h t.values with
+  | Some v' -> if Value.equal v v' then Some t else None
+  | None -> Some { t with values = (h, v) :: t.values }
+
+let find_func t h = List.assoc_opt h t.funcs
+let find_pred t h = List.assoc_opt h t.preds
+let find_value t h = List.assoc_opt h t.values
+
+let rec apply_func t f =
+  match f with
+  | Fhole h -> (
+    match find_func t h with Some f' -> f' | None -> f)
+  | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _ -> f
+  | Compose (f1, f2) -> Compose (apply_func t f1, apply_func t f2)
+  | Pairf (f1, f2) -> Pairf (apply_func t f1, apply_func t f2)
+  | Times (f1, f2) -> Times (apply_func t f1, apply_func t f2)
+  | Nest (f1, f2) -> Nest (apply_func t f1, apply_func t f2)
+  | Unnest (f1, f2) -> Unnest (apply_func t f1, apply_func t f2)
+  | Kf v -> Kf (apply_value t v)
+  | Cf (f1, v) -> Cf (apply_func t f1, apply_value t v)
+  | Con (p, f1, f2) -> Con (apply_pred t p, apply_func t f1, apply_func t f2)
+  | Iterate (p, f1) -> Iterate (apply_pred t p, apply_func t f1)
+  | Iter (p, f1) -> Iter (apply_pred t p, apply_func t f1)
+  | Join (p, f1) -> Join (apply_pred t p, apply_func t f1)
+
+and apply_pred t p =
+  match p with
+  | Phole h -> (
+    match find_pred t h with Some p' -> p' | None -> p)
+  | Eq | Leq | Gt | In | Primp _ | Kp _ -> p
+  | Oplus (p1, f) -> Oplus (apply_pred t p1, apply_func t f)
+  | Andp (p1, p2) -> Andp (apply_pred t p1, apply_pred t p2)
+  | Orp (p1, p2) -> Orp (apply_pred t p1, apply_pred t p2)
+  | Inv p1 -> Inv (apply_pred t p1)
+  | Conv p1 -> Conv (apply_pred t p1)
+  | Cp (p1, v) -> Cp (apply_pred t p1, apply_value t v)
+
+and apply_value t v =
+  match v with
+  | Value.Hole h -> (
+    match find_value t h with Some v' -> v' | None -> v)
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Named _ -> v
+  | Value.Pair (a, b) -> Value.Pair (apply_value t a, apply_value t b)
+  | Value.Set xs -> Value.set (List.map (apply_value t) xs)
+  | Value.Bag xs -> Value.bag (List.map (apply_value t) xs)
+  | Value.List xs -> Value.list (List.map (apply_value t) xs)
+  | Value.Obj o ->
+    Value.Obj
+      { o with Value.fields = List.map (fun (k, x) -> (k, apply_value t x)) o.Value.fields }
+
+let pp ppf t =
+  let pf ppf (h, f) = Fmt.pf ppf "?%s := %a" h Pretty.pp_func f in
+  let ppr ppf (h, p) = Fmt.pf ppf "?%s := %a" h Pretty.pp_pred p in
+  let pv ppf (h, v) = Fmt.pf ppf "?%s := %a" h Value.pp v in
+  Fmt.pf ppf "@[<v>%a%a%a@]" (Fmt.list pf) t.funcs (Fmt.list ppr) t.preds
+    (Fmt.list pv) t.values

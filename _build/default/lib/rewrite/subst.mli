@@ -1,0 +1,25 @@
+(** Substitutions binding pattern holes to ground terms.
+
+    [apply_*] instantiates a pattern under a binding; unbound holes are
+    left in place so substitutions compose. *)
+
+type t = {
+  funcs : (string * Kola.Term.func) list;
+  preds : (string * Kola.Term.pred) list;
+  values : (string * Kola.Value.t) list;
+}
+
+val empty : t
+
+val bind_func : t -> string -> Kola.Term.func -> t option
+(** [None] when the hole is already bound to a different term. *)
+
+val bind_pred : t -> string -> Kola.Term.pred -> t option
+val bind_value : t -> string -> Kola.Value.t -> t option
+val find_func : t -> string -> Kola.Term.func option
+val find_pred : t -> string -> Kola.Term.pred option
+val find_value : t -> string -> Kola.Value.t option
+val apply_func : t -> Kola.Term.func -> Kola.Term.func
+val apply_pred : t -> Kola.Term.pred -> Kola.Term.pred
+val apply_value : t -> Kola.Value.t -> Kola.Value.t
+val pp : t Fmt.t

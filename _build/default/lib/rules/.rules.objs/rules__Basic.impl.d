@@ -1,0 +1,1 @@
+lib/rules/basic.ml: Kola Rewrite Rule Value

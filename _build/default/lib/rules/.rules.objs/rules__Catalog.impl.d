@@ -1,0 +1,1 @@
+lib/rules/catalog.ml: Basic Extra Filename Fmt Hidden_join List Option Precond Rewrite String

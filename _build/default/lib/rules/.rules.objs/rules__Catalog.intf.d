@@ -1,0 +1,1 @@
+lib/rules/catalog.mli: Rewrite

@@ -1,0 +1,1 @@
+lib/rules/cert.ml: Datagen Eval Fmt Hashtbl Kola List Option Rewrite Schema String Term Ty Typing Value

@@ -1,0 +1,1 @@
+lib/rules/cert.mli: Datagen Fmt Kola Rewrite

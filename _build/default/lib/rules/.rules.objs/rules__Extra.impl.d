@@ -1,0 +1,1 @@
+lib/rules/extra.ml: Kola Rewrite Rule Value

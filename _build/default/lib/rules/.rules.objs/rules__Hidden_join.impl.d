@@ -1,0 +1,1 @@
+lib/rules/hidden_join.ml: Kola Rewrite Rule Value

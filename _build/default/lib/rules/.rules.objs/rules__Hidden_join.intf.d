@@ -1,0 +1,1 @@
+lib/rules/hidden_join.mli: Rewrite

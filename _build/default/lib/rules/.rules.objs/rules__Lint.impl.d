@@ -1,0 +1,1 @@
+lib/rules/lint.ml: Fmt Kola List Option Rewrite Schema Term Typing

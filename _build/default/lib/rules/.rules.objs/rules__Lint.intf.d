@@ -1,0 +1,1 @@
+lib/rules/lint.mli: Fmt Kola Rewrite

@@ -1,0 +1,1 @@
+lib/rules/precond.ml: Kola Props Rewrite Rule

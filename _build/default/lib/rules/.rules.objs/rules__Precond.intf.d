@@ -1,0 +1,1 @@
+lib/rules/precond.mli: Rewrite

@@ -1,0 +1,353 @@
+(* The rules of Figure 5 (rules 1-16), exactly as printed (with one repair,
+   see [r13]), plus the housekeeping identities the paper uses silently in
+   its derivations (×-introduction, commuted variants, and so on).
+
+   Hole naming: f, g, h, j for functions; p, q for predicates; k, b for
+   values; A, B for query arguments. *)
+
+open Kola
+open Kola.Term
+open Rewrite
+
+let f = Fhole "f"
+let g = Fhole "g"
+let h = Fhole "h"
+let p = Phole "p"
+let q = Phole "q"
+let k = Value.Hole "k"
+
+(* 1.  f ∘ id ≡ f *)
+let r1 =
+  Rule.fun_rule ~name:"r1" ~description:"f \u{2218} id \u{2261} f"
+    (Compose (f, Id)) f
+
+(* 2.  id ∘ f ≡ f *)
+let r2 =
+  Rule.fun_rule ~name:"r2" ~description:"id \u{2218} f \u{2261} f"
+    (Compose (Id, f)) f
+
+(* 3.  ⟨π1, π2⟩ ≡ id *)
+let r3 =
+  Rule.fun_rule ~name:"r3" ~description:"\u{27E8}\u{3C0}1, \u{3C0}2\u{27E9} \u{2261} id"
+    (Pairf (Pi1, Pi2)) Id
+
+(* 4.  p ⊕ id ≡ p *)
+let r4 =
+  Rule.pred_rule ~name:"r4" ~description:"p \u{2295} id \u{2261} p"
+    (Oplus (p, Id)) p
+
+(* 5.  Kp(T) & p ≡ p *)
+let r5 =
+  Rule.pred_rule ~name:"r5" ~description:"Kp(T) & p \u{2261} p"
+    (Andp (Kp true, p)) p
+
+(* 5'. p & Kp(T) ≡ p (commuted variant, used silently by the paper). *)
+let r5c =
+  Rule.pred_rule ~name:"r5c" ~description:"p & Kp(T) \u{2261} p"
+    (Andp (p, Kp true)) p
+
+(* 6.  Kp(b) ⊕ f ≡ Kp(b); booleans are not holes, so one rule per constant. *)
+let r6t =
+  Rule.pred_rule ~name:"r6t" ~description:"Kp(T) \u{2295} f \u{2261} Kp(T)"
+    (Oplus (Kp true, f)) (Kp true)
+
+let r6f =
+  Rule.pred_rule ~name:"r6f" ~description:"Kp(F) \u{2295} f \u{2261} Kp(F)"
+    (Oplus (Kp false, f)) (Kp false)
+
+(* 7.  gt⁻¹ ≡ leq (⁻¹ is negation). *)
+let r7 =
+  Rule.pred_rule ~name:"r7" ~description:"gt\u{207B}\u{B9} \u{2261} leq"
+    (Inv Gt) Leq
+
+(* 7'. leq⁻¹ ≡ gt *)
+let r7c =
+  Rule.pred_rule ~name:"r7c" ~description:"leq\u{207B}\u{B9} \u{2261} gt"
+    (Inv Leq) Gt
+
+(* 8.  Kf(k) ∘ f ≡ Kf(k) *)
+let r8 =
+  Rule.fun_rule ~name:"r8" ~description:"Kf(k) \u{2218} f \u{2261} Kf(k)"
+    (Compose (Kf k, f)) (Kf k)
+
+(* 9.  π1 ∘ ⟨f, g⟩ ≡ f *)
+let r9 =
+  Rule.fun_rule ~name:"r9" ~description:"\u{3C0}1 \u{2218} \u{27E8}f, g\u{27E9} \u{2261} f"
+    (Compose (Pi1, Pairf (f, g))) f
+
+(* 10. π2 ∘ ⟨f, g⟩ ≡ g *)
+let r10 =
+  Rule.fun_rule ~name:"r10" ~description:"\u{3C0}2 \u{2218} \u{27E8}f, g\u{27E9} \u{2261} g"
+    (Compose (Pi2, Pairf (f, g))) g
+
+(* 11. iterate(p, f) ∘ iterate(q, g) ≡ iterate(q & (p ⊕ g), f ∘ g) *)
+let r11 =
+  Rule.fun_rule ~name:"r11"
+    ~description:"iterate fusion"
+    (Compose (Iterate (p, f), Iterate (q, g)))
+    (Iterate (Andp (q, Oplus (p, g)), Compose (f, g)))
+
+(* 12. iterate(p, id) ∘ iterate(Kp(T), f) ≡ iterate(p ⊕ f, f) *)
+let r12 =
+  Rule.fun_rule ~name:"r12"
+    ~description:"select after map \u{2261} filtered map"
+    (Compose (Iterate (p, Id), Iterate (Kp true, f)))
+    (Iterate (Oplus (p, f), f))
+
+(* 13. p ⊕ ⟨f, Kf(k)⟩ ≡ Cp(pᵒ, k) ⊕ f.
+
+   The paper prints Cp(p⁻¹, k) ⊕ f, which with ⁻¹ = negation (rule 7) is
+   wrong on the boundary (p = gt, f!x = k).  With the converse pᵒ the rule
+   is exact for every p.  [r13_paper] preserves the printed form; the
+   certification harness demonstrates that it is unsound. *)
+let r13 =
+  Rule.pred_rule ~name:"r13"
+    ~description:"curry a constant comparison (repaired with converse)"
+    (Oplus (p, Pairf (f, Kf k)))
+    (Oplus (Cp (Conv p, k), f))
+
+let r13_paper =
+  Rule.pred_rule ~name:"r13-paper"
+    ~description:"curry a constant comparison (as printed; boundary-unsound)"
+    (Oplus (p, Pairf (f, Kf k)))
+    (Oplus (Cp (Inv p, k), f))
+
+(* 14. p ⊕ (f ∘ g) ≡ (p ⊕ f) ⊕ g *)
+let r14 =
+  Rule.pred_rule ~name:"r14"
+    ~description:"\u{2295} distributes over \u{2218}"
+    (Oplus (p, Compose (f, g)))
+    (Oplus (Oplus (p, f), g))
+
+(* 15. iter(p ⊕ π1, π2) ≡ con(p ⊕ π1, π2, Kf(∅)) — the code-motion rule:
+   when the iter's predicate only examines the environment, the loop is a
+   conditional. *)
+let r15 =
+  Rule.fun_rule ~name:"r15"
+    ~description:"code motion: environment-only predicate leaves the loop"
+    (Iter (Oplus (p, Pi1), Pi2))
+    (Con (Oplus (p, Pi1), Pi2, Kf (Value.set [])))
+
+(* 16. con(p, f, g) ∘ h ≡ con(p ⊕ h, f ∘ h, g ∘ h) *)
+let r16 =
+  Rule.fun_rule ~name:"r16"
+    ~description:"conditionals distribute over composition"
+    (Compose (Con (p, f, g), h))
+    (Con (Oplus (p, h), Compose (f, h), Compose (g, h)))
+
+(* Housekeeping identities used silently in the paper's derivations. *)
+
+(* ⟨f ∘ π1, g ∘ π2⟩ ≡ f × g, and its id-projection special cases; needed to
+   reach the printed form of KG2 (join(in ⊕ (id × cars), id × grgs)). *)
+let hk_times =
+  Rule.fun_rule ~name:"hk-times"
+    ~description:"\u{27E8}f \u{2218} \u{3C0}1, g \u{2218} \u{3C0}2\u{27E9} \u{2261} f \u{D7} g"
+    (Pairf (Compose (f, Pi1), Compose (g, Pi2)))
+    (Times (f, g))
+
+let hk_times_l =
+  Rule.fun_rule ~name:"hk-times-l"
+    ~description:"\u{27E8}\u{3C0}1, g \u{2218} \u{3C0}2\u{27E9} \u{2261} id \u{D7} g"
+    (Pairf (Pi1, Compose (g, Pi2)))
+    (Times (Id, g))
+
+let hk_times_r =
+  Rule.fun_rule ~name:"hk-times-r"
+    ~description:"\u{27E8}f \u{2218} \u{3C0}1, \u{3C0}2\u{27E9} \u{2261} f \u{D7} id"
+    (Pairf (Compose (f, Pi1), Pi2))
+    (Times (f, Id))
+
+let hk_times_id =
+  Rule.fun_rule ~name:"hk-times-id" ~description:"id \u{D7} id \u{2261} id"
+    (Times (Id, Id)) Id
+
+(* (f × g) ∘ (h × j) ≡ (f ∘ h) × (g ∘ j) *)
+let hk_times_compose =
+  Rule.fun_rule ~name:"hk-times-compose"
+    ~description:"\u{D7} fuses through \u{2218}"
+    (Compose (Times (f, g), Times (h, Fhole "j")))
+    (Times (Compose (f, h), Compose (g, Fhole "j")))
+
+(* (f × g) ∘ ⟨h, j⟩ ≡ ⟨f ∘ h, g ∘ j⟩ *)
+let hk_times_pair =
+  Rule.fun_rule ~name:"hk-times-pair"
+    ~description:"\u{D7} after pair former"
+    (Compose (Times (f, g), Pairf (h, Fhole "j")))
+    (Pairf (Compose (f, h), Compose (g, Fhole "j")))
+
+(* ⟨f, g⟩ ∘ h ≡ ⟨f ∘ h, g ∘ h⟩ *)
+let hk_pair_compose =
+  Rule.fun_rule ~name:"hk-pair-compose"
+    ~description:"pair former distributes over \u{2218}"
+    (Compose (Pairf (f, g), h))
+    (Pairf (Compose (f, h), Compose (g, h)))
+
+(* π1 ∘ (f × g) ≡ f ∘ π1 and π2 ∘ (f × g) ≡ g ∘ π2 *)
+let hk_pi1_times =
+  Rule.fun_rule ~name:"hk-pi1-times"
+    ~description:"\u{3C0}1 \u{2218} (f \u{D7} g) \u{2261} f \u{2218} \u{3C0}1"
+    (Compose (Pi1, Times (f, g)))
+    (Compose (f, Pi1))
+
+let hk_pi2_times =
+  Rule.fun_rule ~name:"hk-pi2-times"
+    ~description:"\u{3C0}2 \u{2218} (f \u{D7} g) \u{2261} g \u{2218} \u{3C0}2"
+    (Compose (Pi2, Times (f, g)))
+    (Compose (g, Pi2))
+
+(* Boolean algebra of predicates. *)
+let hk_and_comm =
+  Rule.pred_rule ~name:"hk-and-comm" ~description:"& commutes"
+    (Andp (p, q)) (Andp (q, p))
+
+let hk_and_idem =
+  Rule.pred_rule ~name:"hk-and-idem" ~description:"& idempotent"
+    (Andp (p, p)) p
+
+let hk_or_idem =
+  Rule.pred_rule ~name:"hk-or-idem" ~description:"| idempotent"
+    (Orp (p, p)) p
+
+let hk_and_false =
+  Rule.pred_rule ~name:"hk-and-false" ~description:"Kp(F) & p \u{2261} Kp(F)"
+    (Andp (Kp false, p)) (Kp false)
+
+let hk_or_true =
+  Rule.pred_rule ~name:"hk-or-true" ~description:"Kp(T) | p \u{2261} Kp(T)"
+    (Orp (Kp true, p)) (Kp true)
+
+let hk_or_false =
+  Rule.pred_rule ~name:"hk-or-false" ~description:"Kp(F) | p \u{2261} p"
+    (Orp (Kp false, p)) p
+
+let hk_inv_inv =
+  Rule.pred_rule ~name:"hk-inv-inv" ~description:"(p\u{207B}\u{B9})\u{207B}\u{B9} \u{2261} p"
+    (Inv (Inv p)) p
+
+let hk_conv_conv =
+  Rule.pred_rule ~name:"hk-conv-conv" ~description:"(p\u{1D52})\u{1D52} \u{2261} p"
+    (Conv (Conv p)) p
+
+let hk_conv_eq =
+  Rule.pred_rule ~name:"hk-conv-eq" ~description:"eq\u{1D52} \u{2261} eq"
+    (Conv Eq) Eq
+
+(* De Morgan. *)
+let hk_demorgan_and =
+  Rule.pred_rule ~name:"hk-demorgan-and"
+    ~description:"(p & q)\u{207B}\u{B9} \u{2261} p\u{207B}\u{B9} | q\u{207B}\u{B9}"
+    (Inv (Andp (p, q)))
+    (Orp (Inv p, Inv q))
+
+let hk_demorgan_or =
+  Rule.pred_rule ~name:"hk-demorgan-or"
+    ~description:"(p | q)\u{207B}\u{B9} \u{2261} p\u{207B}\u{B9} & q\u{207B}\u{B9}"
+    (Inv (Orp (p, q)))
+    (Andp (Inv p, Inv q))
+
+(* ⊕ distributes over the boolean formers. *)
+let hk_oplus_and =
+  Rule.pred_rule ~name:"hk-oplus-and"
+    ~description:"(p & q) \u{2295} f \u{2261} (p \u{2295} f) & (q \u{2295} f)"
+    (Oplus (Andp (p, q), f))
+    (Andp (Oplus (p, f), Oplus (q, f)))
+
+let hk_oplus_or =
+  Rule.pred_rule ~name:"hk-oplus-or"
+    ~description:"(p | q) \u{2295} f \u{2261} (p \u{2295} f) | (q \u{2295} f)"
+    (Oplus (Orp (p, q), f))
+    (Orp (Oplus (p, f), Oplus (q, f)))
+
+let hk_oplus_inv =
+  Rule.pred_rule ~name:"hk-oplus-inv"
+    ~description:"p\u{207B}\u{B9} \u{2295} f \u{2261} (p \u{2295} f)\u{207B}\u{B9}"
+    (Oplus (Inv p, f))
+    (Inv (Oplus (p, f)))
+
+(* con simplifications. *)
+let hk_con_true =
+  Rule.fun_rule ~name:"hk-con-true" ~description:"con(Kp(T), f, g) \u{2261} f"
+    (Con (Kp true, f, g)) f
+
+let hk_con_false =
+  Rule.fun_rule ~name:"hk-con-false" ~description:"con(Kp(F), f, g) \u{2261} g"
+    (Con (Kp false, f, g)) g
+
+let hk_con_same =
+  Rule.fun_rule ~name:"hk-con-same" ~description:"con(p, f, f) \u{2261} f"
+    (Con (p, f, f)) f
+
+let hk_con_inv =
+  Rule.fun_rule ~name:"hk-con-inv"
+    ~description:"con(p\u{207B}\u{B9}, f, g) \u{2261} con(p, g, f)"
+    (Con (Inv p, f, g))
+    (Con (p, g, f))
+
+(* f ∘ con(p, g, h) ≡ con(p, f ∘ g, f ∘ h) *)
+let hk_compose_con =
+  Rule.fun_rule ~name:"hk-compose-con"
+    ~description:"composition distributes into conditionals"
+    (Compose (f, Con (p, g, h)))
+    (Con (p, Compose (f, g), Compose (f, h)))
+
+(* iterate laws beyond 11/12. *)
+let hk_iterate_empty =
+  Rule.fun_rule ~name:"hk-iterate-empty"
+    ~description:"iterate(Kp(F), f) \u{2261} Kf(\u{2205})"
+    (Iterate (Kp false, f))
+    (Kf (Value.set []))
+
+(* sel(p) ∘ sel(q) ≡ sel(q & p): selection cascade. *)
+let hk_sel_cascade =
+  Rule.fun_rule ~name:"hk-sel-cascade"
+    ~description:"selection cascade"
+    (Compose (Iterate (p, Id), Iterate (q, Id)))
+    (Iterate (Andp (q, p), Id))
+
+(* flat ∘ iterate(Kp T, iterate(p, id)) ≡ iterate(p, id) ∘ flat:
+   selections commute with flattening. *)
+let hk_sel_flat =
+  Rule.fun_rule ~name:"hk-sel-flat"
+    ~description:"selection commutes with flat"
+    (Compose (Flat, Iterate (Kp true, Iterate (p, Id))))
+    (Compose (Iterate (p, Id), Flat))
+
+(* Selection pushes into (the left of) a join:
+   sel(p ⊕ π1-shaped) over join — expressed directly on join's predicate:
+   join(q & (p ⊕ π1), f) can be computed by pre-filtering the left input.
+   At the function level: iterate(p, id) ∘ join(q, id) ≡ join(q & (p ⊕ id?), ...)
+   needs argument access; the useful declarative form is on the predicate
+   side and is covered by r24-style absorption (see Hidden_join). *)
+
+(* Cf/Cp expansions. *)
+let hk_cf_def =
+  Rule.fun_rule ~name:"hk-cf-def"
+    ~description:"Cf(f, k) \u{2261} f \u{2218} \u{27E8}Kf(k), id\u{27E9}"
+    (Cf (f, k))
+    (Compose (f, Pairf (Kf k, Id)))
+
+let hk_cp_def =
+  Rule.pred_rule ~name:"hk-cp-def"
+    ~description:"Cp(p, k) \u{2261} p \u{2295} \u{27E8}Kf(k), id\u{27E9}"
+    (Cp (p, k))
+    (Oplus (p, Pairf (Kf k, Id)))
+
+(* All of Figure 5, in the paper's numbering order. *)
+let figure5 =
+  [ r1; r2; r3; r4; r5; r6t; r6f; r7; r8; r9; r10; r11; r12; r13; r14; r15; r16 ]
+
+let housekeeping =
+  [
+    r5c; r7c; hk_times; hk_times_l; hk_times_r; hk_times_id; hk_times_compose;
+    hk_times_pair; hk_pair_compose; hk_pi1_times; hk_pi2_times; hk_and_idem;
+    hk_or_idem; hk_and_false; hk_or_true; hk_or_false; hk_inv_inv;
+    hk_conv_conv; hk_conv_eq; hk_demorgan_and; hk_demorgan_or; hk_oplus_and;
+    hk_oplus_or; hk_oplus_inv; hk_con_true; hk_con_false; hk_con_same;
+    hk_con_inv; hk_compose_con; hk_iterate_empty; hk_sel_cascade; hk_sel_flat;
+    hk_cf_def; hk_cp_def;
+  ]
+
+(* hk_and_comm is certified but kept out of normalizing rule sets: it loops. *)
+let non_normalizing = [ hk_and_comm ]
+
+let all = figure5 @ housekeeping

@@ -1,0 +1,74 @@
+(** Figure 5 (rules 1–16) exactly as printed — with the one repair
+    documented at {!r13} — plus the housekeeping identities the paper's
+    derivations use silently. *)
+
+val r1 : Rewrite.Rule.t   (* f ∘ id ≡ f *)
+val r2 : Rewrite.Rule.t   (* id ∘ f ≡ f *)
+val r3 : Rewrite.Rule.t   (* ⟨π1, π2⟩ ≡ id *)
+val r4 : Rewrite.Rule.t   (* p ⊕ id ≡ p *)
+val r5 : Rewrite.Rule.t   (* Kp(T) & p ≡ p *)
+val r5c : Rewrite.Rule.t  (* p & Kp(T) ≡ p *)
+val r6t : Rewrite.Rule.t  (* Kp(T) ⊕ f ≡ Kp(T) *)
+val r6f : Rewrite.Rule.t  (* Kp(F) ⊕ f ≡ Kp(F) *)
+val r7 : Rewrite.Rule.t   (* gt⁻¹ ≡ leq *)
+val r7c : Rewrite.Rule.t  (* leq⁻¹ ≡ gt *)
+val r8 : Rewrite.Rule.t   (* Kf(k) ∘ f ≡ Kf(k) *)
+val r9 : Rewrite.Rule.t   (* π1 ∘ ⟨f, g⟩ ≡ f *)
+val r10 : Rewrite.Rule.t  (* π2 ∘ ⟨f, g⟩ ≡ g *)
+val r11 : Rewrite.Rule.t  (* iterate fusion *)
+val r12 : Rewrite.Rule.t  (* select after map ≡ filtered map *)
+
+val r13 : Rewrite.Rule.t
+(** p ⊕ ⟨f, Kf(k)⟩ ≡ Cp(pᵒ, k) ⊕ f — repaired with the converse; the
+    paper's printed Cp(p⁻¹, k) form is boundary-unsound. *)
+
+val r13_paper : Rewrite.Rule.t
+(** The printed form; excluded from {!Catalog.all}, refuted by {!Cert}. *)
+
+val r14 : Rewrite.Rule.t  (* p ⊕ (f ∘ g) ≡ (p ⊕ f) ⊕ g *)
+val r15 : Rewrite.Rule.t  (* code motion: iter(p ⊕ π1, π2) ≡ con(...) *)
+val r16 : Rewrite.Rule.t  (* con(p,f,g) ∘ h distributes *)
+
+(** {1 Housekeeping} *)
+
+val hk_times : Rewrite.Rule.t
+val hk_times_l : Rewrite.Rule.t
+val hk_times_r : Rewrite.Rule.t
+val hk_times_id : Rewrite.Rule.t
+val hk_times_compose : Rewrite.Rule.t
+val hk_times_pair : Rewrite.Rule.t
+val hk_pair_compose : Rewrite.Rule.t
+val hk_pi1_times : Rewrite.Rule.t
+val hk_pi2_times : Rewrite.Rule.t
+val hk_and_comm : Rewrite.Rule.t
+val hk_and_idem : Rewrite.Rule.t
+val hk_or_idem : Rewrite.Rule.t
+val hk_and_false : Rewrite.Rule.t
+val hk_or_true : Rewrite.Rule.t
+val hk_or_false : Rewrite.Rule.t
+val hk_inv_inv : Rewrite.Rule.t
+val hk_conv_conv : Rewrite.Rule.t
+val hk_conv_eq : Rewrite.Rule.t
+val hk_demorgan_and : Rewrite.Rule.t
+val hk_demorgan_or : Rewrite.Rule.t
+val hk_oplus_and : Rewrite.Rule.t
+val hk_oplus_or : Rewrite.Rule.t
+val hk_oplus_inv : Rewrite.Rule.t
+val hk_con_true : Rewrite.Rule.t
+val hk_con_false : Rewrite.Rule.t
+val hk_con_same : Rewrite.Rule.t
+val hk_con_inv : Rewrite.Rule.t
+val hk_compose_con : Rewrite.Rule.t
+val hk_iterate_empty : Rewrite.Rule.t
+val hk_sel_cascade : Rewrite.Rule.t
+val hk_sel_flat : Rewrite.Rule.t
+val hk_cf_def : Rewrite.Rule.t
+val hk_cp_def : Rewrite.Rule.t
+
+val figure5 : Rewrite.Rule.t list
+val housekeeping : Rewrite.Rule.t list
+
+val non_normalizing : Rewrite.Rule.t list
+(** Certified but excluded from normalizing sets (they loop). *)
+
+val all : Rewrite.Rule.t list

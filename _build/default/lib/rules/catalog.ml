@@ -1,0 +1,36 @@
+(* The full rule pool, indexed by name.
+
+   The paper reports a pool of 500 LP-verified rules from which an optimizer
+   draws; this catalog is our pool, and {!Cert} is our verification
+   analogue.  [r13_paper] is deliberately excluded from [all]: it is the
+   boundary-unsound printed form kept only to show the harness rejecting
+   it. *)
+
+let figure5 = Basic.figure5
+let figure8 = Hidden_join.figure8
+let housekeeping = Basic.housekeeping
+let preconditioned = Precond.all
+let extended = Extra.all
+
+let all = figure5 @ figure8 @ housekeeping @ preconditioned @ extended
+
+let find name =
+  List.find_opt (fun r -> String.equal r.Rewrite.Rule.name name) all
+
+let find_exn name =
+  match find name with
+  | Some r -> r
+  | None -> invalid_arg (Fmt.str "Catalog.find_exn: unknown rule %s" name)
+
+(* Look up several rules at once, flipping those suffixed with "-1"
+   ("right-to-left interpretations", as the paper calls them). *)
+let rules names =
+  List.map
+    (fun name ->
+      match Filename.chop_suffix_opt ~suffix:"-1" name with
+      | Some base when Option.is_some (find base) ->
+        Rewrite.Rule.flip (find_exn base)
+      | _ -> find_exn name)
+    names
+
+let names () = List.map (fun r -> r.Rewrite.Rule.name) all

@@ -1,0 +1,29 @@
+(** The rule pool, indexed by name — this reproduction's analogue of the
+    paper's 500-rule pool an optimizer draws from.
+
+    [Basic.r13_paper] (the boundary-unsound printed form of rule 13) is
+    deliberately excluded from [all]; it exists only to demonstrate {!Cert}
+    rejecting it. *)
+
+(** Rules 1-16 as printed. *)
+val figure5 : Rewrite.Rule.t list
+
+(** Rules 17-24 plus the 17b/22b variants. *)
+val figure8 : Rewrite.Rule.t list
+val housekeeping : Rewrite.Rule.t list
+val preconditioned : Rewrite.Rule.t list
+
+(** The extended pool of {!Extra} laws. *)
+val extended : Rewrite.Rule.t list
+
+val all : Rewrite.Rule.t list
+val find : string -> Rewrite.Rule.t option
+
+val find_exn : string -> Rewrite.Rule.t
+(** @raise Invalid_argument on unknown names. *)
+
+val rules : string list -> Rewrite.Rule.t list
+(** Resolve several names at once; a ["-1"] suffix yields the flipped rule
+    (the paper's "right-to-left interpretations"). *)
+
+val names : unit -> string list

@@ -1,0 +1,213 @@
+(* An extended pool of certified algebraic laws, beyond the rules the paper
+   prints.  The paper reports a pool of 500 proven rules "from which a
+   rule-based optimizer could draw"; these are the kinds of laws that pool
+   contains.  Every rule here is exercised by the certification harness
+   (test_rules_cert covers the whole catalog). *)
+
+open Kola
+open Kola.Term
+open Rewrite
+
+let f = Fhole "f"
+let g = Fhole "g"
+let h = Fhole "h"
+let p = Phole "p"
+let q = Phole "q"
+
+(* ------------------------------------------------------------------ *)
+(* Monad laws for the set functor (flat / sng / iterate). *)
+
+(* flat ∘ flat ≡ flat ∘ iterate(Kp T, flat): associativity. *)
+let flat_flat =
+  Rule.fun_rule ~name:"x-flat-flat" ~description:"flatten twice, either order"
+    (Compose (Flat, Flat))
+    (Compose (Flat, Iterate (Kp true, Flat)))
+
+(* flat ∘ sng ≡ id: flattening a singleton of a set. *)
+let flat_sng =
+  Rule.fun_rule ~name:"x-flat-sng" ~description:"flat \u{2218} sng \u{2261} id"
+    (Compose (Flat, Sng)) Id
+
+(* flat ∘ iterate(Kp T, sng) ≡ id: flattening singletons of elements. *)
+let flat_map_sng =
+  Rule.fun_rule ~name:"x-flat-map-sng"
+    ~description:"flat \u{2218} iterate(Kp(T), sng) \u{2261} id"
+    (Compose (Flat, Iterate (Kp true, Sng)))
+    Id
+
+(* iterate(p, f) ∘ sng ≡ con(p, sng ∘ f, Kf(∅)): loops over singletons are
+   conditionals — a cousin of the paper's rule 15. *)
+let iterate_sng =
+  Rule.fun_rule ~name:"x-iterate-sng"
+    ~description:"a loop over a singleton is a conditional"
+    (Compose (Iterate (p, f), Sng))
+    (Con (p, Compose (Sng, f), Kf (Value.set [])))
+
+(* cnt ∘ sng ≡ Kf(1). *)
+let cnt_sng =
+  Rule.fun_rule ~name:"x-cnt-sng" ~description:"cnt \u{2218} sng \u{2261} Kf(1)"
+    (Compose (Agg Count, Sng))
+    (Kf (Value.Int 1))
+
+(* iterate(p, f) ∘ flat ≡ flat ∘ iterate(Kp T, iterate(p, f)):
+   filter-map commutes with flattening. *)
+let iterate_flat =
+  Rule.fun_rule ~name:"x-iterate-flat"
+    ~description:"filter-map commutes with flat"
+    (Compose (Iterate (p, f), Flat))
+    (Compose (Flat, Iterate (Kp true, Iterate (p, f))))
+
+(* ------------------------------------------------------------------ *)
+(* Join laws. *)
+
+(* join(p, f) ≡ join(pᵒ, f ∘ ⟨π2, π1⟩) ∘ ⟨π2, π1⟩: join commutativity. *)
+let join_commute =
+  Rule.fun_rule ~name:"x-join-commute" ~description:"join commutativity"
+    (Join (p, f))
+    (Compose
+       ( Join (Conv p, Compose (f, Pairf (Pi2, Pi1))),
+         Pairf (Pi2, Pi1) ))
+
+(* join(q & (p ⊕ π1), f) ≡ join(q, f) ∘ (sel(p) × id): push a selection on
+   the left input below the join — the classical select-past-join. *)
+let join_push_left =
+  Rule.fun_rule ~name:"x-join-push-left"
+    ~description:"push a left-input selection below the join"
+    (Join (Andp (q, Oplus (p, Pi1)), f))
+    (Compose (Join (q, f), Times (Iterate (p, Id), Id)))
+
+let join_push_right =
+  Rule.fun_rule ~name:"x-join-push-right"
+    ~description:"push a right-input selection below the join"
+    (Join (Andp (q, Oplus (p, Pi2)), f))
+    (Compose (Join (q, f), Times (Id, Iterate (p, Id))))
+
+(* join(p, f) ≡ iterate(Kp T, f) ∘ iterate(p, id) ∘ join(Kp T, id):
+   a join is a filtered, mapped cross product. *)
+let join_expand =
+  Rule.fun_rule ~name:"x-join-expand"
+    ~description:"join as filtered cross product"
+    (Join (p, f))
+    (chain [ Iterate (Kp true, f); Iterate (p, Id); Join (Kp true, Id) ])
+
+(* iterate(p, f) ∘ join(q, g) ≡ join(q & (p ⊕ g), f ∘ g): absorb a
+   filter-map into a join (the un-framed version of rule 24). *)
+let sel_join_absorb =
+  Rule.fun_rule ~name:"x-sel-join-absorb"
+    ~description:"absorb a filter-map into the join"
+    (Compose (Iterate (p, f), Join (q, g)))
+    (Join (Andp (q, Oplus (p, g)), Compose (f, g)))
+
+(* ------------------------------------------------------------------ *)
+(* Nest / unnest laws. *)
+
+(* nest(f, g) ∘ (iterate(Kp T, h) × id) ≡ nest(f ∘ h, g ∘ h): grouping a
+   mapped set groups the originals. *)
+let nest_absorb_map =
+  Rule.fun_rule ~name:"x-nest-absorb-map"
+    ~description:"nest absorbs a map on the grouped input"
+    (Compose (Nest (f, g), Times (Iterate (Kp true, h), Id)))
+    (Nest (Compose (f, h), Compose (g, h)))
+
+(* unnest(f, g) ∘ iterate(Kp T, h) ≡ unnest(f ∘ h, g ∘ h). *)
+let unnest_absorb_map =
+  Rule.fun_rule ~name:"x-unnest-absorb-map"
+    ~description:"unnest absorbs a preceding map"
+    (Compose (Unnest (f, g), Iterate (Kp true, h)))
+    (Unnest (Compose (f, h), Compose (g, h)))
+
+(* ------------------------------------------------------------------ *)
+(* Currying laws. *)
+
+(* Cf(f ∘ (id × g), k) ≡ Cf(f, k) ∘ g. *)
+let cf_push =
+  Rule.fun_rule ~name:"x-cf-push"
+    ~description:"push composition out of a curried function"
+    (Cf (Compose (f, Times (Id, g)), Value.Hole "k"))
+    (Compose (Cf (f, Value.Hole "k"), g))
+
+(* Cp(p ⊕ (id × g), k) ≡ Cp(p, k) ⊕ g. *)
+let cp_push =
+  Rule.pred_rule ~name:"x-cp-push"
+    ~description:"push composition out of a curried predicate"
+    (Cp (Oplus (p, Times (Id, g)), Value.Hole "k"))
+    (Oplus (Cp (p, Value.Hole "k"), g))
+
+(* ------------------------------------------------------------------ *)
+(* Conditionals and selections. *)
+
+(* ⟨con(p, f, g), con(p, h, j)⟩ ≡ con(p, ⟨f, h⟩, ⟨g, j⟩). *)
+let con_pair =
+  Rule.fun_rule ~name:"x-con-pair"
+    ~description:"pair of conditionals on one predicate"
+    (Pairf (Con (p, f, g), Con (p, h, Fhole "j")))
+    (Con (p, Pairf (f, h), Pairf (g, Fhole "j")))
+
+(* iterate(p, con(q, f, g)) ≡
+   union ∘ ⟨iterate(p & q, f), iterate(p & q⁻¹, g)⟩. *)
+let iterate_con_split =
+  Rule.fun_rule ~name:"x-iterate-con-split"
+    ~description:"split a conditional body into a union of loops"
+    (Iterate (p, Con (q, f, g)))
+    (Compose
+       ( Setop Union,
+         Pairf (Iterate (Andp (p, q), f), Iterate (Andp (p, Inv q), g)) ))
+
+(* sel(p) ∘ union ≡ union ∘ (sel(p) × sel(p)). *)
+let sel_union =
+  Rule.fun_rule ~name:"x-sel-union"
+    ~description:"selection distributes over union"
+    (Compose (Iterate (p, Id), Setop Union))
+    (Compose (Setop Union, Times (Iterate (p, Id), Iterate (p, Id))))
+
+(* iterate(Kp T, f) ∘ union ≡ union ∘ (iterate(Kp T, f) × iterate(Kp T, f)). *)
+let map_union_distribute =
+  Rule.fun_rule ~name:"x-map-union"
+    ~description:"map distributes over union"
+    (Compose (Iterate (Kp true, f), Setop Union))
+    (Compose (Setop Union, Times (Iterate (Kp true, f), Iterate (Kp true, f))))
+
+(* ------------------------------------------------------------------ *)
+(* Converse laws. *)
+
+(* (p & q)ᵒ ≡ pᵒ & qᵒ. *)
+let conv_and =
+  Rule.pred_rule ~name:"x-conv-and" ~description:"converse of a conjunction"
+    (Conv (Andp (p, q)))
+    (Andp (Conv p, Conv q))
+
+(* (p ⊕ (f × g))ᵒ ≡ pᵒ ⊕ (g × f). *)
+let conv_oplus_times =
+  Rule.pred_rule ~name:"x-conv-oplus-times"
+    ~description:"converse through a product"
+    (Conv (Oplus (p, Times (f, g))))
+    (Oplus (Conv p, Times (g, f)))
+
+(* (p⁻¹)ᵒ ≡ (pᵒ)⁻¹. *)
+let conv_inv =
+  Rule.pred_rule ~name:"x-conv-inv"
+    ~description:"converse and negation commute"
+    (Conv (Inv p))
+    (Inv (Conv p))
+
+(* ------------------------------------------------------------------ *)
+(* The predicate-bin classification of Section 5: predicates of the form
+   p ⊕ π1 examine only the first set, p ⊕ π2 only the second.  Splitting a
+   join predicate's conjuncts into bins is what [16]'s sorting routine did
+   with code; here each step is one rule. *)
+
+(* join(q & ((p ⊕ π1) & r), f): rotate conjunctions left so bin-shaped
+   conjuncts surface: (p & q) & r ≡ p & (q & r). *)
+let and_assoc =
+  Rule.pred_rule ~name:"x-and-assoc" ~description:"& associativity"
+    (Andp (Andp (p, q), Phole "r"))
+    (Andp (p, Andp (q, Phole "r")))
+
+let all =
+  [
+    flat_flat; flat_sng; flat_map_sng; iterate_sng; cnt_sng; iterate_flat;
+    join_commute; join_push_left; join_push_right; join_expand;
+    sel_join_absorb; nest_absorb_map; unnest_absorb_map; cf_push; cp_push;
+    con_pair; iterate_con_split; sel_union; map_union_distribute; conv_and;
+    conv_oplus_times; conv_inv; and_assoc;
+  ]

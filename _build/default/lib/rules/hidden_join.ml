@@ -1,0 +1,139 @@
+(* Figure 8: the rules used by the five-step hidden-join untangling strategy
+   of Section 4.1.
+
+   Rule 17b is the g = id specialisation of rule 17; the paper obtains it by
+   first applying rule 2 right-to-left to manufacture the missing g.  Having
+   the specialised rule keeps every step strictly simplifying, so the COKO
+   blocks need no id-introduction. *)
+
+open Kola
+open Kola.Term
+open Rewrite
+
+let f = Fhole "f"
+let g = Fhole "g"
+let h = Fhole "h"
+let j = Fhole "j"
+let p = Phole "p"
+let bset = Value.Hole "B"
+let aset = Value.Hole "A"
+let kp_t = Kp true
+
+(* 17. iterate(Kp(T), ⟨j, g ∘ iter(p, f) ∘ ⟨id, h⟩⟩) ≡
+         iterate(Kp(T), ⟨j ∘ π1, π2⟩) ∘
+         iterate(Kp(T), ⟨π1, g ∘ π2⟩) ∘
+         iterate(Kp(T), ⟨π1, iter(p, f)⟩) ∘
+         iterate(Kp(T), ⟨id, h⟩) *)
+let r17 =
+  Rule.fun_rule ~name:"r17" ~description:"break up a complex iterate"
+    (Iterate
+       ( kp_t,
+         Pairf (j, chain [ g; Iter (p, f); Pairf (Id, h) ]) ))
+    (chain
+       [
+         Iterate (kp_t, Pairf (Compose (j, Pi1), Pi2));
+         Iterate (kp_t, Pairf (Pi1, Compose (g, Pi2)));
+         Iterate (kp_t, Pairf (Pi1, Iter (p, f)));
+         Iterate (kp_t, Pairf (Id, h));
+       ])
+
+(* 17b. The g = id specialisation: no postprocessing function after the
+   inner loop. *)
+let r17b =
+  Rule.fun_rule ~name:"r17b"
+    ~description:"break up a complex iterate (no postprocessing)"
+    (Iterate (kp_t, Pairf (j, Compose (Iter (p, f), Pairf (Id, h)))))
+    (chain
+       [
+         Iterate (kp_t, Pairf (Compose (j, Pi1), Pi2));
+         Iterate (kp_t, Pairf (Pi1, Iter (p, f)));
+         Iterate (kp_t, Pairf (Id, h));
+       ])
+
+(* 18. iterate(Kp(T), id) ≡ id *)
+let r18 =
+  Rule.fun_rule ~name:"r18" ~description:"trivial iterate is the identity"
+    (Iterate (kp_t, Id)) Id
+
+(* 19. iterate(Kp(T), ⟨id, Kf(B)⟩) ! A ≡
+       nest(π1, π2) ∘ ⟨join(Kp(T), id), π1⟩ ! [A, B]
+   A query rule: it moves the constant set B into the query argument. *)
+let r19 =
+  Rule.query_rule ~name:"r19" ~description:"bottom out with a nest of a join"
+    (Iterate (kp_t, Pairf (Id, Kf bset)), aset)
+    ( chain [ Nest (Pi1, Pi2); Pairf (Join (kp_t, Id), Pi1) ],
+      Value.Pair (aset, bset) )
+
+(* 19f. The function-level reading of rule 19:
+   iterate(Kp(T), ⟨id, Kf(B)⟩) ≡
+     nest(π1, π2) ∘ ⟨join(Kp(T), id), π1⟩ ∘ ⟨id, Kf(B)⟩.
+   Unlike the query rule it applies anywhere in a composition chain, which
+   is where GROUP BY desugaring leaves its hidden join (the key-projection
+   step sits downstream). *)
+let r19f =
+  Rule.fun_rule ~name:"r19f"
+    ~description:"bottom out mid-chain with a nest of a join"
+    (Iterate (kp_t, Pairf (Id, Kf bset)))
+    (chain
+       [
+         Nest (Pi1, Pi2);
+         Pairf (Join (kp_t, Id), Pi1);
+         Pairf (Id, Kf bset);
+       ])
+
+(* 20. iterate(Kp(T), ⟨π1, iter(p, f)⟩) ∘ nest(π1, π2) ≡
+       nest(π1, π2) ∘ (iterate(p, ⟨π1, f⟩) × id) *)
+let r20 =
+  Rule.fun_rule ~name:"r20" ~description:"pull nest above an iter step"
+    (Compose (Iterate (kp_t, Pairf (Pi1, Iter (p, f))), Nest (Pi1, Pi2)))
+    (Compose (Nest (Pi1, Pi2), Times (Iterate (p, Pairf (Pi1, f)), Id)))
+
+(* 21. iterate(Kp(T), ⟨π1, flat ∘ π2⟩) ∘ nest(π1, π2) ≡
+       nest(π1, π2) ∘ (unnest(π1, π2) × id) *)
+let r21 =
+  Rule.fun_rule ~name:"r21" ~description:"pull nest above a flatten step"
+    (Compose
+       (Iterate (kp_t, Pairf (Pi1, Compose (Flat, Pi2))), Nest (Pi1, Pi2)))
+    (Compose (Nest (Pi1, Pi2), Times (Unnest (Pi1, Pi2), Id)))
+
+(* 22. (iterate(p, ⟨π1, f⟩) × id) ∘ (unnest(π1, π2) × id) ≡
+       (unnest(π1, π2) × id) ∘ (iterate(Kp(T), ⟨π1, iter(p, f)⟩) × id) *)
+let r22 =
+  Rule.fun_rule ~name:"r22" ~description:"pull unnest above an iterate step"
+    (Compose
+       ( Times (Iterate (p, Pairf (Pi1, f)), Id),
+         Times (Unnest (Pi1, Pi2), Id) ))
+    (Compose
+       ( Times (Unnest (Pi1, Pi2), Id),
+         Times (Iterate (kp_t, Pairf (Pi1, Iter (p, f))), Id) ))
+
+(* 22b. The ⟨π1, f⟩ ≡ id degenerate case (f = π2, reduced by rule 3):
+   (iterate(p, id) × id) ∘ (unnest(π1, π2) × id) ≡
+   (unnest(π1, π2) × id) ∘ (iterate(Kp(T), ⟨π1, iter(p, π2)⟩) × id) *)
+let r22b =
+  Rule.fun_rule ~name:"r22b"
+    ~description:"pull unnest above a selection step"
+    (Compose (Times (Iterate (p, Id), Id), Times (Unnest (Pi1, Pi2), Id)))
+    (Compose
+       ( Times (Unnest (Pi1, Pi2), Id),
+         Times (Iterate (kp_t, Pairf (Pi1, Iter (p, Pi2))), Id) ))
+
+(* 23. (unnest(π1, π2) × id) ∘ (unnest(π1, π2) × id) ≡
+       (unnest(π1, π2) × id) ∘ (iterate(Kp(T), ⟨π1, flat ∘ π2⟩) × id) *)
+let r23 =
+  Rule.fun_rule ~name:"r23" ~description:"coalesce stacked unnests"
+    (Compose (Times (Unnest (Pi1, Pi2), Id), Times (Unnest (Pi1, Pi2), Id)))
+    (Compose
+       ( Times (Unnest (Pi1, Pi2), Id),
+         Times (Iterate (kp_t, Pairf (Pi1, Compose (Flat, Pi2))), Id) ))
+
+(* 24. (iterate(p, f) × id) ∘ ⟨join(q, g), π1⟩ ≡
+       ⟨join(q & (p ⊕ g), f ∘ g), π1⟩ *)
+let r24 =
+  Rule.fun_rule ~name:"r24" ~description:"absorb an iterate into the join"
+    (Compose (Times (Iterate (p, f), Id), Pairf (Join (Phole "q", g), Pi1)))
+    (Pairf
+       ( Join (Andp (Phole "q", Oplus (p, g)), Compose (f, g)),
+         Pi1 ))
+
+let figure8 = [ r17; r17b; r18; r19; r19f; r20; r21; r22; r22b; r23; r24 ]

@@ -1,0 +1,26 @@
+(** Figure 8: the rules of the Section 4.1 five-step hidden-join strategy.
+
+    Rules 17b and 22b are the g = id / f = π2 specialisations the paper
+    reaches via unit laws applied right-to-left; registering them directly
+    keeps every COKO step strictly simplifying. *)
+
+val r17 : Rewrite.Rule.t   (* break up a complex iterate *)
+val r17b : Rewrite.Rule.t  (* ... without a postprocessing function *)
+val r18 : Rewrite.Rule.t   (* iterate(Kp T, id) ≡ id *)
+
+val r19 : Rewrite.Rule.t
+(** Bottom out with a nest of a join — a query rule: it moves the constant
+    set into the query argument. *)
+
+val r19f : Rewrite.Rule.t
+(** The function-level reading of rule 19; applies anywhere in a chain
+    (where GROUP BY desugaring leaves its hidden join). *)
+
+val r20 : Rewrite.Rule.t   (* pull nest above an iter step *)
+val r21 : Rewrite.Rule.t   (* pull nest above a flatten step *)
+val r22 : Rewrite.Rule.t   (* pull unnest above an iterate step *)
+val r22b : Rewrite.Rule.t  (* ... selection variant *)
+val r23 : Rewrite.Rule.t   (* coalesce stacked unnests *)
+val r24 : Rewrite.Rule.t   (* absorb an iterate into the join *)
+
+val figure8 : Rewrite.Rule.t list

@@ -1,0 +1,90 @@
+(* Static well-formedness checks on rules, run over the whole catalog by
+   the test suite.  A rule can be semantically certified ({!Cert}) yet
+   still be a bad citizen — e.g. introduce holes its left-hand side never
+   binds (instantiation would leave holes in the program), or fail to type
+   even as a pattern.  These checks catch that class before certification
+   spends any effort. *)
+
+open Kola
+
+type problem =
+  | Unbound_rhs_hole of string
+      (** a hole on the right-hand side that the left-hand side cannot bind *)
+  | Lhs_is_a_bare_hole
+      (** the rule would match absolutely everything *)
+  | Side_does_not_type of string  (** which side, with the error *)
+  | Unknown_precondition_hole of string
+      (** a precondition refers to a hole the pattern does not contain *)
+
+let pp_problem ppf = function
+  | Unbound_rhs_hole h -> Fmt.pf ppf "right-hand side hole ?%s is never bound" h
+  | Lhs_is_a_bare_hole -> Fmt.string ppf "left-hand side is a bare hole"
+  | Side_does_not_type msg -> Fmt.pf ppf "pattern does not type: %s" msg
+  | Unknown_precondition_hole h ->
+    Fmt.pf ppf "precondition names unknown hole ?%s" h
+
+let holes_of_side = function
+  | `F f -> Term.holes_func f
+  | `P p -> Term.holes_func (Term.Iterate (p, Term.Id))
+  | `Q (f, v) -> Term.holes_func f @ Term.holes_func (Term.Kf v)
+
+let sides (r : Rewrite.Rule.t) =
+  match r.Rewrite.Rule.body with
+  | Rewrite.Rule.Fun_rule (l, rr) -> (`F l, `F rr)
+  | Rewrite.Rule.Pred_rule (l, rr) -> (`P l, `P rr)
+  | Rewrite.Rule.Query_rule (l, rr) -> (`Q l, `Q rr)
+
+let types schema = function
+  | `F f -> (
+    match Typing.func_ty schema f with
+    | _ -> None
+    | exception Typing.Type_error msg -> Some msg
+    | exception Schema.Schema_error msg -> Some msg)
+  | `P p -> (
+    match Typing.pred_ty schema p with
+    | _ -> None
+    | exception Typing.Type_error msg -> Some msg
+    | exception Schema.Schema_error msg -> Some msg)
+  | `Q (f, _) -> (
+    match Typing.func_ty schema f with
+    | _ -> None
+    | exception Typing.Type_error msg -> Some msg
+    | exception Schema.Schema_error msg -> Some msg)
+
+let check ?(schema = Schema.paper) (r : Rewrite.Rule.t) : problem list =
+  let lhs, rhs = sides r in
+  let lhs_holes = holes_of_side lhs in
+  let rhs_holes = holes_of_side rhs in
+  let unbound =
+    List.filter_map
+      (fun h -> if List.mem h lhs_holes then None else Some (Unbound_rhs_hole h))
+      rhs_holes
+  in
+  let bare =
+    match lhs with
+    | `F (Term.Fhole _) | `P (Term.Phole _) -> [ Lhs_is_a_bare_hole ]
+    | _ -> []
+  in
+  let typing =
+    List.filter_map
+      (fun (name, side) ->
+        Option.map (fun msg -> Side_does_not_type (name ^ ": " ^ msg)) (types schema side))
+      [ ("lhs", lhs); ("rhs", rhs) ]
+  in
+  let precond =
+    List.filter_map
+      (fun pre ->
+        let tagged = "f:" ^ pre.Rewrite.Rule.hole in
+        if List.mem tagged lhs_holes then None
+        else Some (Unknown_precondition_hole pre.Rewrite.Rule.hole))
+      r.Rewrite.Rule.preconditions
+  in
+  unbound @ bare @ typing @ precond
+
+let check_all ?schema rules =
+  List.filter_map
+    (fun r ->
+      match check ?schema r with
+      | [] -> None
+      | problems -> Some (r, problems))
+    rules

@@ -1,0 +1,19 @@
+(** Static well-formedness checks on rules, complementing the semantic
+    certification of {!Cert}: unbound right-hand-side holes, catch-all
+    left-hand sides, untypable patterns, preconditions naming unknown
+    holes. *)
+
+type problem =
+  | Unbound_rhs_hole of string
+  | Lhs_is_a_bare_hole
+  | Side_does_not_type of string
+  | Unknown_precondition_hole of string
+
+val pp_problem : problem Fmt.t
+val check : ?schema:Kola.Schema.t -> Rewrite.Rule.t -> problem list
+
+val check_all :
+  ?schema:Kola.Schema.t ->
+  Rewrite.Rule.t list ->
+  (Rewrite.Rule.t * problem list) list
+(** Rules with at least one problem. *)

@@ -1,0 +1,60 @@
+(* Precondition rules (Section 4.2).
+
+   The paper's example:
+
+     injective(f) ::
+       (iterate(Kp(T), f) ! A) ∩ (iterate(Kp(T), f) ! B)
+         ≡ iterate(Kp(T), f) ! (A ∩ B)
+
+   As a function rule: inter ∘ (iterate(Kp T, f) × iterate(Kp T, f))
+                         ≡ iterate(Kp T, f) ∘ inter,
+   guarded by the [Injective] property, which {!Rewrite.Props} infers from
+   schema annotations and closure rules — never from code. *)
+
+open Kola.Term
+open Rewrite
+
+let f = Fhole "f"
+let p = Phole "p"
+let inj = [ { Rule.prop = Props.Injective; hole = "f" } ]
+
+let inj_inter =
+  Rule.fun_rule ~name:"inj-inter" ~preconditions:inj
+    ~description:"injective maps commute with intersection"
+    (Compose (Setop Inter, Times (Iterate (Kp true, f), Iterate (Kp true, f))))
+    (Compose (Iterate (Kp true, f), Setop Inter))
+
+let inj_diff =
+  Rule.fun_rule ~name:"inj-diff" ~preconditions:inj
+    ~description:"injective maps commute with difference"
+    (Compose (Setop Diff, Times (Iterate (Kp true, f), Iterate (Kp true, f))))
+    (Compose (Iterate (Kp true, f), Setop Diff))
+
+(* Union needs no precondition; the pair is kept together as an ablation of
+   how preconditions gate rules. *)
+let map_union =
+  Rule.fun_rule ~name:"map-union"
+    ~description:"maps commute with union (no precondition needed)"
+    (Compose (Setop Union, Times (Iterate (Kp true, f), Iterate (Kp true, f))))
+    (Compose (Iterate (Kp true, f), Setop Union))
+
+(* For injective f, selections on f-images can move inside the map:
+   iterate(p ⊕ f, f) counts each source exactly once, so
+   cnt ∘ iterate(Kp T, f) ≡ cnt  (count is preserved by injective maps). *)
+let inj_count =
+  Rule.fun_rule ~name:"inj-count" ~preconditions:inj
+    ~description:"injective maps preserve cardinality"
+    (Compose (Agg Count, Iterate (Kp true, f)))
+    (Agg Count)
+
+(* Totality-guarded rule: con(p, f, f) ≡ f needs no guard, but pushing a
+   possibly-failing f out of a guarded branch does.  For total f:
+   con(p, f ∘ g, f ∘ h) ≡ f ∘ con(p, g, h). *)
+let total_con_factor =
+  Rule.fun_rule ~name:"total-con-factor"
+    ~preconditions:[ { Rule.prop = Props.Total; hole = "f" } ]
+    ~description:"factor a total function out of a conditional"
+    (Con (p, Compose (f, Fhole "g"), Compose (f, Fhole "h")))
+    (Compose (f, Con (p, Fhole "g", Fhole "h")))
+
+let all = [ inj_inter; inj_diff; map_union; inj_count; total_con_factor ]

@@ -1,0 +1,16 @@
+(** Precondition-guarded rules (Section 4.2): properties established by
+    inference over schema annotations, never by code. *)
+
+val inj_inter : Rewrite.Rule.t
+(** The paper's example: injective maps commute with intersection. *)
+
+val inj_diff : Rewrite.Rule.t
+
+(** No precondition needed — kept as the contrast case. *)
+val map_union : Rewrite.Rule.t
+
+(** Injective maps preserve cardinality. *)
+val inj_count : Rewrite.Rule.t
+
+val total_con_factor : Rewrite.Rule.t
+val all : Rewrite.Rule.t list

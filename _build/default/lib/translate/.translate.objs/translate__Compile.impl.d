@@ -1,0 +1,1 @@
+lib/translate/compile.ml: Aqua Fmt Kola List String Term Value

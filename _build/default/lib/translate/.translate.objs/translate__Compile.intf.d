@@ -1,0 +1,1 @@
+lib/translate/compile.mli: Aqua Kola

@@ -1,0 +1,168 @@
+(* The AQUA → KOLA combinator translation of [11] (Cherniack & Zdonik,
+   "Combinator translations of queries", Brown TR CS-95-40), as described in
+   Sections 3 and 4.2 of the paper.
+
+   Variables are compiled away by making environments explicit: an
+   environment for variables [x1; ...; xn] (x1 outermost) is the
+   left-nested pair [..[x1, x2].., xn].  Variable access is a π-chain,
+   iteration under an environment uses [iter] (whose pairs [e, y] carry the
+   environment to each element), and environments are *extended* with
+   ⟨id, ·⟩ — exactly the shapes visible in the paper's KG1.
+
+   [query] translates a closed AQUA query to a KOLA query (function !
+   argument); the KG1 form of Figure 3 falls out of [Aqua.Examples.garage]
+   verbatim (see test/test_translate.ml). *)
+
+open Kola
+open Kola.Term
+
+exception Untranslatable of string
+
+(* Smart composition: unit laws (rules 1 and 2) applied during translation,
+   as the paper's printed translations assume. *)
+let ( *^ ) f g =
+  match f, g with
+  | Id, g -> g
+  | f, Id -> f
+  | f, g -> Compose (f, g)
+
+let fail fmt = Fmt.kstr (fun s -> raise (Untranslatable s)) fmt
+
+(* Variable access: position [i] (1-based, 1 = outermost) in an environment
+   of [n] variables. *)
+let rec access n i =
+  if n = 1 && i = 1 then Id
+  else if i = n then Pi2
+  else if i < n then access (n - 1) i *^ Pi1
+  else invalid_arg "access: index out of range"
+
+let lookup env x =
+  let n = List.length env in
+  (* innermost binding of x wins (shadowing): search from the right *)
+  let rec go i best = function
+    | [] -> best
+    | y :: rest -> go (i + 1) (if String.equal x y then Some i else best) rest
+  in
+  match go 1 None env with
+  | Some i -> access n i
+  | None -> fail "unbound variable %s" x
+
+let comparison (op : Aqua.Ast.binop) : pred =
+  match op with
+  | Aqua.Ast.Eq -> Eq
+  | Aqua.Ast.Leq -> Leq
+  | Aqua.Ast.Gt -> Gt
+  | Aqua.Ast.Lt -> Conv Gt   (* a < b  ⟺  b > a *)
+  | Aqua.Ast.Geq -> Conv Leq (* a ≥ b  ⟺  b ≤ a *)
+  | Aqua.Ast.In -> In
+  | _ -> invalid_arg "comparison"
+
+let arith (op : Aqua.Ast.binop) : func =
+  match op with
+  | Aqua.Ast.Add -> Arith Add
+  | Aqua.Ast.Sub -> Arith Sub
+  | Aqua.Ast.Mul -> Arith Mul
+  | Aqua.Ast.Union -> Setop Union
+  | Aqua.Ast.Inter -> Setop Inter
+  | Aqua.Ast.Diff -> Setop Diff
+  | _ -> invalid_arg "arith"
+
+(* F(e, ρ): a KOLA function such that F ! ρval = the value of e under ρ. *)
+let rec func env (e : Aqua.Ast.expr) : func =
+  match e with
+  | Aqua.Ast.Var x -> lookup env x
+  | Aqua.Ast.Const v -> Kf v
+  | Aqua.Ast.Extent s -> Kf (Value.Named s)
+  | Aqua.Ast.Path (e, attr) -> Prim attr *^ func env e
+  | Aqua.Ast.Pair (a, b) -> Pairf (func env a, func env b)
+  | Aqua.Ast.App (l, set) ->
+    Iter (Kp true, func (env @ [ l.v ]) l.body) *^ Pairf (Id, func env set)
+  | Aqua.Ast.Sel (l, set) ->
+    Iter (pred (env @ [ l.v ]) l.body, Pi2) *^ Pairf (Id, func env set)
+  | Aqua.Ast.Flatten e -> Flat *^ func env e
+  | Aqua.Ast.Join (p, f, a, b) ->
+    func env (Aqua.Ast.desugar_join p f a b)
+  | Aqua.Ast.If (c, t, e) -> Con (pred env c, func env t, func env e)
+  | Aqua.Ast.Agg (op, e) -> Agg op *^ func env e
+  | Aqua.Ast.SetLit [] -> Kf (Value.set [])
+  | Aqua.Ast.SetLit [ e ] -> Sng *^ func env e
+  | Aqua.Ast.SetLit (e :: rest) ->
+    (* {e1, ..., en} = {e1} ∪ {e2, ..., en} *)
+    Compose
+      (Setop Union, Pairf (Sng *^ func env e, func env (Aqua.Ast.SetLit rest)))
+  | Aqua.Ast.Not _ | Aqua.Ast.Bin ((Eq | Leq | Lt | Gt | Geq | In | And | Or), _, _)
+    ->
+    (* A boolean expression in value position becomes a conditional. *)
+    Con (pred env e, Kf (Value.Bool true), Kf (Value.Bool false))
+  | Aqua.Ast.Bin (op, a, b) ->
+    Compose (arith op, Pairf (func env a, func env b))
+
+(* P(e, ρ): a KOLA predicate such that P ? ρval ⟺ e under ρ. *)
+and pred env (e : Aqua.Ast.expr) : pred =
+  match e with
+  | Aqua.Ast.Const (Value.Bool b) -> Kp b
+  | Aqua.Ast.Bin ((Eq | Leq | Lt | Gt | Geq | In) as op, a, b) ->
+    Oplus (comparison op, Pairf (func env a, func env b))
+  | Aqua.Ast.Bin (And, a, b) -> Andp (pred env a, pred env b)
+  | Aqua.Ast.Bin (Or, a, b) -> Orp (pred env a, pred env b)
+  | Aqua.Ast.Not e -> Inv (pred env e)
+  | _ ->
+    (* Fallback: compare the boolean value against true. *)
+    Oplus (Eq, Pairf (func env e, Kf (Value.Bool true)))
+
+(* Translate a closed query to (function, argument).  Top-level app/sel over
+   a set expression become [iterate]s composed onto the translation of the
+   set, so translations of the paper's examples take the paper's printed
+   top-level forms. *)
+let rec query (e : Aqua.Ast.expr) : query =
+  match e with
+  | Aqua.Ast.Extent s -> Term.query Id (Value.Named s)
+  | Aqua.Ast.App (l, set) ->
+    let inner = query set in
+    Term.query
+      (compose_or_id (Iterate (Kp true, func [ l.v ] l.body)) inner.body)
+      inner.arg
+  | Aqua.Ast.Sel (l, set) ->
+    let inner = query set in
+    Term.query
+      (compose_or_id (Iterate (pred [ l.v ] l.body, Id)) inner.body)
+      inner.arg
+  | Aqua.Ast.Flatten e ->
+    let inner = query e in
+    Term.query (compose_or_id Flat inner.body) inner.arg
+  | Aqua.Ast.Join (p, f, a, b)
+    when not (Aqua.Vars.is_free p.v1 a || Aqua.Vars.is_free p.v2 b) ->
+    let qa = query a and qb = query b in
+    let body2 = [ p.v1; p.v2 ] in
+    let j = Join (pred body2 p.body2, func body2 f.Aqua.Ast.body2) in
+    let feed =
+      match qa.body, qb.body with
+      | Id, Id -> j
+      | fa, fb -> Compose (j, Times (fa, fb))
+    in
+    Term.query feed (Value.Pair (qa.arg, qb.arg))
+  | e when Aqua.Vars.S.is_empty (Aqua.Vars.free_vars e) ->
+    (* Any other closed expression: translate under a dummy environment. *)
+    Term.query (func [ "$closed" ] e) Value.Unit
+  | _ -> fail "query translation requires a closed expression"
+
+and compose_or_id f g = f *^ g
+
+(* Metrics for the Section 4.2 experiment. *)
+type metrics = {
+  aqua_size : int;       (** n: nodes in the source *)
+  nesting : int;         (** m: max simultaneously bound variables *)
+  kola_size : int;       (** nodes in the translation *)
+  ratio : float;         (** kola_size / aqua_size *)
+}
+
+let measure (e : Aqua.Ast.expr) : metrics =
+  let q = query e in
+  let aqua_size = Aqua.Ast.size e in
+  let kola_size = Term.size_func q.body + Value.size q.arg in
+  {
+    aqua_size;
+    nesting = Aqua.Ast.max_nesting e;
+    kola_size;
+    ratio = float_of_int kola_size /. float_of_int aqua_size;
+  }

@@ -1,0 +1,34 @@
+(** The AQUA → KOLA combinator translation of [11], as used in Sections 3
+    and 4.2 of the paper.
+
+    Variables are compiled away by making environments explicit: the
+    environment for variables x1..xn is the left-nested pair
+    [..[x1, x2].., xn]; variable access is a π-chain; iteration under an
+    environment uses [iter]; environments extend with ⟨id, ·⟩.  The garage
+    query of {!Aqua.Examples.garage} translates to the paper's KG1
+    verbatim. *)
+
+exception Untranslatable of string
+
+val access : int -> int -> Kola.Term.func
+(** [access n i]: the π-chain reading variable i (1-based, 1 = outermost)
+    from an environment of n variables. *)
+
+val func : string list -> Aqua.Ast.expr -> Kola.Term.func
+(** [func env e]: a function F with F ! ρ = e under environment ρ. *)
+
+val pred : string list -> Aqua.Ast.expr -> Kola.Term.pred
+
+val query : Aqua.Ast.expr -> Kola.Term.query
+(** Translate a closed query.
+    @raise Untranslatable on open expressions or untranslatable forms. *)
+
+(** Metrics for the Section 4.2 size experiment. *)
+type metrics = {
+  aqua_size : int;  (** n: nodes in the source *)
+  nesting : int;    (** m: maximum simultaneously bound variables *)
+  kola_size : int;  (** nodes in the translation *)
+  ratio : float;    (** kola_size / aqua_size; the paper observed < 2 *)
+}
+
+val measure : Aqua.Ast.expr -> metrics

@@ -1,0 +1,1 @@
+test/test_aqua.ml: Alcotest Aqua Gen Kola List QCheck QCheck_alcotest Test Util Value

@@ -1,0 +1,1 @@
+test/test_bags.ml: Alcotest Datagen Eval Kola List Paper Term Util Value

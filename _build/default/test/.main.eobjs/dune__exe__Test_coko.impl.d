@@ -1,0 +1,1 @@
+test/test_coko.ml: Alcotest Coko Fmt Kola List Paper Pretty Rewrite Term Util Value

@@ -1,0 +1,1 @@
+test/test_company.ml: Alcotest Aqua Datagen Eval Kola List Optimizer Option Parse Rewrite Rules Schema Term Ty Typing Util Value

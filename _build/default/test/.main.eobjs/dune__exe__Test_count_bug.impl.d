@@ -1,0 +1,1 @@
+test/test_count_bug.ml: Alcotest Eval Fmt Kola List Term Util Value

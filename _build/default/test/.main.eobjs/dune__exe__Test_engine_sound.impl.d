@@ -1,0 +1,1 @@
+test/test_engine_sound.ml: Alcotest Aqua Datagen Eval Kola List Option Paper QCheck QCheck_alcotest Rewrite Rules Test Translate Util Value

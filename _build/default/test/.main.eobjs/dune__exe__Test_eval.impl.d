@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Datagen Eval Kola Option Paper Term Util Value

@@ -1,0 +1,1 @@
+test/test_fig4.ml: Alcotest Coko Dump Eval Fmt Kola List Paper Rewrite Rules Term Util Value

@@ -1,0 +1,1 @@
+test/test_fig6.ml: Alcotest Coko Dump Fmt Kola List Option Paper Rewrite Rules Term Util Value

@@ -1,0 +1,1 @@
+test/test_garage.ml: Alcotest Coko Datagen Eval Fmt Kola List Option Paper Term Util

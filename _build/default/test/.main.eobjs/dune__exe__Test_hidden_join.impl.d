@@ -1,0 +1,1 @@
+test/test_hidden_join.ml: Alcotest Aqua Coko Fmt Kola List Option Pretty Rewrite Rules Term Translate Util Value

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Coko Dump Fmt Kola List Rewrite Rules Util

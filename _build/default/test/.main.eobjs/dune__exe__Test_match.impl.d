@@ -1,0 +1,1 @@
+test/test_match.ml: Alcotest Gen Kola List Option Pretty QCheck QCheck_alcotest Rewrite Test Util Value

@@ -1,0 +1,1 @@
+test/test_monolithic.ml: Alcotest Aqua Baseline Coko Fmt Kola List Option Paper Term Translate Util

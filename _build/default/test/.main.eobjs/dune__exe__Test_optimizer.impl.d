@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Aqua Datagen Eval Filename Fmt Kola List Optimizer Option Paper Rewrite Rules Util

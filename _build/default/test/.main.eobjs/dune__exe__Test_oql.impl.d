@@ -1,0 +1,1 @@
+test/test_oql.ml: Alcotest Aqua Kola List Optimizer Option Oql Util Value

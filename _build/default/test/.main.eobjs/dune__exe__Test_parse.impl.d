@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Gen Kola List Paper Parse Pretty QCheck QCheck_alcotest Term Test Util Value

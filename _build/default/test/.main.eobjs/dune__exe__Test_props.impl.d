@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Eval Kola Option Paper Rewrite Rules Schema Term Util Value

@@ -1,0 +1,1 @@
+test/test_rules_cert.ml: Alcotest Fmt Kola Lazy List Option Rewrite Rules String Util

@@ -1,0 +1,1 @@
+test/test_rules_extra.ml: Alcotest Aqua Coko Datagen Eval Kola List Option Pretty Rewrite Rules Term Util Value

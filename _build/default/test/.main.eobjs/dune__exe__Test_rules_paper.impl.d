@@ -1,0 +1,1 @@
+test/test_rules_paper.ml: Alcotest Datagen Eval Kola List Paper Pretty Rewrite Rules Term Util Value

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Dump Filename Fmt Kola List Optimizer Option Paper Rewrite Rules Term Util Value

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Aqua Datagen Eval Kola List Option Paper Term Translate Util Value

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Dump Fmt Kola Pretty Rewrite Rules Util Value

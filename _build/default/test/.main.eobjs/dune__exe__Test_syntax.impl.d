@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Coko Kola List Option Paper Rewrite Rules Sys Term Util

@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Fmt Gen Kola List Paper Pretty QCheck QCheck_alcotest Term Test Util Value

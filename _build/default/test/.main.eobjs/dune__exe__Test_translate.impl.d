@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Aqua Datagen Eval Fmt Kola List Paper Pretty QCheck QCheck_alcotest Term Translate Util Value

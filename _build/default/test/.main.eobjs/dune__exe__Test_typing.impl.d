@@ -1,0 +1,1 @@
+test/test_typing.ml: Alcotest Kola Paper Schema Term Ty Typing Util Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Gen Kola List QCheck QCheck_alcotest Test Util Value

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Aqua Datagen Eval Kola Pretty Term Translate Ty Value

@@ -1,0 +1,135 @@
+(* The AQUA substrate: evaluation, free variables, capture-avoiding
+   substitution, α-equivalence — the paper's "additional machinery". *)
+
+open Kola
+open Aqua.Ast
+open Util
+
+let fv e = Aqua.Vars.S.elements (Aqua.Vars.free_vars e)
+
+let tests =
+  [
+    case "A3/A4 free variables (the Section 2.2 distinction)" (fun () ->
+        (* in A3 the inner predicate has no free occurrence of p; in A4 it
+           does — checked on the inner lambda bodies *)
+        let inner_pred_of = function
+          | App (l, _) -> (
+            match l.body with
+            | Pair (_, Sel (inner, _)) -> inner.body
+            | _ -> assert false)
+          | _ -> assert false
+        in
+        Alcotest.check (Alcotest.list Alcotest.string) "a3 inner" [ "c" ]
+          (fv (inner_pred_of Aqua.Examples.a3));
+        Alcotest.check (Alcotest.list Alcotest.string) "a4 inner" [ "p" ]
+          (fv (inner_pred_of Aqua.Examples.a4)));
+    case "closed queries have no free variables" (fun () ->
+        Alcotest.check (Alcotest.list Alcotest.string) "garage" []
+          (fv Aqua.Examples.garage));
+    case "substitution composes expressions (T1's body routine)" (fun () ->
+        let composed =
+          Aqua.Vars.subst "a" (Path (Var "p", "addr")) (Path (Var "a", "city"))
+        in
+        Alcotest.check aqua "p.addr.city"
+          (Path (Path (Var "p", "addr"), "city"))
+          composed);
+    case "substitution avoids capture" (fun () ->
+        (* (λx. [x, y]) with y := x must rename the binder *)
+        let e = App (lam "x" (Pair (Var "x", Var "y")), Extent "P") in
+        let e' = Aqua.Vars.subst "y" (Var "x") e in
+        match e' with
+        | App (l, _) -> (
+          Alcotest.check Alcotest.bool "binder renamed" true (l.v <> "x");
+          match l.body with
+          | Pair (Var bound, Var free) ->
+            Alcotest.check Alcotest.string "bound follows binder" l.v bound;
+            Alcotest.check Alcotest.string "free is x" "x" free
+          | _ -> Alcotest.fail "unexpected body")
+        | _ -> Alcotest.fail "unexpected shape");
+    case "alpha-equivalence identifies renamed lambdas" (fun () ->
+        let a = App (lam "x" (Path (Var "x", "age")), Extent "P") in
+        let b = App (lam "p" (Path (Var "p", "age")), Extent "P") in
+        Alcotest.check Alcotest.bool "equal" true (Aqua.Vars.alpha_equal a b));
+    case "alpha-equivalence distinguishes A3 and A4" (fun () ->
+        Alcotest.check Alcotest.bool "differ" false
+          (Aqua.Vars.alpha_equal Aqua.Examples.a3 Aqua.Examples.a4));
+    case "evaluation: T1 source and target agree" (fun () ->
+        Alcotest.check value "t1"
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.t1_source)
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.t1_target));
+    case "evaluation: T2 source and target agree" (fun () ->
+        Alcotest.check value "t2"
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.t2_source)
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.t2_target));
+    case "evaluation: A4 equals its code-motion form, A3 differs from A4"
+      (fun () ->
+        Alcotest.check value "a4"
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.a4)
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.a4_optimized);
+        Alcotest.check Alcotest.bool "a3 vs a4" false
+          (Value.equal
+             (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.a3)
+             (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.a4)));
+    case "join desugaring preserves semantics" (fun () ->
+        let p = lam2 "a" "b" (Bin (In, Var "a", Path (Var "b", "cars"))) in
+        let f = lam2 "a" "b" (Pair (Var "a", Var "b")) in
+        let j = Join (p, f, Extent "V", Extent "P") in
+        let d = desugar_join p f (Extent "V") (Extent "P") in
+        Alcotest.check value "join = desugared"
+          (Aqua.Eval.eval_closed ~db:tiny_db j)
+          (Aqua.Eval.eval_closed ~db:tiny_db d));
+    case "unbound variables raise" (fun () ->
+        Alcotest.check_raises "unbound" (Aqua.Eval.Error "unbound variable z")
+          (fun () -> ignore (Aqua.Eval.eval_closed ~db:tiny_db (Var "z"))));
+    case "and/or short-circuit" (fun () ->
+        (* the right operand would raise if evaluated *)
+        let boom = Path (Const (int 1), "age") in
+        Alcotest.check value "and" (Value.Bool false)
+          (Aqua.Eval.eval_closed (Bin (And, Const (Value.Bool false), boom)));
+        Alcotest.check value "or" (Value.Bool true)
+          (Aqua.Eval.eval_closed (Bin (Or, Const (Value.Bool true), boom))));
+    case "size and nesting measures" (fun () ->
+        Alcotest.check Alcotest.int "garage nesting" 2
+          (max_nesting Aqua.Examples.garage);
+        Alcotest.check Alcotest.bool "size positive" true
+          (size Aqua.Examples.garage > 10));
+  ]
+
+let props =
+  let open QCheck in
+  let var_names = [ "x"; "y"; "z" ] in
+  let rec expr_gen n =
+    let open Gen in
+    if n = 0 then
+      oneof
+        [
+          map (fun v -> Var v) (oneofl var_names);
+          map (fun i -> Const (Value.Int i)) small_int;
+          return (Extent "P");
+        ]
+    else
+      oneof
+        [
+          map (fun v -> Var v) (oneofl var_names);
+          map2 (fun a b -> Pair (a, b)) (expr_gen (n - 1)) (expr_gen (n - 1));
+          map2
+            (fun v body -> App (lam v body, Extent "P"))
+            (oneofl var_names) (expr_gen (n - 1));
+          map (fun e -> Path (e, "age")) (expr_gen (n - 1));
+        ]
+  in
+  let arb = QCheck.make ~print:Aqua.Pretty.to_string (expr_gen 4) in
+  [
+    Test.make ~name:"alpha_equal is reflexive" ~count:200 arb (fun e ->
+        Aqua.Vars.alpha_equal e e);
+    Test.make ~name:"substituting a non-free variable is the identity"
+      ~count:200 arb (fun e ->
+        Aqua.Vars.is_free "w" e
+        || Aqua.Vars.alpha_equal e (Aqua.Vars.subst "w" (Const (Value.Int 9)) e));
+    Test.make ~name:"substitution eliminates the substituted variable"
+      ~count:200 arb (fun e ->
+        let e' = Aqua.Vars.subst "x" (Const (Value.Int 1)) e in
+        not (Aqua.Vars.is_free "x" e'));
+  ]
+
+let tests = tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

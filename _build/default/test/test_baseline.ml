@@ -1,0 +1,74 @@
+(* The Starburst/EXODUS-style baseline (experiments E-F1, E-F2): the same
+   transformations need head and body routines over AQUA. *)
+
+open Util
+
+let run rules e = (Baseline.Engine.run rules e).Baseline.Engine.expr
+
+let tests =
+  [
+    case "T1: composing map bodies (body routine does substitution)" (fun () ->
+        Alcotest.check aqua "target" Aqua.Examples.t1_target
+          (run [ Baseline.Catalog.t1_compose_maps ] Aqua.Examples.t1_source));
+    case "T1 preserves semantics" (fun () ->
+        let e = run [ Baseline.Catalog.t1_compose_maps ] Aqua.Examples.t1_source in
+        Alcotest.check value "sem"
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.t1_source)
+          (Aqua.Eval.eval_closed ~db:tiny_db e));
+    case "T2: decomposing a predicate (head routine does α-comparison)"
+      (fun () ->
+        Alcotest.check aqua "target" Aqua.Examples.t2_target
+          (run [ Baseline.Catalog.t2_decompose_predicate ] Aqua.Examples.t2_source));
+    case "T2's head routine sees through the renamed binder" (fun () ->
+        (* the paper's example: λ(x) x.age must be recognised inside
+           λ(p) p.age > 25 *)
+        let o =
+          Baseline.Engine.run [ Baseline.Catalog.t2_decompose_predicate ]
+            Aqua.Examples.t2_source
+        in
+        Alcotest.check Alcotest.int "fired once" 1 (List.length o.Baseline.Engine.trace));
+    case "T2 refuses mismatched bodies" (fun () ->
+        (* app(λx.x.name) over sel on age: not the same subfunction *)
+        let e =
+          Aqua.Ast.(
+            App
+              ( lam "x" (Path (Var "x", "name")),
+                Sel (lam "p" (Bin (Gt, Path (Var "p", "age"), Const (int 25))), Extent "P") ))
+        in
+        let o = Baseline.Engine.run [ Baseline.Catalog.t2_decompose_predicate ] e in
+        Alcotest.check Alcotest.int "no firing" 0 (List.length o.Baseline.Engine.trace));
+    case "code motion fires on A4" (fun () ->
+        Alcotest.check aqua "a4 optimized" Aqua.Examples.a4_optimized
+          (run [ Baseline.Catalog.code_motion ] Aqua.Examples.a4));
+    case "code motion's head routine rejects A3 (environmental analysis)"
+      (fun () ->
+        let o = Baseline.Engine.run [ Baseline.Catalog.code_motion ] Aqua.Examples.a3 in
+        Alcotest.check Alcotest.int "no firing" 0 (List.length o.Baseline.Engine.trace));
+    case "code motion preserves semantics on both stores" (fun () ->
+        let e = run [ Baseline.Catalog.code_motion ] Aqua.Examples.a4 in
+        List.iter
+          (fun db ->
+            Alcotest.check value "sem"
+              (Aqua.Eval.eval_closed ~db Aqua.Examples.a4)
+              (Aqua.Eval.eval_closed ~db e))
+          [ tiny_db; gen_db ]);
+    case "selection cascade merges predicates" (fun () ->
+        let e =
+          Aqua.Ast.(
+            Sel
+              ( lam "x" (Bin (Gt, Path (Var "x", "age"), Const (int 10))),
+                Sel (lam "y" (Bin (Leq, Path (Var "y", "age"), Const (int 40))), Extent "P") ))
+        in
+        let e' = run [ Baseline.Catalog.sel_cascade ] e in
+        (match e' with
+        | Aqua.Ast.Sel (_, Aqua.Ast.Extent "P") -> ()
+        | _ -> Alcotest.fail "not merged");
+        Alcotest.check value "sem"
+          (Aqua.Eval.eval_closed ~db:tiny_db e)
+          (Aqua.Eval.eval_closed ~db:tiny_db e'));
+    case "engine rewrites leftmost-outermost and traces" (fun () ->
+        let e = Aqua.Examples.t1_source in
+        let o = Baseline.Engine.run Baseline.Catalog.all e in
+        Alcotest.check Alcotest.bool "traced" true
+          (List.length o.Baseline.Engine.trace >= 1));
+  ]

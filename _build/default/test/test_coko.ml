@@ -1,0 +1,78 @@
+(* COKO blocks: the strategy combinators and pipeline behaviour. *)
+
+open Kola
+open Coko.Block
+open Util
+
+let tests =
+  [
+    case "Use fires a single rule once" (fun () ->
+        let o = run (block "one" (Use [ "r11" ])) Paper.t1k_source in
+        Alcotest.check Alcotest.bool "applied" true o.applied;
+        Alcotest.check Alcotest.int "once" 1 (List.length o.trace));
+    case "Use fails when nothing matches" (fun () ->
+        let o = run (block "none" (Use [ "r15" ])) Paper.t1k_source in
+        Alcotest.check Alcotest.bool "not applied" false o.applied);
+    case "Repeat runs to exhaustion" (fun () ->
+        let o = run (block "rep" (Repeat (Use [ "r11" ]))) Paper.t1k_source in
+        Alcotest.check Alcotest.bool "applied" true o.applied;
+        (* only one iterate ∘ iterate pair exists *)
+        Alcotest.check Alcotest.int "once is exhaustion here" 1 (List.length o.trace));
+    case "Seq fails atomically if a later step fails" (fun () ->
+        let o = run (block "seq" (Seq [ Use [ "r11" ]; Use [ "r15" ] ])) Paper.t1k_source in
+        Alcotest.check Alcotest.bool "failed" false o.applied;
+        (* and leaves the query untouched *)
+        Alcotest.check query "unchanged" Paper.t1k_source o.query);
+    case "Try turns failure into identity" (fun () ->
+        let o = run (block "try" (Try (Use [ "r15" ]))) Paper.t1k_source in
+        Alcotest.check Alcotest.bool "applied (vacuously)" true o.applied;
+        Alcotest.check query "unchanged" Paper.t1k_source o.query);
+    case "Choice picks the first applicable step" (fun () ->
+        let o =
+          run (block "choice" (Choice [ Use [ "r15" ]; Use [ "r11" ] ])) Paper.t1k_source
+        in
+        Alcotest.check Alcotest.bool "applied" true o.applied;
+        match o.trace with
+        | [ s ] -> Alcotest.check Alcotest.string "rule" "r11" s.Rewrite.Engine.rule_name
+        | _ -> Alcotest.fail "expected one step");
+    case "pipelines record which blocks applied" (fun () ->
+        let _, blocks = Coko.Programs.hidden_join Paper.kg1 in
+        Alcotest.check Alcotest.int "five blocks" 5 (List.length blocks));
+    case "simplify normalizes identities" (fun () ->
+        let q =
+          Term.query
+            (Term.Compose (Term.Id, Term.Compose (Term.Prim "age", Term.Id)))
+            (Value.Named "P")
+        in
+        let o = run Coko.Programs.simplify q in
+        Alcotest.check query "clean"
+          (Term.query (Term.Prim "age") (Value.Named "P"))
+          o.query);
+    case "to-cnf pushes negation through conjunction" (fun () ->
+        let q =
+          Term.query
+            (Term.Iterate
+               ( Term.Inv
+                   (Term.Andp
+                      ( Term.Oplus (Term.Gt, Term.Pairf (Term.Prim "age", Term.Kf (int 30))),
+                        Term.Oplus (Term.Leq, Term.Pairf (Term.Prim "age", Term.Kf (int 50))) )),
+                 Term.Id ))
+            (Value.Named "P")
+        in
+        let o = run Coko.Programs.to_cnf q in
+        (match o.query.Term.body with
+        | Term.Iterate (Term.Orp (Term.Inv _, Term.Inv _), Term.Id) -> ()
+        | f -> Alcotest.failf "unexpected %a" Pretty.pp_func f);
+        check_sem_equal "cnf preserves" q o.query);
+    case "every named program is available" (fun () ->
+        Alcotest.check Alcotest.int "programs" 11 (List.length Coko.Programs.by_name));
+    case "blocks preserve semantics on the paper queries" (fun () ->
+        List.iter
+          (fun (name, b) ->
+            List.iter
+              (fun q ->
+                let o = run b q in
+                check_sem_equal (Fmt.str "%s preserves" name) q o.query)
+              [ Paper.kg1; Paper.k3; Paper.k4; Paper.t1k_source; Paper.t2k_source ])
+          Coko.Programs.by_name);
+  ]

@@ -1,0 +1,67 @@
+(* The global soundness property: any sequence of engine firings drawn from
+   the full catalog preserves the denotation of any (random, well-typed)
+   query.  This exercises every rule, the associativity-window matcher, the
+   traversal strategies and the query-rule machinery together.
+
+   Note the rule set is not terminating as a whole (x-join-expand and
+   x-sel-join-absorb oppose each other), so runs are fuel-bounded — the
+   property is about *prefixes* of derivations, which is what an optimizer
+   with a search strategy actually uses. *)
+
+open Kola
+open Util
+
+let preserved ?(fuel = 40) rules q db =
+  let before = resolved db (Eval.eval_query ~db q) in
+  let o = Rewrite.Engine.run ~fuel rules q in
+  let after = resolved db (Eval.eval_query ~db o.Rewrite.Engine.query) in
+  Value.equal before after
+
+let props =
+  let open QCheck in
+  let mk ~name ~depth ~rules ~count =
+    Test.make ~name ~count
+      (QCheck.make
+         ~print:(fun i ->
+           Aqua.Pretty.to_string (Datagen.Queries.query ~seed:i ~depth))
+         QCheck.Gen.(int_bound 1_000_000))
+      (fun i ->
+        let e = Datagen.Queries.query ~seed:i ~depth in
+        let q = Translate.Compile.query e in
+        preserved rules q tiny_db)
+  in
+  [
+    mk ~name:"full catalog preserves semantics (depth 2)" ~depth:2
+      ~rules:Rules.Catalog.all ~count:60;
+    mk ~name:"full catalog preserves semantics (depth 4)" ~depth:4
+      ~rules:Rules.Catalog.all ~count:60;
+    mk ~name:"figure-5 rules preserve semantics (depth 3)" ~depth:3
+      ~rules:Rules.Catalog.figure5 ~count:60;
+    mk ~name:"flipped figure-5 rules preserve semantics (depth 3)" ~depth:3
+      ~rules:(List.map Rewrite.Rule.flip Rules.Catalog.figure5) ~count:40;
+  ]
+
+let tests =
+  [
+    case "the full catalog preserves the paper queries" (fun () ->
+        List.iter
+          (fun q ->
+            Alcotest.check Alcotest.bool "preserved" true
+              (preserved Rules.Catalog.all q tiny_db))
+          [ Paper.kg1; Paper.kg2; Paper.k3; Paper.k4; Paper.t1k_source;
+            Paper.t2k_source ]);
+    case "fuel bounds runaway rule interactions" (fun () ->
+        (* x-join-expand / x-sel-join-absorb oppose each other; the engine
+           must stop at the fuel bound rather than hang *)
+        let o = Rewrite.Engine.run ~fuel:25 Rules.Catalog.all Paper.kg2 in
+        Alcotest.check Alcotest.bool "bounded" true
+          (List.length o.Rewrite.Engine.trace <= 25));
+    case "every firing in a trace names a catalog rule" (fun () ->
+        let o = Rewrite.Engine.run ~fuel:30 Rules.Catalog.all Paper.kg1 in
+        List.iter
+          (fun (s : Rewrite.Engine.step) ->
+            Alcotest.check Alcotest.bool s.rule_name true
+              (Option.is_some (Rules.Catalog.find s.rule_name)))
+          o.Rewrite.Engine.trace);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

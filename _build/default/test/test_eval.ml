@@ -1,0 +1,210 @@
+(* Operational semantics of Tables 1 and 2, checked literally against the
+   paper's semantics equations (experiments E-T1 / E-T2). *)
+
+open Kola
+open Kola.Term
+open Util
+
+let ef = Eval.eval_func ~db:tiny_db
+let ep = Eval.eval_pred ~db:tiny_db
+
+let alice =
+  match Datagen.Store.tiny () with
+  | { persons = a :: _; _ } -> a
+  | _ -> assert false
+
+let table1 =
+  [
+    case "id!x = x" (fun () ->
+        Alcotest.check value "id" (int 5) (ef Id (int 5)));
+    case "π1![x,y] = x and π2![x,y] = y" (fun () ->
+        Alcotest.check value "pi1" (int 1) (ef Pi1 (pair (int 1) (int 2)));
+        Alcotest.check value "pi2" (int 2) (ef Pi2 (pair (int 1) (int 2))));
+    case "eq?[x,y]" (fun () ->
+        Alcotest.check Alcotest.bool "eq" true (ep Eq (pair (int 3) (int 3)));
+        Alcotest.check Alcotest.bool "neq" false (ep Eq (pair (int 3) (int 4))));
+    case "leq / gt on ints" (fun () ->
+        Alcotest.check Alcotest.bool "leq" true (ep Leq (pair (int 3) (int 3)));
+        Alcotest.check Alcotest.bool "gt" false (ep Gt (pair (int 3) (int 3)));
+        Alcotest.check Alcotest.bool "gt2" true (ep Gt (pair (int 4) (int 3))));
+    case "in?[x,A]" (fun () ->
+        Alcotest.check Alcotest.bool "in" true
+          (ep In (pair (int 2) (set [ int 1; int 2 ])));
+        Alcotest.check Alcotest.bool "notin" false
+          (ep In (pair (int 9) (set [ int 1; int 2 ]))));
+    case "(f ∘ g)!x = f!(g!x)" (fun () ->
+        Alcotest.check value "compose" (Value.str "Providence")
+          (ef (Compose (Prim "city", Prim "addr")) alice));
+    case "⟨f, g⟩!x = [f!x, g!x]" (fun () ->
+        Alcotest.check value "pairf"
+          (pair (int 30) (int 30))
+          (ef (Pairf (Prim "age", Prim "age")) alice));
+    case "(f × g)![x,y] = [f!x, g!y]" (fun () ->
+        Alcotest.check value "times"
+          (pair (int 2) (int 3))
+          (ef (Times (Id, Id)) (pair (int 2) (int 3))));
+    case "Kf(x)!y = x" (fun () ->
+        Alcotest.check value "kf" (int 9) (ef (Kf (int 9)) (int 1)));
+    case "Cf(f, x)!y = f![x, y]" (fun () ->
+        Alcotest.check value "cf" (int 7) (ef (Cf (Pi1, int 7)) (int 1)));
+    case "con(p, f, g)!x branches on p?x" (fun () ->
+        let c = Con (Kp true, Kf (int 1), Kf (int 2)) in
+        Alcotest.check value "then" (int 1) (ef c Value.Unit);
+        let c = Con (Kp false, Kf (int 1), Kf (int 2)) in
+        Alcotest.check value "else" (int 2) (ef c Value.Unit));
+    case "(p ⊕ f)?x = p?(f!x)" (fun () ->
+        let p = Oplus (Gt, Pairf (Prim "age", Kf (int 25))) in
+        Alcotest.check Alcotest.bool "oplus" true (ep p alice));
+    case "& | and ⁻¹" (fun () ->
+        Alcotest.check Alcotest.bool "and" false
+          (ep (Andp (Kp true, Kp false)) Value.Unit);
+        Alcotest.check Alcotest.bool "or" true
+          (ep (Orp (Kp true, Kp false)) Value.Unit);
+        Alcotest.check Alcotest.bool "inv" true (ep (Inv (Kp false)) Value.Unit));
+    case "pᵒ swaps its pair (converse)" (fun () ->
+        Alcotest.check Alcotest.bool "conv gt = lt" true
+          (ep (Conv Gt) (pair (int 1) (int 2)));
+        Alcotest.check Alcotest.bool "conv gt boundary" false
+          (ep (Conv Gt) (pair (int 2) (int 2))));
+    case "Kp(b)?x = b" (fun () ->
+        Alcotest.check Alcotest.bool "kp" true (ep (Kp true) (int 0)));
+    case "Cp(p, x)?y = p?[x, y]" (fun () ->
+        Alcotest.check Alcotest.bool "cp" true
+          (ep (Cp (Gt, int 5)) (int 3)))
+    (* gt?[5,3] *);
+  ]
+
+let table2 =
+  [
+    case "flat!A unions the members" (fun () ->
+        Alcotest.check value "flat"
+          (set [ int 1; int 2; int 3 ])
+          (ef Flat (set [ set [ int 1; int 2 ]; set [ int 3 ]; set [] ])));
+    case "iterate(p, f)!A maps and filters" (fun () ->
+        (* keep elements > 0, double them *)
+        let double = Compose (Arith Mul, Pairf (Id, Kf (int 2))) in
+        let positive = Oplus (Gt, Pairf (Id, Kf (int 0))) in
+        Alcotest.check value "iterate"
+          (set [ int 2; int 4 ])
+          (ef (Iterate (positive, double)) (set [ int 1; int 2; int 0; int (-3) ])));
+    case "iter(p, f)![e, B] supplies the environment" (fun () ->
+        (* iter(gt, π2)![5, {1,9}] keeps elements with 5 > y *)
+        Alcotest.check value "iter"
+          (set [ int 1 ])
+          (ef (Iter (Gt, Pi2)) (pair (int 5) (set [ int 1; int 9 ]))));
+    case "join(p, f)![A, B] is a filtered cross product" (fun () ->
+        Alcotest.check value "join"
+          (set [ pair (int 2) (int 1) ])
+          (ef
+             (Join (Gt, Id))
+             (pair (set [ int 1; int 2 ]) (set [ int 1; int 2 ]))));
+    case "nest(f, g)![A, B] groups relative to B (no NULLs)" (fun () ->
+        (* group pairs by first component, relative to {1,2,3}; 3 gets {} *)
+        let a =
+          set [ pair (int 1) (int 10); pair (int 1) (int 11); pair (int 2) (int 20) ]
+        in
+        let b = set [ int 1; int 2; int 3 ] in
+        Alcotest.check value "nest"
+          (set
+             [
+               pair (int 1) (set [ int 10; int 11 ]);
+               pair (int 2) (set [ int 20 ]);
+               pair (int 3) (set []);
+             ])
+          (ef (Nest (Pi1, Pi2)) (pair a b)));
+    case "unnest(f, g)!A flattens one level" (fun () ->
+        let a = set [ pair (int 1) (set [ int 10; int 11 ]) ] in
+        Alcotest.check value "unnest"
+          (set [ pair (int 1) (int 10); pair (int 1) (int 11) ])
+          (ef (Unnest (Pi1, Pi2)) a));
+    case "hashed join agrees with naive join" (fun () ->
+        let q = Paper.kg2 in
+        Alcotest.check value "backends agree"
+          (resolved tiny_db (eval_tiny ~backend:Eval.Naive q))
+          (resolved tiny_db (eval_tiny ~backend:Eval.Hashed q)));
+    case "hashed nest agrees with naive nest" (fun () ->
+        let a =
+          set [ pair (int 1) (int 10); pair (int 2) (int 20); pair (int 1) (int 30) ]
+        in
+        let b = set [ int 1; int 2; int 9 ] in
+        let q = Term.query (Nest (Pi1, Pi2)) (pair a b) in
+        Alcotest.check value "backends agree"
+          (eval_tiny ~backend:Eval.Naive q)
+          (eval_tiny ~backend:Eval.Hashed q));
+    case "aggregates" (fun () ->
+        Alcotest.check value "count" (int 3)
+          (ef (Agg Count) (set [ int 5; int 6; int 7 ]));
+        Alcotest.check value "sum" (int 18)
+          (ef (Agg Sum) (set [ int 5; int 6; int 7 ]));
+        Alcotest.check value "max" (int 7)
+          (ef (Agg Max) (set [ int 5; int 6; int 7 ]));
+        Alcotest.check value "count {} = 0" (int 0) (ef (Agg Count) (set [])));
+    case "max of empty set raises" (fun () ->
+        Alcotest.check_raises "max {}" (Eval.Error "max of empty set")
+          (fun () -> ignore (ef (Agg Max) (set []))));
+    case "set operations" (fun () ->
+        let a = set [ int 1; int 2 ] and b = set [ int 2; int 3 ] in
+        Alcotest.check value "union" (set [ int 1; int 2; int 3 ])
+          (ef (Setop Union) (pair a b));
+        Alcotest.check value "inter" (set [ int 2 ]) (ef (Setop Inter) (pair a b));
+        Alcotest.check value "diff" (set [ int 1 ]) (ef (Setop Diff) (pair a b)));
+    case "evaluating a hole fails" (fun () ->
+        Alcotest.check_raises "hole" (Eval.Error "evaluated a pattern hole ?x")
+          (fun () -> ignore (ef (Fhole "x") (int 1))));
+    case "unbound extent fails" (fun () ->
+        Alcotest.check_raises "unbound" (Eval.Error "unbound database name Z")
+          (fun () -> ignore (Eval.eval_func (Kf (Value.Named "Z")) Value.Unit)));
+    case "counters record work" (fun () ->
+        let ctx = Eval.ctx ~db:tiny_db () in
+        ignore (Eval.run ctx Paper.kg1);
+        Alcotest.check Alcotest.bool "tuples counted" true
+          (ctx.Eval.counters.Eval.tuples > 0));
+  ]
+
+let reduction_of_section3 =
+  [
+    case "the Section 3 reduction: iterate(Kp(T), city ∘ addr) ! P" (fun () ->
+        (* = {city!(addr!e) | e ∈ P} *)
+        let q =
+          Term.query (Iterate (Kp true, Compose (Prim "city", Prim "addr")))
+            (Value.Named "P")
+        in
+        let expected = set [ Value.str "Providence"; Value.str "Boston" ] in
+        Alcotest.check value "cities" expected (eval_tiny q));
+  ]
+
+let tests = table1 @ table2 @ reduction_of_section3
+
+(* Regression coverage for the pair-former shapes of hash_joinable. *)
+let hash_joinable_shapes =
+  [
+    case "hash_joinable recognises crossed pair-former equi-joins" (fun () ->
+        let crossed =
+          Oplus (Eq, Pairf (Compose (Prim "dept", Pi2), Pi1))
+        in
+        Alcotest.check Alcotest.bool "crossed eq" true
+          (Option.is_some (Eval.hash_joinable crossed));
+        let straight =
+          Oplus (Eq, Pairf (Compose (Prim "age", Pi1), Compose (Prim "age", Pi2)))
+        in
+        Alcotest.check Alcotest.bool "straight eq" true
+          (Option.is_some (Eval.hash_joinable straight));
+        (* one-sided pairs are not joins *)
+        let one_sided = Oplus (Eq, Pairf (Pi1, Compose (Prim "age", Pi1))) in
+        Alcotest.check Alcotest.bool "one-sided rejected" true
+          (Option.is_none (Eval.hash_joinable one_sided)));
+    case "crossed-pair hash join agrees with naive" (fun () ->
+        (* employees joined to their departments by equality *)
+        let store = Datagen.Company.generate Datagen.Company.default_params in
+        let db = Datagen.Company.db store in
+        let j =
+          Term.query
+            (Join (Oplus (Eq, Pairf (Compose (Prim "dept", Pi2), Pi1)), Pi2))
+            (Value.Pair (Value.Named "D", Value.Named "E"))
+        in
+        Alcotest.check value "agree"
+          (resolved db (Eval.eval_query ~db ~backend:Eval.Naive j))
+          (resolved db (Eval.eval_query ~db ~backend:Eval.Hashed j)));
+  ]
+
+let tests = tests @ hash_joinable_shapes

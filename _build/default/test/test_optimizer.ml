@@ -1,0 +1,97 @@
+(* The end-to-end optimizer: plan enumeration, cost-based choice, and
+   correctness of whatever plan is chosen. *)
+
+open Kola
+open Util
+
+let garage_src =
+  "select [v, flatten(select p.grgs from p in P where v in p.cars)] from v in V"
+
+let tests =
+  [
+    case "the garage query untangles and the hashed plan wins" (fun () ->
+        let db =
+          Datagen.Store.db
+            (Datagen.Store.generate
+               { Datagen.Store.default_params with people = 80; vehicles = 50; seed = 3 })
+        in
+        let r = Optimizer.Pipeline.optimize_oql ~db garage_src in
+        Alcotest.check Alcotest.bool "untangled" true (Option.is_some r.untangled);
+        Alcotest.check Alcotest.string "untangled label" "untangled"
+          r.chosen.Optimizer.Pipeline.label;
+        (match r.chosen.Optimizer.Pipeline.backend with
+        | Eval.Hashed -> ()
+        | Eval.Naive -> Alcotest.fail "expected the hashed backend");
+        Alcotest.check value "result correct"
+          (resolved db (Aqua.Eval.eval_closed ~db r.aqua))
+          (resolved db (Optimizer.Pipeline.run ~db r)));
+    case "every candidate plan computes the same result" (fun () ->
+        let r = Optimizer.Pipeline.optimize_oql ~db:tiny_db garage_src in
+        let expected = resolved tiny_db (Aqua.Eval.eval_closed ~db:tiny_db r.aqua) in
+        List.iter
+          (fun (c : Optimizer.Pipeline.plan) ->
+            Alcotest.check value
+              (Fmt.str "plan %s/%s/%s" c.label
+                 (Optimizer.Pipeline.backend_name c.backend)
+                 (Optimizer.Pipeline.dedup_name c.dedup))
+              expected
+              (resolved tiny_db
+                 (Eval.eval_query ~db:tiny_db ~backend:c.backend
+                    ~dedup:c.dedup c.query)))
+          r.candidates);
+    case "non-hidden-join queries still optimize (no untangled plan)"
+      (fun () ->
+        let r =
+          Optimizer.Pipeline.optimize_oql ~db:tiny_db
+            "select p.age from p in P where p.age > 20"
+        in
+        Alcotest.check Alcotest.bool "no untangled plan" true
+          (Option.is_none r.untangled);
+        Alcotest.check value "still correct"
+          (resolved tiny_db (Aqua.Eval.eval_closed ~db:tiny_db r.aqua))
+          (resolved tiny_db (Optimizer.Pipeline.run ~db:tiny_db r)));
+    case "the untangled chosen cost is far below the original naive cost"
+      (fun () ->
+        let db =
+          Datagen.Store.db
+            (Datagen.Store.generate
+               { Datagen.Store.default_params with people = 150; vehicles = 90; seed = 13 })
+        in
+        let r = Optimizer.Pipeline.optimize_oql ~db garage_src in
+        let cost_of label backend =
+          let c =
+            List.find
+              (fun (c : Optimizer.Pipeline.plan) ->
+                c.label = label && c.backend = backend)
+              r.candidates
+          in
+          c.cost.Optimizer.Cost.weighted
+        in
+        let naive = cost_of "original" Eval.Naive in
+        let hashed = cost_of "untangled" Eval.Hashed in
+        Alcotest.check Alcotest.bool
+          (Fmt.str "hashed %.0f at least 5x below naive %.0f" hashed naive)
+          true
+          (hashed *. 5. < naive));
+    case "the report's rule trace is non-empty and names catalog rules"
+      (fun () ->
+        let r = Optimizer.Pipeline.optimize_oql ~db:tiny_db garage_src in
+        Alcotest.check Alcotest.bool "trace" true (List.length r.trace > 5);
+        List.iter
+          (fun (s : Rewrite.Engine.step) ->
+            let base =
+              match Filename.chop_suffix_opt ~suffix:"-1" s.rule_name with
+              | Some b -> b
+              | None -> s.rule_name
+            in
+            Alcotest.check Alcotest.bool
+              (Fmt.str "rule %s in catalog" s.rule_name)
+              true
+              (Option.is_some (Rules.Catalog.find base)))
+          r.trace);
+    case "cost measurement is deterministic" (fun () ->
+        let _, c1 = Optimizer.Cost.measure ~db:tiny_db Paper.kg1 in
+        let _, c2 = Optimizer.Cost.measure ~db:tiny_db Paper.kg1 in
+        Alcotest.check Alcotest.int "tuples" c1.Optimizer.Cost.tuples
+          c2.Optimizer.Cost.tuples);
+  ]

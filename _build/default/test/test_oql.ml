@@ -1,0 +1,157 @@
+(* The OQL frontend: parsing, desugaring, and agreement with hand-written
+   AQUA. *)
+
+open Kola
+open Util
+
+let parse = Oql.Parser.parse
+let eval_oql src = Aqua.Eval.eval_closed ~db:tiny_db (parse src)
+
+let tests =
+  [
+    case "simple projection" (fun () ->
+        Alcotest.check aqua "ages"
+          Aqua.Ast.(App (lam "p" (Path (Var "p", "age")), Extent "P"))
+          (parse "select p.age from p in P"));
+    case "selection folds into the from clause" (fun () ->
+        Alcotest.check aqua "t2 source shape"
+          Aqua.Ast.(
+            App
+              ( lam "x" (Path (Var "x", "age")),
+                Sel (lam "x" (Bin (Gt, Path (Var "x", "age"), Const (int 25))), Extent "P") ))
+          (parse "select x.age from x in P where x.age > 25"));
+    case "the garage query parses to its AQUA form" (fun () ->
+        let src =
+          "select [v, flatten(select p.grgs from p in P where v in p.cars)] from v in V"
+        in
+        Alcotest.check value "sem agrees with Examples.garage"
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.garage)
+          (eval_oql src));
+    case "multiple bindings desugar to flatten/app" (fun () ->
+        let src = "select [a, b] from a in P, b in P where a.age > b.age" in
+        let e = parse src in
+        (match e with
+        | Aqua.Ast.Flatten (Aqua.Ast.App _) -> ()
+        | _ -> Alcotest.fail "expected flatten(app ...)");
+        (* equal to the equivalent join *)
+        let j =
+          Aqua.Ast.(
+            Join
+              ( lam2 "a" "b" (Bin (Gt, Path (Var "a", "age"), Path (Var "b", "age"))),
+                lam2 "a" "b" (Pair (Var "a", Var "b")),
+                Extent "P", Extent "P" ))
+        in
+        Alcotest.check value "join equivalent"
+          (Aqua.Eval.eval_closed ~db:tiny_db j)
+          (eval_oql src));
+    case "three bindings" (fun () ->
+        let src = "select a.age + b.age + c.age from a in P, b in P, c in P" in
+        match eval_oql src with
+        | Value.Set _ -> ()
+        | v -> Alcotest.failf "unexpected %a" Value.pp v);
+    case "operators and precedence" (fun () ->
+        Alcotest.check aqua "1 + 2 * 3"
+          Aqua.Ast.(
+            Bin (Add, Const (int 1), Bin (Mul, Const (int 2), Const (int 3))))
+          (parse "1 + 2 * 3");
+        Alcotest.check aqua "and binds tighter than or"
+          Aqua.Ast.(
+            Bin
+              ( Or,
+                Bin (And, Const (Value.Bool true), Const (Value.Bool false)),
+                Const (Value.Bool true) ))
+          (parse "true and false or true"));
+    case "aggregates, exists, string and negative literals" (fun () ->
+        Alcotest.check value "count" (int 4) (eval_oql "count(P)");
+        Alcotest.check value "exists" (Value.Bool true)
+          (eval_oql "exists(select p from p in P where p.age > 35)");
+        Alcotest.check value "string eq" (Value.Bool true)
+          (eval_oql "\"a\" = \"a\"");
+        Alcotest.check value "negative" (int (-3)) (eval_oql "-3"));
+    case "if/then/else and comparison sugar" (fun () ->
+        Alcotest.check value "if" (int 1) (eval_oql "if 2 >= 2 then 1 else 0");
+        Alcotest.check value "ne" (Value.Bool true) (eval_oql "1 != 2"));
+    case "nested query in the select head" (fun () ->
+        let src = "select [p, (select c from c in p.child where c.age > 25)] from p in P" in
+        Alcotest.check value "a3 equivalent"
+          (Aqua.Eval.eval_closed ~db:tiny_db Aqua.Examples.a3)
+          (eval_oql src));
+    case "extent binding only applies to free names" (fun () ->
+        (* P as a binder shadows the extent *)
+        let e = parse "select P.age from P in P" in
+        Alcotest.check value "shadow ok"
+          (eval_oql "select p.age from p in P")
+          (Aqua.Eval.eval_closed ~db:tiny_db e));
+    case "set literals" (fun () ->
+        Alcotest.check value "{1,2}" (set [ int 1; int 2 ]) (eval_oql "{1, 2}");
+        Alcotest.check value "{}" (set []) (eval_oql "{}"));
+    case "union/inter/except" (fun () ->
+        Alcotest.check value "union" (set [ int 1; int 2; int 3 ])
+          (eval_oql "{1, 2} union {2, 3}");
+        Alcotest.check value "inter" (set [ int 2 ]) (eval_oql "{1, 2} inter {2, 3}");
+        Alcotest.check value "except" (set [ int 1 ]) (eval_oql "{1, 2} except {2, 3}"));
+    case "parse errors are reported" (fun () ->
+        List.iter
+          (fun src ->
+            match parse src with
+            | exception Oql.Parser.Error _ -> ()
+            | exception Oql.Lexer.Error _ -> ()
+            | _ -> Alcotest.failf "accepted %S" src)
+          [ "select"; "select x from"; "1 +"; "[1, 2"; "select x from x in" ]);
+    case "lexer: strings, comparison digraphs, keywords" (fun () ->
+        let toks = Oql.Lexer.tokenize "where x <= \"hi\" <> 2" in
+        Alcotest.check Alcotest.int "token count" 7 (List.length toks));
+    case "whole pipeline: OQL to optimized KOLA result" (fun () ->
+        let src =
+          "select [v, flatten(select p.grgs from p in P where v in p.cars)] from v in V"
+        in
+        let r = Optimizer.Pipeline.optimize_oql ~db:tiny_db src in
+        Alcotest.check value "pipeline result"
+          (resolved tiny_db (eval_oql src))
+          (resolved tiny_db (Optimizer.Pipeline.run ~db:tiny_db r)));
+  ]
+
+(* GROUP BY (OQL-93 partition semantics). *)
+let group_by_tests =
+  [
+    case "group by: counts per city" (fun () ->
+        let src =
+          "select [key, count(partition)] from p in P group by p.addr.city"
+        in
+        (* tiny store: alice+carol in Providence, bob+dave in Boston *)
+        Alcotest.check value "counts"
+          (set
+             [
+               pair (Value.str "Providence") (int 2);
+               pair (Value.str "Boston") (int 2);
+             ])
+          (eval_oql src));
+    case "group by respects the where clause" (fun () ->
+        let src =
+          "select [key, count(partition)] from p in P where p.age > 15 group by p.addr.city"
+        in
+        Alcotest.check value "filtered counts"
+          (set
+             [
+               pair (Value.str "Providence") (int 1);
+               pair (Value.str "Boston") (int 2);
+             ])
+          (eval_oql src));
+    case "group by desugars to a hidden join that untangles" (fun () ->
+        let src = "select [key, partition] from p in P group by p.addr.city" in
+        let r = Optimizer.Pipeline.optimize_oql ~db:tiny_db src in
+        Alcotest.check Alcotest.bool "untangled" true
+          (Option.is_some r.Optimizer.Pipeline.untangled);
+        Alcotest.check value "correct"
+          (resolved tiny_db (eval_oql src))
+          (resolved tiny_db (Optimizer.Pipeline.run ~db:tiny_db r)));
+    case "group by translates and agrees with KOLA" (fun () ->
+        check_translation "group by"
+          (parse "select [key, count(partition)] from p in P group by p.addr.city"));
+    case "group by with multiple bindings is rejected" (fun () ->
+        match parse "select key from a in P, b in P group by a.age" with
+        | exception Oql.Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+  ]
+
+let tests = tests @ group_by_tests

@@ -1,0 +1,106 @@
+(* The KOLA term parser: paper notation in, terms out; round-trips through
+   the pretty-printer. *)
+
+open Kola
+open Kola.Term
+open Util
+
+let tests =
+  [
+    case "basic function expressions" (fun () ->
+        Alcotest.check func "compose" (Compose (Prim "city", Prim "addr"))
+          (Parse.func "city o addr");
+        Alcotest.check func "pair former" (Pairf (Id, Prim "child"))
+          (Parse.func "<id, child>");
+        Alcotest.check func "product" (Times (Id, Prim "cars"))
+          (Parse.func "id x cars");
+        Alcotest.check func "kf" (Kf (int 25)) (Parse.func "Kf(25)");
+        Alcotest.check func "projection" Pi1 (Parse.func "pi1"));
+    case "precedence: x binds tighter than o" (fun () ->
+        Alcotest.check func "chain of products"
+          (Compose (Times (Unnest (Pi1, Pi2), Id), Pairf (Join (Kp true, Id), Pi1)))
+          (Parse.func "unnest(pi1, pi2) x id o <join(Kp(T), id), pi1>"));
+    case "predicates" (fun () ->
+        Alcotest.check pred "oplus"
+          (Oplus (Gt, Pairf (Prim "age", Kf (int 25))))
+          (Parse.pred "gt (+) <age, Kf(25)>");
+        Alcotest.check pred "and/or precedence"
+          (Orp (Andp (Kp true, Eq), In))
+          (Parse.pred "Kp(T) & eq | in");
+        Alcotest.check pred "inverse" (Inv Gt) (Parse.pred "gt^-1");
+        Alcotest.check pred "converse" (Conv Gt) (Parse.pred "gt^o");
+        Alcotest.check pred "cp" (Cp (Leq, int 25)) (Parse.pred "Cp(leq, 25)"));
+    case "values" (fun () ->
+        Alcotest.check value "pair" (pair (int 1) (Value.Str "a"))
+          (Parse.value "[1, \"a\"]");
+        Alcotest.check value "set" (set [ int 1; int 2 ]) (Parse.value "{1, 2}");
+        Alcotest.check value "named" (Value.Named "P") (Parse.value "P");
+        Alcotest.check value "unit" Value.Unit (Parse.value "()");
+        Alcotest.check value "negative" (int (-5)) (Parse.value "-5"));
+    case "holes parse in all three sorts" (fun () ->
+        Alcotest.check func "fhole" (Fhole "f") (Parse.func "?f");
+        Alcotest.check pred "phole" (Phole "p") (Parse.pred "?p");
+        Alcotest.check value "vhole" (Value.Hole "k") (Parse.value "?k"));
+    case "queries" (fun () ->
+        Alcotest.check query "t1k"
+          Paper.t1k_target
+          (Parse.query "iterate(Kp(T), city o addr) ! P"));
+    case "rule 19's shape parses" (fun () ->
+        let q = Parse.query "iterate(Kp(T), <id, Kf(?B)>) ! ?A" in
+        Alcotest.check value "arg hole" (Value.Hole "A") q.Term.arg);
+    case "pretty-printer output re-parses (KG1, KG2, K3, K4)" (fun () ->
+        List.iter
+          (fun q ->
+            let s = Pretty.query_to_string q in
+            Alcotest.check query s q (Parse.query s))
+          [ Paper.kg1; Paper.kg2; Paper.k3; Paper.k4; Paper.k4_optimized;
+            Paper.t2k_source; Paper.t2k_target ]);
+    case "parse errors" (fun () ->
+        List.iter
+          (fun src ->
+            match Parse.func src with
+            | exception Parse.Error _ -> ()
+            | f -> Alcotest.failf "accepted %S as %a" src Pretty.pp_func f)
+          [ "iterate(,)"; "<id,"; "Kf("; "con(eq, id)"; "id o"; "" ]);
+    case "evaluating a parsed query works" (fun () ->
+        let q = Parse.query "iterate(gt (+) <age, Kf(25)>, name) ! P" in
+        Alcotest.check value "names over 25"
+          (set [ Value.Str "alice"; Value.Str "dave" ])
+          (eval_tiny q));
+  ]
+
+let props =
+  let open QCheck in
+  (* pretty-print/parse round trip over random ground functions *)
+  let atom =
+    Gen.oneofl
+      [ Id; Pi1; Pi2; Flat; Prim "age"; Prim "child"; Kf (Value.Int 7);
+        Iterate (Kp true, Prim "age"); Nest (Pi1, Pi2) ]
+  in
+  let func_gen =
+    Gen.(
+      sized_size (int_bound 4) @@ fix (fun self n ->
+          if n = 0 then atom
+          else
+            oneof
+              [
+                atom;
+                map2 (fun a b -> Compose (a, b)) (self (n - 1)) (self (n - 1));
+                map2 (fun a b -> Pairf (a, b)) (self (n - 1)) (self (n - 1));
+                map2 (fun a b -> Times (a, b)) (self (n - 1)) (self (n - 1));
+                map2 (fun p f -> Con (p, f, f))
+                  (oneofl [ Kp true; Gt; Oplus (Gt, Pairf (Id, Kf (Value.Int 3))) ])
+                  (self (n - 1));
+              ]))
+  in
+  let arb = QCheck.make ~print:Pretty.func_to_string func_gen in
+  [
+    Test.make ~name:"pp then parse is the identity (mod assoc)" ~count:300 arb
+      (fun f ->
+        let s = Pretty.func_to_string f in
+        match Parse.func s with
+        | f' -> equal_func_assoc f f'
+        | exception Parse.Error _ -> false);
+  ]
+
+let tests = tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,76 @@
+(* Term utilities: chains, reassociation, sizes, holes. *)
+
+open Kola
+open Kola.Term
+open Util
+
+let tests =
+  [
+    case "chain/unchain round-trip" (fun () ->
+        let parts = [ Flat; Iterate (Kp true, Prim "age"); Id; Pi1 ] in
+        Alcotest.check Alcotest.int "length" 4
+          (List.length (unchain (chain parts)));
+        Alcotest.check func "round" (chain parts) (chain (unchain (chain parts))));
+    case "unchain flattens arbitrary associativity" (fun () ->
+        let left = Compose (Compose (Pi1, Pi2), Flat) in
+        let right = Compose (Pi1, Compose (Pi2, Flat)) in
+        Alcotest.check Alcotest.int "same parts" (List.length (unchain left))
+          (List.length (unchain right));
+        Alcotest.check func "assoc-equal" left right);
+    case "equal_func_assoc ignores composition grouping" (fun () ->
+        let a = Compose (Compose (Prim "city", Prim "addr"), Id) in
+        let b = Compose (Prim "city", Compose (Prim "addr", Id)) in
+        Alcotest.check Alcotest.bool "equal" true (equal_func_assoc a b);
+        Alcotest.check Alcotest.bool "strict differs" false (equal_func a b));
+    case "reassoc recurses under formers" (fun () ->
+        let inner = Compose (Pi1, Compose (Pi2, Flat)) in
+        let t = Pairf (inner, Id) in
+        match reassoc_func t with
+        | Pairf (Compose (Compose (Pi1, Pi2), Flat), Id) -> ()
+        | f -> Alcotest.failf "unexpected %a" Pretty.pp_func f);
+    case "size counts nodes on both sorts" (fun () ->
+        Alcotest.check Alcotest.int "iterate" 3
+          (size_func (Iterate (Kp true, Id)));
+        Alcotest.check Alcotest.int "oplus" 3
+          (size_pred (Oplus (Gt, Pi1))));
+    case "holes_func reports kinds and is duplicate-free" (fun () ->
+        let f = Pairf (Fhole "f", Iterate (Phole "p", Fhole "f")) in
+        Alcotest.check (Alcotest.list Alcotest.string) "holes"
+          [ "f:f"; "p:p" ] (List.sort compare (holes_func f)));
+    case "ground terms have no holes" (fun () ->
+        Alcotest.check Alcotest.bool "kg1" true
+          (func_is_ground Paper.kg1.body);
+        Alcotest.check Alcotest.bool "pattern" false
+          (func_is_ground (Compose (Fhole "f", Id))));
+    case "sel/proj abbreviations" (fun () ->
+        Alcotest.check func "sel" (Iterate (Gt, Id)) (sel Gt);
+        Alcotest.check func "proj" (Iterate (Kp true, Prim "age")) (proj (Prim "age")));
+    case "query equality includes the argument" (fun () ->
+        let q1 = Term.query Id (Value.Named "P") in
+        let q2 = Term.query Id (Value.Named "V") in
+        Alcotest.check Alcotest.bool "differ" false (equal_query q1 q2));
+  ]
+
+let props =
+  let open QCheck in
+  (* random chains of atomic functions *)
+  let atom = Gen.oneofl [ Id; Pi1; Pi2; Flat; Prim "age"; Prim "addr"; Kf (Value.Int 1) ] in
+  let chain_gen =
+    Gen.(list_size (int_range 1 6) atom >|= fun parts -> parts)
+  in
+  let arb = QCheck.make ~print:(fun ps -> Fmt.str "%a" Pretty.pp_func (chain ps)) chain_gen in
+  [
+    Test.make ~name:"unchain ∘ chain = id on part lists" ~count:200 arb
+      (fun parts ->
+        List.length (unchain (chain parts)) = List.length parts);
+    Test.make ~name:"size is positive and additive over chains" ~count:200 arb
+      (fun parts ->
+        let total = size_func (chain parts) in
+        let pieces = List.fold_left (fun n p -> n + size_func p) 0 parts in
+        total = pieces + (List.length parts - 1));
+    Test.make ~name:"reassoc is idempotent" ~count:200 arb (fun parts ->
+        let f = chain parts in
+        equal_func (reassoc_func f) (reassoc_func (reassoc_func f)));
+  ]
+
+let tests = tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

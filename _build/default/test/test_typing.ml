@@ -1,0 +1,96 @@
+(* Type inference over KOLA terms. *)
+
+open Kola
+open Kola.Term
+open Util
+
+let person = Ty.Obj "Person"
+let fty f = Typing.func_ty Schema.paper f
+
+let tests =
+  [
+    case "id is polymorphic" (fun () ->
+        let a, b = fty Id in
+        Alcotest.check ty "in = out" a b);
+    case "schema primitive" (fun () ->
+        let a, b = fty (Prim "age") in
+        Alcotest.check ty "in" person a;
+        Alcotest.check ty "out" Ty.Int b);
+    case "composition propagates" (fun () ->
+        let a, b = fty (Compose (Prim "city", Prim "addr")) in
+        Alcotest.check ty "in" person a;
+        Alcotest.check ty "out" Ty.Str b);
+    case "ill-typed composition rejected" (fun () ->
+        Alcotest.check Alcotest.bool "age ∘ age" false
+          (Typing.well_typed_func Schema.paper (Compose (Prim "age", Prim "age"))));
+    case "iterate lifts to sets" (fun () ->
+        let a, b = fty (Iterate (Kp true, Prim "age")) in
+        Alcotest.check ty "in" (Ty.Set person) a;
+        Alcotest.check ty "out" (Ty.Set Ty.Int) b);
+    case "iter carries the environment" (fun () ->
+        (* the K4 inner loop: iter(gt ⊕ ⟨age ∘ π1, Kf 25⟩, π2) *)
+        let f =
+          Iter (Oplus (Gt, Pairf (Compose (Prim "age", Pi1), Kf (int 25))), Pi2)
+        in
+        (* the element type is unconstrained by an environment-only
+           predicate — exactly why rule 15 applies to K4 *)
+        (match fty f with
+        | Ty.Pair (p, Ty.Set elem), Ty.Set out ->
+          Alcotest.check ty "env is Person" person p;
+          Alcotest.check ty "result elements = set elements" elem out
+        | a, b -> Alcotest.failf "unexpected %a -> %a" Ty.pp a Ty.pp b));
+    case "KG1 types end to end" (fun () ->
+        Alcotest.check ty "result"
+          (Ty.Set (Ty.Pair (Ty.Obj "Vehicle", Ty.Set (Ty.Obj "Address"))))
+          (Typing.query_ty Schema.paper Paper.kg1));
+    case "KG2 types to the same result" (fun () ->
+        Alcotest.check ty "result"
+          (Typing.query_ty Schema.paper Paper.kg1)
+          (Typing.query_ty Schema.paper Paper.kg2));
+    case "nest builds grouped pairs" (fun () ->
+        let a, _ = fty (Nest (Pi1, Pi2)) in
+        match a with
+        | Ty.Pair (Ty.Set (Ty.Pair _), Ty.Set _) -> ()
+        | t -> Alcotest.failf "unexpected nest input %a" Ty.pp t);
+    case "join demands a pair of sets" (fun () ->
+        let a, _ = fty (Join (Kp true, Id)) in
+        match a with
+        | Ty.Pair (Ty.Set _, Ty.Set _) -> ()
+        | t -> Alcotest.failf "unexpected join input %a" Ty.pp t);
+    case "predicate domains" (fun () ->
+        Alcotest.check ty "cp" Ty.Int
+          (Typing.pred_ty Schema.paper (Cp (Gt, int 5)));
+        let d = Typing.pred_ty Schema.paper (Oplus (Gt, Pairf (Prim "age", Kf (int 25)))) in
+        Alcotest.check ty "oplus" person d);
+    case "conv swaps the domain pair" (fun () ->
+        let d = Typing.pred_ty Schema.paper (Conv In) in
+        match d with
+        | Ty.Pair (Ty.Set a, b) -> Alcotest.check ty "set-first" a b
+        | t -> Alcotest.failf "unexpected conv-in domain %a" Ty.pp t);
+    case "occurs check fires" (fun () ->
+        (* con(Kp(T), id, ⟨id, id⟩) would need t = [t, t] *)
+        Alcotest.check Alcotest.bool "occurs" false
+          (Typing.well_typed_func Schema.paper
+             (Con (Kp true, Id, Pairf (Id, Id)))));
+    case "mismatched composition rejected" (fun () ->
+        Alcotest.check Alcotest.bool "age after pair" false
+          (Typing.well_typed_func Schema.paper
+             (Compose (Prim "age", Pairf (Id, Id)))));
+    case "unknown attribute is a schema error" (fun () ->
+        match fty (Prim "salary") with
+        | exception Schema.Schema_error _ -> ()
+        | _ -> Alcotest.fail "expected schema error");
+    case "query typing checks the argument" (fun () ->
+        match Typing.query_ty Schema.paper (Term.query (Prim "age") (Value.Named "P")) with
+        | exception Typing.Type_error _ -> ()
+        | t -> Alcotest.failf "expected type error, got %a" Ty.pp t);
+    case "hole patterns type consistently" (fun () ->
+        (* same hole must get one type: ⟨?f, ?f⟩ ∘ age types, age ∘ ?f ∘ ?f with
+           f : Person → Int does not *)
+        Alcotest.check Alcotest.bool "pair of same hole" true
+          (Typing.well_typed_func Schema.paper (Pairf (Fhole "f", Fhole "f"))));
+    case "untypable value: heterogeneous set" (fun () ->
+        Alcotest.check Alcotest.bool "set {1, \"x\"}" false
+          (Typing.well_typed_func Schema.paper
+             (Kf (Value.Set [ int 1; Value.str "x" ]))));
+  ]

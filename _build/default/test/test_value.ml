@@ -1,0 +1,82 @@
+(* Values: canonical sets, object identity, comparison laws. *)
+
+open Kola
+
+let obj oid fields = Value.obj ~cls:"Person" ~oid fields
+
+let suite =
+  let open Util in
+  [
+    case "sets are canonical (sorted, deduplicated)" (fun () ->
+        Alcotest.check value "dedup"
+          (set [ int 1; int 2 ])
+          (set [ int 2; int 1; int 2; int 1 ]));
+    case "set equality is order-insensitive" (fun () ->
+        Alcotest.check value "order"
+          (set [ int 3; int 1; int 2 ])
+          (set [ int 1; int 2; int 3 ]));
+    case "object equality is identity-based" (fun () ->
+        let a = obj 1 [ ("age", int 30) ] in
+        let b = obj 1 [ ("age", int 99) ] in
+        Alcotest.check value "same oid" a b);
+    case "objects with different oids differ" (fun () ->
+        let a = obj 1 [] and b = obj 2 [] in
+        Alcotest.check Alcotest.bool "differ" false (Value.equal a b));
+    case "pairs compare lexicographically" (fun () ->
+        Alcotest.check Alcotest.bool "lt" true
+          (Value.compare (pair (int 1) (int 9)) (pair (int 2) (int 0)) < 0));
+    case "field access" (fun () ->
+        let a = obj 1 [ ("age", int 30); ("name", Value.str "x") ] in
+        Alcotest.check (Alcotest.option value) "age" (Some (int 30))
+          (Value.field "age" a);
+        Alcotest.check (Alcotest.option value) "missing" None
+          (Value.field "zz" a));
+    case "is_ground detects holes anywhere" (fun () ->
+        Alcotest.check Alcotest.bool "hole in pair" false
+          (Value.is_ground (pair (int 1) (Value.Hole "x")));
+        Alcotest.check Alcotest.bool "hole in set" false
+          (Value.is_ground (set [ Value.Hole "x" ]));
+        Alcotest.check Alcotest.bool "ground" true
+          (Value.is_ground (pair (int 1) (set [ int 2 ]))));
+    case "size counts nodes" (fun () ->
+        Alcotest.check Alcotest.int "pair of ints" 3
+          (Value.size (pair (int 1) (int 2)));
+        Alcotest.check Alcotest.int "set" 3 (Value.size (set [ int 1; int 2 ])));
+  ]
+
+let props =
+  let open QCheck in
+  let rec value_gen n =
+    let open Gen in
+    if n = 0 then
+      oneof
+        [ map (fun i -> Value.Int i) small_int;
+          map (fun b -> Value.Bool b) bool;
+          map (fun s -> Value.Str s) (string_size ~gen:printable (return 3)) ]
+    else
+      oneof
+        [
+          map (fun i -> Value.Int i) small_int;
+          map2 (fun a b -> Value.pair a b) (value_gen (n - 1)) (value_gen (n - 1));
+          map (fun xs -> Value.set xs) (list_size (int_bound 4) (value_gen (n - 1)));
+        ]
+  in
+  let arb = QCheck.make ~print:Value.to_string (value_gen 3) in
+  [
+    Test.make ~name:"compare is reflexive" ~count:200 arb (fun v ->
+        Value.compare v v = 0);
+    Test.make ~name:"compare is antisymmetric" ~count:200 (pair arb arb)
+      (fun (a, b) -> Value.compare a b = -Value.compare b a);
+    Test.make ~name:"equal values hash equally" ~count:200 (pair arb arb)
+      (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b);
+    Test.make ~name:"set construction is idempotent" ~count:200
+      (list_of_size Gen.(int_bound 6) arb) (fun xs ->
+        let s1 = Value.set xs in
+        match s1 with
+        | Value.Set elems -> Value.equal s1 (Value.set elems)
+        | _ -> false);
+    Test.make ~name:"set ignores duplicates" ~count:200 arb (fun v ->
+        Value.equal (Value.set [ v; v ]) (Value.set [ v ]));
+  ]
+
+let tests = suite @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,51 @@
+(* Shared fixtures and Alcotest testables. *)
+
+open Kola
+
+let tiny = Datagen.Store.tiny ()
+let tiny_db = Datagen.Store.db tiny
+
+let gen_store = Datagen.Store.generate Datagen.Store.default_params
+let gen_db = Datagen.Store.db gen_store
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let func : Term.func Alcotest.testable =
+  Alcotest.testable Pretty.pp_func Term.equal_func_assoc
+
+let pred : Term.pred Alcotest.testable =
+  Alcotest.testable Pretty.pp_pred Term.equal_pred_assoc
+
+let query : Term.query Alcotest.testable =
+  Alcotest.testable Pretty.pp_query Term.equal_query_assoc
+
+let ty : Ty.t Alcotest.testable = Alcotest.testable Ty.pp Ty.equal
+
+let aqua : Aqua.Ast.expr Alcotest.testable =
+  Alcotest.testable Aqua.Pretty.pp Aqua.Vars.alpha_equal
+
+let eval_tiny ?backend q = Eval.eval_query ~db:tiny_db ?backend q
+let eval_gen ?backend q = Eval.eval_query ~db:gen_db ?backend q
+
+(* Resolve Named extents so results compare structurally. *)
+let resolved db v = Eval.deep_resolve (Eval.ctx ~db ()) v
+
+let check_sem_equal ?(db = tiny_db) msg q1 q2 =
+  Alcotest.check value msg
+    (resolved db (Eval.eval_query ~db q1))
+    (resolved db (Eval.eval_query ~db q2))
+
+let int i = Value.Int i
+let pair = Value.pair
+let set = Value.set
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Run the paper's tiny store through an AQUA expr and a KOLA query and
+   compare. *)
+let check_translation ?(db = tiny_db) msg e =
+  let q = Translate.Compile.query e in
+  Alcotest.check value msg
+    (resolved db (Aqua.Eval.eval_closed ~db e))
+    (resolved db (Eval.eval_query ~db q))
