@@ -1,0 +1,29 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-fast bench-smoke baseline clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark sweep (several minutes); writes BENCH_engine.json.
+bench:
+	dune exec bench/main.exe
+
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+# Engine-internals only, CI-sized; the alias keeps it one command.
+bench-smoke:
+	dune build @bench-smoke
+
+# Regenerate the committed engine baseline at the repo root.
+baseline:
+	dune exec bench/main.exe -- --smoke --out BENCH_engine.json
+
+clean:
+	dune clean

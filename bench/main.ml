@@ -11,6 +11,8 @@ open Kola
 
 let quota = ref 0.25
 let fast = ref false
+let smoke = ref false
+let out_file = ref "BENCH_engine.json"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
@@ -394,11 +396,162 @@ let pipeline_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Engine internals: head-symbol dispatch, hashed dedup, memoized      *)
+(* costing.  The table and BENCH_engine.json carry the same numbers:   *)
+(* the table for humans, the JSON for regression tracking.             *)
+
+let engine_queries =
+  [ ("T1K", Paper.t1k_source); ("T2K", Paper.t2k_source);
+    ("K4", Paper.k4); ("KG1", Paper.kg1) ]
+
+let run_engine ~indexed q =
+  Rewrite.Engine.run ~indexed ~fuel:40 Rules.Catalog.all q
+
+let engine_tests =
+  let idx = Rewrite.Index.build Rules.Catalog.all in
+  [
+    t "step_once naive (KG1, full catalog)" (fun () ->
+        Rewrite.Engine.step_once Rules.Catalog.all Paper.kg1);
+    t "step_once indexed (KG1, full catalog)" (fun () ->
+        Rewrite.Engine.step_once_indexed idx Paper.kg1);
+    t "run naive (T1K to fixpoint)" (fun () -> run_engine ~indexed:false Paper.t1k_source);
+    t "run indexed (T1K to fixpoint)" (fun () -> run_engine ~indexed:true Paper.t1k_source);
+    t "dedup key: canonical string (KG1)" (fun () ->
+        Optimizer.Search.canonical Paper.kg1);
+    t "dedup key: hashed canonical (KG1)" (fun () ->
+        Term.Canonical.of_query Paper.kg1);
+  ]
+
+let time_per ~repeats f =
+  ignore (f ());  (* warm up *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeats do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int repeats
+
+let engine_report () =
+  let repeats = if !fast then 5 else 50 in
+  Fmt.pr
+    "@.## engine_internals (head-symbol index, hashed dedup, cost memo)@.";
+  Fmt.pr "  %-5s %9s %9s %7s %8s %12s %12s@." "query" "nv-att" "ix-att"
+    "ratio" "firings" "nv-ns/fire" "ix-ns/fire";
+  let query_rows =
+    List.map
+      (fun (name, q) ->
+        let naive = run_engine ~indexed:false q in
+        let indexed = run_engine ~indexed:true q in
+        let na = naive.Rewrite.Engine.stats.Rewrite.Engine.attempts in
+        let ia = indexed.Rewrite.Engine.stats.Rewrite.Engine.attempts in
+        let firings = naive.Rewrite.Engine.stats.Rewrite.Engine.firings in
+        let per_firing ns = ns /. float_of_int (max 1 firings) in
+        let nv_ns =
+          per_firing (time_per ~repeats (fun () -> run_engine ~indexed:false q))
+        in
+        let ix_ns =
+          per_firing (time_per ~repeats (fun () -> run_engine ~indexed:true q))
+        in
+        let ratio = float_of_int na /. float_of_int (max 1 ia) in
+        Fmt.pr "  %-5s %9d %9d %6.1fx %8d %12.0f %12.0f@." name na ia ratio
+          firings nv_ns ix_ns;
+        (name, na, ia, ratio, firings, nv_ns, ix_ns))
+      engine_queries
+  in
+  (* exploration throughput: same search, dispatch on/off, cold cache each *)
+  let explore_states = if !fast then 40 else 200 in
+  let explore_cfg indexed cache =
+    {
+      Optimizer.Search.default_config with
+      max_depth = 3;
+      max_states = explore_states;
+      indexed;
+      cost_cache = Some cache;
+    }
+  in
+  let timed_explore indexed =
+    let cache = Optimizer.Cost.cache () in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Optimizer.Search.explore ~config:(explore_cfg indexed cache)
+        Paper.t1k_source
+    in
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (o, ns /. float_of_int (max 1 o.Optimizer.Search.explored))
+  in
+  let naive_o, naive_ns_state = timed_explore false in
+  let _, indexed_ns_state = timed_explore true in
+  (* cache behaviour: cold exploration then an identical warm one *)
+  let cache = Optimizer.Cost.cache () in
+  let warm_cfg = explore_cfg true cache in
+  let cold = Optimizer.Search.explore ~config:warm_cfg Paper.t1k_source in
+  let warm = Optimizer.Search.explore ~config:warm_cfg Paper.t1k_source in
+  Fmt.pr "  explore T1K: %d states, naive %.0f ns/state, indexed %.0f ns/state@."
+    naive_o.Optimizer.Search.explored naive_ns_state indexed_ns_state;
+  Fmt.pr "  cost cache:  cold %d misses / %d hits, warm %d misses / %d hits@."
+    cold.Optimizer.Search.cache_misses cold.Optimizer.Search.cache_hits
+    warm.Optimizer.Search.cache_misses warm.Optimizer.Search.cache_hits;
+  (* the same numbers, machine-readable *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Fmt.str "  \"mode\": \"%s\",\n"
+       (if !smoke then "smoke" else if !fast then "fast" else "full"));
+  Buffer.add_string buf "  \"queries\": [\n";
+  List.iteri
+    (fun i (name, na, ia, ratio, firings, nv_ns, ix_ns) ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"name\": %S, \"naive_attempts\": %d, \
+            \"indexed_attempts\": %d, \"attempts_ratio\": %.2f, \
+            \"firings\": %d, \"naive_ns_per_firing\": %.0f, \
+            \"indexed_ns_per_firing\": %.0f}%s\n"
+           name na ia ratio firings nv_ns ix_ns
+           (if i = List.length query_rows - 1 then "" else ",")))
+    query_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"explore\": {\"query\": \"T1K\", \"states\": %d, \
+        \"naive_ns_per_state\": %.0f, \"indexed_ns_per_state\": %.0f},\n"
+       naive_o.Optimizer.Search.explored naive_ns_state indexed_ns_state);
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"cost_cache\": {\"cold_misses\": %d, \"cold_hits\": %d, \
+        \"warm_misses\": %d, \"warm_hits\": %d}\n"
+       cold.Optimizer.Search.cache_misses cold.Optimizer.Search.cache_hits
+       warm.Optimizer.Search.cache_misses warm.Optimizer.Search.cache_hits);
+  Buffer.add_string buf "}\n";
+  let oc = open_out !out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "  wrote %s@." !out_file
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  (match Array.to_list Sys.argv with
-  | _ :: rest when List.mem "--fast" rest -> fast := true
-  | _ -> ());
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      fast := true;
+      parse rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out_file := file;
+      parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !smoke then begin
+    (* engine-internals only: the CI-sized smoke run behind @bench-smoke *)
+    Fmt.pr "KOLA engine-internals smoke benchmark@.";
+    Fmt.pr "=====================================@.";
+    benchmark_group "engine_internals" engine_tests;
+    engine_report ();
+    Fmt.pr "@.done.@."
+  end
+  else begin
   Fmt.pr "KOLA reproduction benchmarks (one group per DESIGN.md experiment)@.";
   Fmt.pr "==================================================================@.";
   benchmark_group "table1_basic_combinators (E-T1)" table1_tests;
@@ -420,4 +573,7 @@ let () =
   benchmark_group "search_vs_coko" search_tests;
   search_table ();
   benchmark_group "optimizer_pipeline" pipeline_tests;
+  benchmark_group "engine_internals" engine_tests;
+  engine_report ();
   Fmt.pr "@.done.@."
+  end

@@ -171,7 +171,15 @@ let search_cmd =
   let states =
     Arg.(value & opt int 2000 & info [ "states" ] ~doc:"State budget.")
   in
-  let run src store depth states =
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive-engine" ]
+          ~doc:
+            "Disable head-symbol rule dispatch during successor enumeration \
+             (the measured baseline; results are identical, only slower).")
+  in
+  let run src store depth states naive =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let aqua = Oql.Parser.parse src in
@@ -181,12 +189,15 @@ let search_cmd =
             Optimizer.Search.default_config with
             max_depth = depth;
             max_states = states;
+            indexed = not naive;
             sample_db = db;
           }
         in
         let o = Optimizer.Search.explore ~config q in
-        Fmt.pr "explored %d states%s@." o.Optimizer.Search.explored
-          (if o.Optimizer.Search.frontier_exhausted then " (space exhausted)" else "");
+        Fmt.pr "explored %d states%s (cost cache: %d hits, %d misses)@."
+          o.Optimizer.Search.explored
+          (if o.Optimizer.Search.frontier_exhausted then " (space exhausted)" else "")
+          o.Optimizer.Search.cache_hits o.Optimizer.Search.cache_misses;
         Fmt.pr "derivation: %a@."
           Fmt.(list ~sep:comma string)
           o.Optimizer.Search.best.Optimizer.Search.path;
@@ -197,7 +208,7 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Optimize by bounded exploration of the rewrite space.")
-    Term.(const run $ query_arg $ store_term $ depth $ states)
+    Term.(const run $ query_arg $ store_term $ depth $ states $ naive)
 
 let main =
   Cmd.group

@@ -190,6 +190,7 @@ let prop_of_string = function
   | "total" -> Rewrite.Props.Total
   | "constant" -> Rewrite.Props.Constant
   | "preserves-pair" -> Rewrite.Props.Preserves_pair
+  | "set-valued" -> Rewrite.Props.Set_valued
   | p -> error "unknown property %s" p
 
 let drop_question h =

@@ -241,3 +241,76 @@ let equal_pred_assoc a b = equal_pred (reassoc_pred a) (reassoc_pred b)
 
 let equal_query_assoc q1 q2 =
   equal_func_assoc q1.body q2.body && Value.equal q1.arg q2.arg
+
+(* Structural hashing, consistent with [equal_func]/[equal_pred]: equal terms
+   hash equal.  One multiplicative combine per node keeps a hash linear in
+   the term size — the optimizer's dedup uses it instead of pretty-printing
+   states to strings (see {!Canonical}). *)
+let hash_combine h1 h2 = (h1 * 0x01000193) lxor h2
+
+let rec hash_func f =
+  match f with
+  | Id -> 3
+  | Pi1 -> 5
+  | Pi2 -> 7
+  | Flat -> 11
+  | Sng -> 13
+  | Prim s -> hash_combine 17 (Hashtbl.hash s)
+  | Compose (a, b) -> hash_combine 19 (hash_combine (hash_func a) (hash_func b))
+  | Pairf (a, b) -> hash_combine 23 (hash_combine (hash_func a) (hash_func b))
+  | Times (a, b) -> hash_combine 29 (hash_combine (hash_func a) (hash_func b))
+  | Nest (a, b) -> hash_combine 31 (hash_combine (hash_func a) (hash_func b))
+  | Unnest (a, b) -> hash_combine 37 (hash_combine (hash_func a) (hash_func b))
+  | Kf v -> hash_combine 41 (Value.hash v)
+  | Cf (a, v) -> hash_combine 43 (hash_combine (hash_func a) (Value.hash v))
+  | Con (p, a, b) ->
+    hash_combine 47
+      (hash_combine (hash_pred p) (hash_combine (hash_func a) (hash_func b)))
+  | Arith op -> hash_combine 53 (Hashtbl.hash op)
+  | Agg op -> hash_combine 59 (Hashtbl.hash op)
+  | Setop op -> hash_combine 61 (Hashtbl.hash op)
+  | Iterate (p, a) -> hash_combine 67 (hash_combine (hash_pred p) (hash_func a))
+  | Iter (p, a) -> hash_combine 71 (hash_combine (hash_pred p) (hash_func a))
+  | Join (p, a) -> hash_combine 73 (hash_combine (hash_pred p) (hash_func a))
+  | Fhole h -> hash_combine 79 (Hashtbl.hash h)
+
+and hash_pred p =
+  match p with
+  | Eq -> 83
+  | Leq -> 89
+  | Gt -> 97
+  | In -> 101
+  | Primp s -> hash_combine 103 (Hashtbl.hash s)
+  | Oplus (q, f) -> hash_combine 107 (hash_combine (hash_pred q) (hash_func f))
+  | Andp (q, r) -> hash_combine 109 (hash_combine (hash_pred q) (hash_pred r))
+  | Orp (q, r) -> hash_combine 113 (hash_combine (hash_pred q) (hash_pred r))
+  | Inv q -> hash_combine 127 (hash_pred q)
+  | Conv q -> hash_combine 131 (hash_pred q)
+  | Kp b -> if b then 137 else 139
+  | Cp (q, v) -> hash_combine 149 (hash_combine (hash_pred q) (Value.hash v))
+  | Phole h -> hash_combine 151 (Hashtbl.hash h)
+
+let hash_query q = hash_combine (hash_func q.body) (Value.hash q.arg)
+
+(* Canonical keys: a query reassociated into left-nested composition form
+   with its hash computed once.  Equality is hash-then-structural, so
+   hashtable dedup over rewrite states costs one traversal per state instead
+   of allocating a pretty-printed string per state. *)
+module Canonical = struct
+  type t = { cq : query; chash : int }
+
+  let of_query q =
+    let cq = { q with body = reassoc_func q.body } in
+    { cq; chash = hash_query cq }
+
+  let to_query t = t.cq
+  let hash t = t.chash
+  let equal a b = a.chash = b.chash && equal_query a.cq b.cq
+
+  module Table = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end

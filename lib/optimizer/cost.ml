@@ -38,3 +38,58 @@ let measure ?(backend = Eval.Naive) ?(dedup = Eval.Eager) ~db (q : Term.query)
 let pp ppf t =
   Fmt.pf ppf "tuples=%d funcs=%d preds=%d (weighted %.1f)" t.tuples
     t.func_calls t.pred_calls t.weighted
+
+(* ------------------------------------------------------------------ *)
+(* Memoized costing.
+
+   Executed costing is by far the most expensive part of exploring a
+   rewrite space, and search re-encounters the same subplans constantly
+   (across [explore] calls, across [explore]/[reaches], across pipeline
+   stages).  The cache is keyed by the canonical query key (hash of the
+   reassociated term, structural equality as tiebreak), so two
+   associativity variants of one plan share an entry.  Entries are only
+   valid for one database: the cache remembers which [db] it was filled
+   against (by physical identity — sample databases are built once and
+   reused) and flushes itself when costed against a different one. *)
+
+type cache = {
+  table : float Term.Canonical.Table.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable cached_db : (string * Value.t) list option;
+}
+
+let cache ?(size = 512) () =
+  { table = Term.Canonical.Table.create size; hits = 0; misses = 0;
+    cached_db = None }
+
+let cache_stats c = (c.hits, c.misses)
+
+let cache_clear c =
+  Term.Canonical.Table.reset c.table;
+  c.cached_db <- None
+
+(* Weighted cost of [q] on [db] under the default backend, with plans that
+   fail to evaluate (e.g. ill-typed intermediate states) costed at
+   infinity — the convention search uses to prune them. *)
+let weighted_memo c ~db (q : Term.query) : float =
+  (match c.cached_db with
+  | Some d when d == db -> ()
+  | Some _ ->
+    Term.Canonical.Table.reset c.table;
+    c.cached_db <- Some db
+  | None -> c.cached_db <- Some db);
+  let key = Term.Canonical.of_query q in
+  match Term.Canonical.Table.find_opt c.table key with
+  | Some w ->
+    c.hits <- c.hits + 1;
+    w
+  | None ->
+    c.misses <- c.misses + 1;
+    let w =
+      match measure ~db q with
+      | _, t -> t.weighted
+      | exception Eval.Error _ -> infinity
+    in
+    Term.Canonical.Table.replace c.table key w;
+    w

@@ -20,3 +20,26 @@ val measure :
   Kola.Value.t * t
 
 val pp : t Fmt.t
+
+(** {1 Memoized costing}
+
+    Executed costing dominates rewrite-space exploration, and the same
+    subplans are re-encountered constantly.  The cache is keyed by
+    {!Kola.Term.Canonical} keys, so associativity variants of one plan
+    share an entry.  Entries are valid for a single database: costing
+    against a different database (by physical identity) flushes the
+    cache. *)
+
+type cache
+
+val cache : ?size:int -> unit -> cache
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] accumulated so far. *)
+
+val cache_clear : cache -> unit
+
+val weighted_memo : cache -> db:(string * Kola.Value.t) list ->
+  Kola.Term.query -> float
+(** Weighted cost under the default backend; plans that fail to evaluate
+    cost [infinity].  Never re-evaluates a canonically-equal query. *)

@@ -7,7 +7,12 @@
    search discovers short derivations (Figure 4's T1K/T2K, Figure 6's code
    motion) from the catalog alone, but the 25-firing hidden-join derivation
    is far beyond any practical frontier — which is precisely the paper's
-   motivation for rule blocks.  The ablation bench quantifies this. *)
+   motivation for rule blocks.  The ablation bench quantifies this.
+
+   Performance layer (see DESIGN.md, "Engine internals & performance"):
+   successor enumeration prunes rules through the head-symbol index, states
+   are deduplicated with hashed canonical keys instead of pretty-printed
+   strings, and costing is memoized across explorations. *)
 
 open Kola
 
@@ -15,6 +20,12 @@ type config = {
   rules : Rewrite.Rule.t list;
   max_depth : int;     (** maximum derivation length *)
   max_states : int;    (** exploration budget (states expanded) *)
+  max_positions : int;
+      (** positions per rule enumerated by {!successors}; truncation is
+          reported through [frontier_exhausted], never silent *)
+  indexed : bool;      (** prune rules through the head-symbol index *)
+  cost_cache : Cost.cache option;
+      (** [None] uses a cache shared by every exploration *)
   sample_db : (string * Value.t) list;  (** database used for costing *)
 }
 
@@ -23,15 +34,33 @@ let default_config =
     rules = Rules.Catalog.all;
     max_depth = 6;
     max_states = 400;
+    max_positions = 64;
+    indexed = true;
+    cost_cache = None;
     sample_db = Datagen.Store.db (Datagen.Store.tiny ());
   }
+
+(* The shared cost cache behind [cost_cache = None]: explorations of the
+   same plans (re-runs, pipeline stages, reaches-then-explore) reuse each
+   other's measurements.  It flushes itself when the database changes. *)
+let shared_cache = Cost.cache ()
 
 (* Enumerate every single-firing successor of [q]: each rule at each
    position.  Positions are enumerated with a skip counter: the strategy
    fires only at the k-th matching position, for k = 0, 1, ... until no
-   position is left. *)
-let successors ?schema (rules : Rewrite.Rule.t list) (q : Term.query) :
+   position is left or [max_positions] is reached — in which case
+   [truncated] is set so callers never mistake a cap for exhaustion.  With
+   [~indexed:true], rules whose pattern head occurs nowhere in the term are
+   skipped without walking it. *)
+let successors_report ?schema ~max_positions ~truncated ~indexed
+    (rules : Rewrite.Rule.t list) (q : Term.query) :
     (string * Term.query) list =
+  let keep =
+    if indexed then
+      let presence = Rewrite.Index.presence_of_query q in
+      Rewrite.Index.may_fire presence
+    else fun _ -> true
+  in
   let fun_rules, query_rules =
     List.partition
       (fun r ->
@@ -67,17 +96,27 @@ let successors ?schema (rules : Rewrite.Rule.t list) (q : Term.query) :
   let from_fun_rules =
     List.concat_map
       (fun r ->
-        let rec collect k acc =
-          if k > 64 then List.rev acc
-          else
-            match at_kth r k with
-            | Some q' -> collect (k + 1) ((r.Rewrite.Rule.name, q') :: acc)
-            | None -> List.rev acc
-        in
-        collect 0 [])
+        if not (keep r) then []
+        else
+          let rec collect k acc =
+            if k >= max_positions then begin
+              if Option.is_some (at_kth r k) then truncated := true;
+              List.rev acc
+            end
+            else
+              match at_kth r k with
+              | Some q' -> collect (k + 1) ((r.Rewrite.Rule.name, q') :: acc)
+              | None -> List.rev acc
+          in
+          collect 0 [])
       fun_rules
   in
   from_query_rules @ from_fun_rules
+
+let successors ?schema ?(max_positions = 64) (rules : Rewrite.Rule.t list)
+    (q : Term.query) : (string * Term.query) list =
+  successors_report ?schema ~max_positions ~truncated:(ref false)
+    ~indexed:true rules q
 
 type state = {
   query : Term.query;
@@ -89,24 +128,38 @@ type outcome = {
   best : state;
   explored : int;       (** states expanded *)
   frontier_exhausted : bool;
-      (** the whole reachable space within depth was covered *)
+      (** the whole reachable space within depth was covered: neither the
+          state budget nor the per-rule position cap truncated anything *)
+  cache_hits : int;     (** cost-cache hits during this exploration *)
+  cache_misses : int;
 }
 
+(* Pretty-printed canonical form — the legacy dedup key, kept for
+   diagnostics and for the equivalence property tests against
+   [Term.Canonical]. *)
 let canonical q =
   Pretty.query_to_string
     { q with Term.body = Term.reassoc_func q.Term.body }
 
-let cost_of ~db q =
-  match Cost.measure ~db q with
-  | _, c -> c.Cost.weighted
-  | exception Eval.Error _ -> infinity
+let cache_of config =
+  match config.cost_cache with Some c -> c | None -> shared_cache
+
+let cost_of ~cache ~db q = Cost.weighted_memo cache ~db q
+
+(* Internal search states carry their path cons-reversed (innermost rule
+   first); reversing once at the end avoids the quadratic [path @ [name]]
+   accumulation in the BFS loop. *)
+type istate = { iquery : Term.query; rev_path : string list; icost : float }
 
 (* Bounded BFS with global dedup; returns the cheapest state seen. *)
 let explore ?(config = default_config) (q : Term.query) : outcome =
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen = Term.Canonical.Table.create 256 in
   let db = config.sample_db in
-  let start = { query = q; path = []; cost = cost_of ~db q } in
-  Hashtbl.replace seen (canonical q) ();
+  let cache = cache_of config in
+  let hits0, misses0 = Cost.cache_stats cache in
+  let truncated = ref false in
+  let start = { iquery = q; rev_path = []; icost = cost_of ~cache ~db q } in
+  Term.Canonical.Table.replace seen (Term.Canonical.of_query q) ();
   let best = ref start in
   let expanded = ref 0 in
   let exhausted = ref true in
@@ -121,56 +174,74 @@ let explore ?(config = default_config) (q : Term.query) : outcome =
             incr expanded;
             List.iter
               (fun (rule_name, q') ->
-                let key = canonical q' in
-                if not (Hashtbl.mem seen key) then begin
-                  Hashtbl.replace seen key ();
+                let key = Term.Canonical.of_query q' in
+                if not (Term.Canonical.Table.mem seen key) then begin
+                  Term.Canonical.Table.replace seen key ();
                   let st' =
                     {
-                      query = q';
-                      path = st.path @ [ rule_name ];
-                      cost = cost_of ~db q';
+                      iquery = q';
+                      rev_path = rule_name :: st.rev_path;
+                      icost = cost_of ~cache ~db q';
                     }
                   in
-                  if st'.cost < !best.cost then best := st';
+                  if st'.icost < !best.icost then best := st';
                   next := st' :: !next
                 end)
-              (successors config.rules st.query)
+              (successors_report ~max_positions:config.max_positions
+                 ~truncated ~indexed:config.indexed config.rules st.iquery)
           end)
         states;
       level (List.rev !next) (depth + 1)
     end
   in
   level [ start ] 0;
-  { best = !best; explored = !expanded; frontier_exhausted = !exhausted }
+  if !truncated then exhausted := false;
+  let hits1, misses1 = Cost.cache_stats cache in
+  {
+    best =
+      {
+        query = !best.iquery;
+        path = List.rev !best.rev_path;
+        cost = !best.icost;
+      };
+    explored = !expanded;
+    frontier_exhausted = !exhausted;
+    cache_hits = hits1 - hits0;
+    cache_misses = misses1 - misses0;
+  }
 
 (* Was [target] reached (modulo associativity) within the budget? *)
 let reaches ?(config = default_config) (q : Term.query)
     (target : Term.query) : string list option =
   let found = ref None in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-  let target_key = canonical target in
+  let seen = Term.Canonical.Table.create 256 in
+  let truncated = ref false in
+  let target_key = Term.Canonical.of_query target in
+  let start_key = Term.Canonical.of_query q in
   let expanded = ref 0 in
-  Hashtbl.replace seen (canonical q) ();
-  if canonical q = target_key then Some []
+  Term.Canonical.Table.replace seen start_key ();
+  if Term.Canonical.equal start_key target_key then Some []
   else begin
     let rec level states depth =
       if depth >= config.max_depth || states = [] || !found <> None then ()
       else begin
         let next = ref [] in
         List.iter
-          (fun (q0, path) ->
+          (fun (q0, rev_path) ->
             if !expanded < config.max_states && !found = None then begin
               incr expanded;
               List.iter
                 (fun (rule_name, q') ->
-                  let key = canonical q' in
-                  if not (Hashtbl.mem seen key) then begin
-                    Hashtbl.replace seen key ();
-                    let path' = path @ [ rule_name ] in
-                    if key = target_key then found := Some path'
-                    else next := (q', path') :: !next
+                  let key = Term.Canonical.of_query q' in
+                  if not (Term.Canonical.Table.mem seen key) then begin
+                    Term.Canonical.Table.replace seen key ();
+                    let rev_path' = rule_name :: rev_path in
+                    if Term.Canonical.equal key target_key then
+                      found := Some (List.rev rev_path')
+                    else next := (q', rev_path') :: !next
                   end)
-                (successors config.rules q0)
+                (successors_report ~max_positions:config.max_positions
+                   ~truncated ~indexed:config.indexed config.rules q0)
             end)
           states;
         level (List.rev !next) (depth + 1)

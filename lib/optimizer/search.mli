@@ -6,12 +6,25 @@
     (Section 1.1): uninformed search discovers the short derivations of
     Figures 4 and 6 from the rules alone, but the ≈25-firing hidden-join
     derivation is beyond any practical frontier — the paper's motivation
-    for COKO rule blocks, quantified. *)
+    for COKO rule blocks, quantified.
+
+    The performance layer underneath (DESIGN.md, "Engine internals &
+    performance"): successor enumeration prunes rules through the
+    head-symbol index, dedup uses hashed canonical keys
+    ({!Kola.Term.Canonical}) instead of pretty-printed strings, and costing
+    is memoized across explorations ({!Cost.cache}). *)
 
 type config = {
   rules : Rewrite.Rule.t list;
   max_depth : int;   (** maximum derivation length *)
   max_states : int;  (** states expanded before giving up *)
+  max_positions : int;
+      (** positions per rule enumerated by {!successors} (default 64);
+          truncation clears [frontier_exhausted], it is never silent *)
+  indexed : bool;
+      (** prune rules through the head-symbol index (default [true]) *)
+  cost_cache : Cost.cache option;
+      (** [None] (the default) shares one cache across explorations *)
   sample_db : (string * Kola.Value.t) list;  (** database used for costing *)
 }
 
@@ -19,8 +32,10 @@ val default_config : config
 
 val successors :
   ?schema:Kola.Schema.t ->
+  ?max_positions:int ->
   Rewrite.Rule.t list -> Kola.Term.query -> (string * Kola.Term.query) list
-(** Every single-firing successor: each rule at each matching position. *)
+(** Every single-firing successor: each rule at each matching position, up
+    to [max_positions] positions per rule (default 64). *)
 
 type state = {
   query : Kola.Term.query;
@@ -28,7 +43,19 @@ type state = {
   cost : float;
 }
 
-type outcome = { best : state; explored : int; frontier_exhausted : bool }
+type outcome = {
+  best : state;
+  explored : int;
+  frontier_exhausted : bool;
+      (** the whole space within depth was covered: neither the state
+          budget nor the position cap truncated anything *)
+  cache_hits : int;   (** cost-cache hits during this call *)
+  cache_misses : int;
+}
+
+val canonical : Kola.Term.query -> string
+(** Pretty-printed canonical form — the legacy dedup key, kept for
+    diagnostics and the equivalence tests against {!Kola.Term.Canonical}. *)
 
 val explore : ?config:config -> Kola.Term.query -> outcome
 (** Cheapest equivalent query found within the budget. *)

@@ -1,7 +1,13 @@
 (* The rewriting engine: repeatedly fires rules from a set anywhere in a
    query, recording a trace.  The trace lets tests check the *derivations*
    of Figures 4 and 6, not just their end points, and gives the optimizer
-   an explanation facility. *)
+   an explanation facility.
+
+   Two dispatch paths exist.  The naive path attempts every rule of the
+   right sort at every node, in catalog order.  The indexed path routes
+   each node through {!Index} so only rules whose pattern head can match
+   are attempted — same firings, same trace, fewer attempts.  [run] indexes
+   by default; the naive path is kept as the measured baseline. *)
 
 open Kola
 open Kola.Term
@@ -15,7 +21,14 @@ type trace = step list
 
 type stats = {
   firings : int;
-  attempts : int;  (** rule-at-node match attempts, the unification cost *)
+  attempts : int;
+      (** rules actually tried: for each node visited, each candidate rule
+          of the node's sort attempted before (and including) the one that
+          fired.  Query rules count once per step, function (predicate)
+          rules once per function (predicate) node attempted.  Rules of the
+          wrong sort for a node — or, under the index, rules whose head
+          cannot match it — are not counted: they are dismissed by
+          dispatch, not tried. *)
 }
 
 type outcome = { query : query; trace : trace; stats : stats }
@@ -26,21 +39,13 @@ let pp_trace ppf trace =
       Fmt.pf ppf "  --%s--> %a@." s.rule_name Pretty.pp_query s.result)
     trace
 
-(* Apply the first rule (in catalog order) that fires anywhere in the query,
+(* Shared stepping core: given the query rules and a per-target candidate
+   function, apply the first rule that fires anywhere in the query,
    outermost first; query rules are tried at the query level first.
-   [counter], when given, accumulates rule-at-node match attempts — the
-   unification cost of the step. *)
-let step_once ?schema ?(counter = ref 0) (rules : Rule.t list) (q : query) :
+   [counter] accumulates rule-at-node attempts — the unification cost. *)
+let step_with ?schema ~counter ~query_rules ~candidates (q : query) :
     (string * query) option =
   let attempts = counter in
-  let fun_rules, query_rules =
-    List.partition
-      (fun r ->
-        match r.Rule.body with
-        | Rule.Fun_rule _ | Rule.Pred_rule _ -> true
-        | Rule.Query_rule _ -> false)
-      rules
-  in
   let from_query_rules =
     List.find_map
       (fun r ->
@@ -57,7 +62,7 @@ let step_once ?schema ?(counter = ref 0) (rules : Rule.t list) (q : query) :
           incr attempts;
           Option.map (fun t -> (r.Rule.name, t))
             (Strategy.of_rule ?schema r tgt))
-        fun_rules
+        (candidates tgt)
     in
     let named = ref "" in
     let s tgt =
@@ -71,13 +76,60 @@ let step_once ?schema ?(counter = ref 0) (rules : Rule.t list) (q : query) :
       (fun body -> (!named, { q with body }))
       (Strategy.apply_func (Strategy.once_topdown s) q.body)
 
-(* Normalize [q] under [rules], up to [fuel] firings. *)
-let run ?schema ?(fuel = 10_000) (rules : Rule.t list) (q : query) : outcome =
+(* Split out the rules a target of each sort can try: function rules for
+   function nodes, predicate rules for predicate nodes. *)
+let partition_rules rules =
+  let fun_rules =
+    List.filter
+      (fun r -> match r.Rule.body with Rule.Fun_rule _ -> true | _ -> false)
+      rules
+  in
+  let pred_rules =
+    List.filter
+      (fun r -> match r.Rule.body with Rule.Pred_rule _ -> true | _ -> false)
+      rules
+  in
+  let query_rules =
+    List.filter
+      (fun r -> match r.Rule.body with Rule.Query_rule _ -> true | _ -> false)
+      rules
+  in
+  (fun_rules, pred_rules, query_rules)
+
+let step_once ?schema ?(counter = ref 0) (rules : Rule.t list) (q : query) :
+    (string * query) option =
+  let fun_rules, pred_rules, query_rules = partition_rules rules in
+  let candidates = function
+    | Strategy.F _ -> fun_rules
+    | Strategy.P _ -> pred_rules
+  in
+  step_with ?schema ~counter ~query_rules ~candidates q
+
+let step_once_indexed ?schema ?(counter = ref 0) (index : Index.t) (q : query)
+    : (string * query) option =
+  let candidates = function
+    | Strategy.F f -> Index.candidates_func index f
+    | Strategy.P p -> Index.candidates_pred index p
+  in
+  step_with ?schema ~counter ~query_rules:(Index.query_rules index) ~candidates
+    q
+
+(* Normalize [q] under [rules], up to [fuel] firings.  The head-symbol
+   index is built once and reused across firings; pass [~indexed:false] for
+   the naive baseline. *)
+let run ?schema ?(fuel = 10_000) ?(indexed = true) (rules : Rule.t list)
+    (q : query) : outcome =
   let counter = ref 0 in
+  let step =
+    if indexed then
+      let index = Index.build rules in
+      step_once_indexed ?schema ~counter index
+    else step_once ?schema ~counter rules
+  in
   let rec go n q trace firings =
     if n = 0 then (q, trace, firings)
     else
-      match step_once ?schema ~counter rules q with
+      match step q with
       | Some (name, q') ->
         go (n - 1) q' ({ rule_name = name; result = q' } :: trace) (firings + 1)
       | None -> (q, trace, firings)
@@ -91,8 +143,8 @@ let run ?schema ?(fuel = 10_000) (rules : Rule.t list) (q : query) : outcome =
 
 (* Same, over a bare function (no query argument), used when transforming
    subplans. *)
-let run_func ?schema ?(fuel = 10_000) rules f =
-  let outcome = run ?schema ~fuel rules (query f Value.Unit) in
+let run_func ?schema ?(fuel = 10_000) ?indexed rules f =
+  let outcome = run ?schema ~fuel ?indexed rules (query f Value.Unit) in
   (outcome.query.body, outcome.trace)
 
 let fired_rules outcome = List.map (fun s -> s.rule_name) outcome.trace

@@ -1,0 +1,220 @@
+(* Head-symbol rule indexing.
+
+   KOLA's variable-free patterns make rule applicability a pure structural
+   match, so a rule can only fire at a node whose root constructor equals
+   its pattern's root constructor (composition chains are matched modulo
+   associativity, but still only at [Compose] nodes).  The index buckets
+   every rule by that head symbol once, and the engine then dispatches each
+   node to its bucket instead of attempting the whole catalog — the paper's
+   "matching is linear in the pattern size" property, extended to "dispatch
+   is constant in the catalog size".
+
+   Rules whose pattern is rooted at a hole match anything of their sort and
+   live in a wildcard bucket that every lookup includes.  Query rules are
+   only ever tried at the query level and are kept aside unbucketed.
+   Candidate lists preserve catalog order, so an indexed engine fires
+   exactly the rule the naive engine would. *)
+
+open Kola.Term
+
+type head =
+  | HId
+  | HPi1
+  | HPi2
+  | HPrim
+  | HCompose
+  | HPairf
+  | HTimes
+  | HKf
+  | HCf
+  | HCon
+  | HArith
+  | HAgg
+  | HSetop
+  | HSng
+  | HFlat
+  | HIterate
+  | HIter
+  | HJoin
+  | HNest
+  | HUnnest
+  | HEq
+  | HLeq
+  | HGt
+  | HIn
+  | HPrimp
+  | HOplus
+  | HAndp
+  | HOrp
+  | HInv
+  | HConv
+  | HKp
+  | HCp
+
+let head_of_func = function
+  | Id -> Some HId
+  | Pi1 -> Some HPi1
+  | Pi2 -> Some HPi2
+  | Prim _ -> Some HPrim
+  | Compose _ -> Some HCompose
+  | Pairf _ -> Some HPairf
+  | Times _ -> Some HTimes
+  | Kf _ -> Some HKf
+  | Cf _ -> Some HCf
+  | Con _ -> Some HCon
+  | Arith _ -> Some HArith
+  | Agg _ -> Some HAgg
+  | Setop _ -> Some HSetop
+  | Sng -> Some HSng
+  | Flat -> Some HFlat
+  | Iterate _ -> Some HIterate
+  | Iter _ -> Some HIter
+  | Join _ -> Some HJoin
+  | Nest _ -> Some HNest
+  | Unnest _ -> Some HUnnest
+  | Fhole _ -> None
+
+let head_of_pred = function
+  | Eq -> Some HEq
+  | Leq -> Some HLeq
+  | Gt -> Some HGt
+  | In -> Some HIn
+  | Primp _ -> Some HPrimp
+  | Oplus _ -> Some HOplus
+  | Andp _ -> Some HAndp
+  | Orp _ -> Some HOrp
+  | Inv _ -> Some HInv
+  | Conv _ -> Some HConv
+  | Kp _ -> Some HKp
+  | Cp _ -> Some HCp
+  | Phole _ -> None
+
+(* [head = None] marks a hole-rooted (wildcard) pattern. *)
+type entry = { head : head option; rule : Rule.t }
+
+type t = {
+  fun_entries : entry list;  (** function rules, catalog order *)
+  pred_entries : entry list;  (** predicate rules, catalog order *)
+  query_rules : Rule.t list;
+  rules : Rule.t list;  (** the original list, original order *)
+  fun_cache : (head, Rule.t list) Hashtbl.t;
+  pred_cache : (head, Rule.t list) Hashtbl.t;
+}
+
+let build rules =
+  let fun_entries, pred_entries, query_rules =
+    List.fold_left
+      (fun (fs, ps, qs) r ->
+        match r.Rule.body with
+        | Rule.Fun_rule (lhs, _) ->
+          ({ head = head_of_func lhs; rule = r } :: fs, ps, qs)
+        | Rule.Pred_rule (lhs, _) ->
+          (fs, { head = head_of_pred lhs; rule = r } :: ps, qs)
+        | Rule.Query_rule _ -> (fs, ps, r :: qs))
+      ([], [], []) rules
+  in
+  {
+    fun_entries = List.rev fun_entries;
+    pred_entries = List.rev pred_entries;
+    query_rules = List.rev query_rules;
+    rules;
+    fun_cache = Hashtbl.create 16;
+    pred_cache = Hashtbl.create 16;
+  }
+
+let rules t = t.rules
+let query_rules t = t.query_rules
+
+(* Bucket lookup, memoized per head: rules whose pattern head is [h] plus
+   the wildcards, in catalog order. *)
+let bucket cache entries h =
+  match Hashtbl.find_opt cache h with
+  | Some rs -> rs
+  | None ->
+    let rs =
+      List.filter_map
+        (fun e ->
+          match e.head with
+          | None -> Some e.rule
+          | Some h' -> if h' = h then Some e.rule else None)
+        entries
+    in
+    Hashtbl.add cache h rs;
+    rs
+
+let all_of entries = List.map (fun e -> e.rule) entries
+
+let candidates_func t f =
+  match head_of_func f with
+  | Some h -> bucket t.fun_cache t.fun_entries h
+  | None -> all_of t.fun_entries
+
+let candidates_pred t p =
+  match head_of_pred p with
+  | Some h -> bucket t.pred_cache t.pred_entries h
+  | None -> all_of t.pred_entries
+
+(* ------------------------------------------------------------------ *)
+(* Whole-term head presence, for per-rule enumeration (the optimizer's
+   successor function walks the term once per rule; a rule whose head
+   occurs nowhere in the term can be skipped without walking). *)
+
+type presence = (head, unit) Hashtbl.t
+
+let presence_of_func f : presence =
+  let tbl = Hashtbl.create 32 in
+  let addf f =
+    match head_of_func f with Some h -> Hashtbl.replace tbl h () | None -> ()
+  in
+  let addp p =
+    match head_of_pred p with Some h -> Hashtbl.replace tbl h () | None -> ()
+  in
+  let rec gof f =
+    addf f;
+    match f with
+    | Id | Pi1 | Pi2 | Prim _ | Flat | Sng | Arith _ | Agg _ | Setop _ | Kf _
+    | Fhole _ -> ()
+    | Compose (a, b) | Pairf (a, b) | Times (a, b) | Nest (a, b)
+    | Unnest (a, b) ->
+      gof a;
+      gof b
+    | Cf (a, _) -> gof a
+    | Con (p, a, b) ->
+      gop p;
+      gof a;
+      gof b
+    | Iterate (p, a) | Iter (p, a) | Join (p, a) ->
+      gop p;
+      gof a
+  and gop p =
+    addp p;
+    match p with
+    | Eq | Leq | Gt | In | Primp _ | Kp _ | Phole _ -> ()
+    | Oplus (q, f) ->
+      gop q;
+      gof f
+    | Andp (q, r) | Orp (q, r) ->
+      gop q;
+      gop r
+    | Inv q | Conv q -> gop q
+    | Cp (q, _) -> gop q
+  in
+  gof f;
+  tbl
+
+let presence_of_query (q : query) = presence_of_func q.body
+
+(* Can [r] possibly fire somewhere in a term with head set [pres]?  Query
+   rules and wildcard patterns always may; otherwise the pattern head must
+   occur. *)
+let may_fire (pres : presence) (r : Rule.t) =
+  match r.Rule.body with
+  | Rule.Query_rule _ -> true
+  | Rule.Fun_rule (lhs, _) -> (
+    match head_of_func lhs with
+    | None -> true
+    | Some h -> Hashtbl.mem pres h)
+  | Rule.Pred_rule (lhs, _) -> (
+    match head_of_pred lhs with
+    | None -> true
+    | Some h -> Hashtbl.mem pres h)

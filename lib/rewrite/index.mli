@@ -1,0 +1,82 @@
+(** Head-symbol rule indexing.
+
+    Variable-free patterns can only match a node whose root constructor
+    equals the pattern's root constructor (composition chains are matched
+    modulo associativity, but still only at [Compose] nodes).  Bucketing
+    the catalog by that head once makes per-node dispatch constant in the
+    catalog size instead of linear.  Candidate lists preserve catalog
+    order, so an indexed engine fires exactly the rule the naive engine
+    would — equivalence is pinned by the engine-index test suite. *)
+
+(** One constructor per [Kola.Term.func] / [Kola.Term.pred] head. *)
+type head =
+  | HId
+  | HPi1
+  | HPi2
+  | HPrim
+  | HCompose
+  | HPairf
+  | HTimes
+  | HKf
+  | HCf
+  | HCon
+  | HArith
+  | HAgg
+  | HSetop
+  | HSng
+  | HFlat
+  | HIterate
+  | HIter
+  | HJoin
+  | HNest
+  | HUnnest
+  | HEq
+  | HLeq
+  | HGt
+  | HIn
+  | HPrimp
+  | HOplus
+  | HAndp
+  | HOrp
+  | HInv
+  | HConv
+  | HKp
+  | HCp
+
+val head_of_func : Kola.Term.func -> head option
+(** [None] for holes (wildcard patterns). *)
+
+val head_of_pred : Kola.Term.pred -> head option
+
+type t
+
+val build : Rule.t list -> t
+(** One pass over the rules; bucket lists are materialized lazily per head
+    and memoized, so building is cheap even for throwaway indexes. *)
+
+val rules : t -> Rule.t list
+(** The original rule list, original order. *)
+
+val query_rules : t -> Rule.t list
+(** Query rules, tried only at the query level. *)
+
+val candidates_func : t -> Kola.Term.func -> Rule.t list
+(** Function rules whose pattern head can match the given node, in catalog
+    order (wildcards included). *)
+
+val candidates_pred : t -> Kola.Term.pred -> Rule.t list
+
+(** {1 Whole-term head presence}
+
+    For per-rule position enumeration (the optimizer's successor function):
+    a rule whose head occurs nowhere in the term cannot fire and can be
+    skipped without walking the term. *)
+
+type presence
+
+val presence_of_func : Kola.Term.func -> presence
+val presence_of_query : Kola.Term.query -> presence
+
+val may_fire : presence -> Rule.t -> bool
+(** Query rules and wildcard patterns always may fire; otherwise the
+    pattern's head must occur in the term. *)

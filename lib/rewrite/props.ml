@@ -18,12 +18,15 @@ type prop =
   | Total            (** never raises on well-typed input *)
   | Constant         (** ignores its input *)
   | Preserves_pair   (** maps pairs to pairs componentwise, e.g. f × g *)
+  | Set_valued
+      (** a value hole binds a collection (rule 19's B must be iterable) *)
 
 let pp_prop ppf = function
   | Injective -> Fmt.string ppf "injective"
   | Total -> Fmt.string ppf "total"
   | Constant -> Fmt.string ppf "constant"
   | Preserves_pair -> Fmt.string ppf "preserves-pair"
+  | Set_valued -> Fmt.string ppf "set-valued"
 
 let rec injective schema f =
   match f with
@@ -84,3 +87,16 @@ let holds schema prop f =
   | Total -> total schema f
   | Constant -> constant f
   | Preserves_pair -> preserves_pair f
+  | Set_valued -> false (* a property of value bindings, not functions *)
+
+(* Properties of the *values* a pattern binds — rule 19's hidden join is
+   only sound when the constant it moves into the query argument is a
+   collection the introduced join can iterate.  Named extents are sets by
+   construction. *)
+let holds_value prop (v : Value.t) =
+  match prop with
+  | Set_valued -> (
+    match v with
+    | Value.Set _ | Value.Bag _ | Value.List _ | Value.Named _ -> true
+    | _ -> false)
+  | Injective | Total | Constant | Preserves_pair -> false

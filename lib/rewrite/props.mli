@@ -10,6 +10,8 @@ type prop =
   | Total           (** never raises on well-typed input *)
   | Constant        (** ignores its input *)
   | Preserves_pair  (** maps pairs componentwise (f × g shapes) *)
+  | Set_valued
+      (** for value holes: the binding is a collection (rule 19's B) *)
 
 val pp_prop : prop Fmt.t
 val injective : Kola.Schema.t -> Kola.Term.func -> bool
@@ -18,3 +20,8 @@ val total_pred : Kola.Schema.t -> Kola.Term.pred -> bool
 val constant : Kola.Term.func -> bool
 val preserves_pair : Kola.Term.func -> bool
 val holds : Kola.Schema.t -> prop -> Kola.Term.func -> bool
+
+val holds_value : prop -> Kola.Value.t -> bool
+(** The property read against a value binding: [Set_valued] accepts sets,
+    bags, lists and named extents; function properties are never provable
+    of a value. *)

@@ -45,12 +45,18 @@ let flip t =
   in
   { t with name = t.name ^ "-1"; body }
 
+(* A precondition names a hole; the property is read against whatever the
+   match bound it to — a function (injective, total, ...) or a value
+   (set-valued).  An unbound hole is conservatively a failure. *)
 let check_preconditions schema t subst =
   List.for_all
     (fun { prop; hole } ->
       match Subst.find_func subst hole with
       | Some f -> Props.holds schema prop f
-      | None -> false)
+      | None -> (
+        match Subst.find_value subst hole with
+        | Some v -> Props.holds_value prop v
+        | None -> false))
     t.preconditions
 
 (* Apply [t] at the root of a function term.

@@ -28,9 +28,20 @@ let of_rule ?schema (r : Rule.t) : t = function
   | F f -> Option.map (fun f -> F f) (Rule.apply_func ?schema r f)
   | P p -> Option.map (fun p -> P p) (Rule.apply_pred ?schema r p)
 
-let of_rules ?schema rules : t =
+(* Dispatch through a head-symbol index: at each target only the rules
+   whose pattern head can match are attempted, in catalog order. *)
+let of_index ?schema (idx : Index.t) : t =
  fun tgt ->
-  List.find_map (fun r -> of_rule ?schema r tgt) rules
+  let candidates =
+    match tgt with
+    | F f -> Index.candidates_func idx f
+    | P p -> Index.candidates_pred idx p
+  in
+  List.find_map (fun r -> of_rule ?schema r tgt) candidates
+
+let of_rules ?schema rules : t =
+  let idx = Index.build rules in
+  of_index ?schema idx
 
 let fail : t = fun _ -> None
 let id_strategy : t = fun tgt -> Some tgt

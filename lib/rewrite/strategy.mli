@@ -15,8 +15,15 @@ val of_pred_rewrite : (Kola.Term.pred -> Kola.Term.pred option) -> t
 val of_rule : ?schema:Kola.Schema.t -> Rule.t -> t
 (** The rule applied at the root of the target. *)
 
+val of_index : ?schema:Kola.Schema.t -> Index.t -> t
+(** First rule (in catalog order) that applies, dispatching each target
+    through the head-symbol index so only rules whose pattern head can
+    match the node are attempted. *)
+
 val of_rules : ?schema:Kola.Schema.t -> Rule.t list -> t
-(** First rule (in list order) that applies. *)
+(** First rule (in list order) that applies.  Builds a head-symbol index
+    over the rules once at closure-creation time; partially apply it to
+    reuse the index across targets. *)
 
 val fail : t
 val id_strategy : t

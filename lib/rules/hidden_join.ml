@@ -57,9 +57,14 @@ let r18 =
 
 (* 19. iterate(Kp(T), ⟨id, Kf(B)⟩) ! A ≡
        nest(π1, π2) ∘ ⟨join(Kp(T), id), π1⟩ ! [A, B]
-   A query rule: it moves the constant set B into the query argument. *)
+   A query rule: it moves the constant set B into the query argument.  The
+   set-valued precondition is load-bearing: the introduced join iterates
+   B, so pairing every element with a *scalar* constant must not match. *)
+let set_valued_b = [ { Rule.prop = Props.Set_valued; hole = "B" } ]
+
 let r19 =
   Rule.query_rule ~name:"r19" ~description:"bottom out with a nest of a join"
+    ~preconditions:set_valued_b
     (Iterate (kp_t, Pairf (Id, Kf bset)), aset)
     ( chain [ Nest (Pi1, Pi2); Pairf (Join (kp_t, Id), Pi1) ],
       Value.Pair (aset, bset) )
@@ -73,6 +78,7 @@ let r19 =
 let r19f =
   Rule.fun_rule ~name:"r19f"
     ~description:"bottom out mid-chain with a nest of a join"
+    ~preconditions:set_valued_b
     (Iterate (kp_t, Pairf (Id, Kf bset)))
     (chain
        [

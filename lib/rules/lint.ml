@@ -74,8 +74,13 @@ let check ?(schema = Schema.paper) (r : Rewrite.Rule.t) : problem list =
   let precond =
     List.filter_map
       (fun pre ->
-        let tagged = "f:" ^ pre.Rewrite.Rule.hole in
-        if List.mem tagged lhs_holes then None
+        (* the hole may be of any sort: function, predicate or value *)
+        let known =
+          List.exists
+            (fun tag -> List.mem (tag ^ pre.Rewrite.Rule.hole) lhs_holes)
+            [ "f:"; "p:"; "v:" ]
+        in
+        if known then None
         else Some (Unknown_precondition_hole pre.Rewrite.Rule.hole))
       r.Rewrite.Rule.preconditions
   in

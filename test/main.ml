@@ -32,5 +32,6 @@ let () =
       ("monolithic-ablation", Test_monolithic.tests);
       ("engine-soundness", Test_engine_sound.tests);
       ("search (COKO motivation)", Test_search.tests);
+      ("engine-index (perf layer)", Test_index.tests);
       ("company (second schema)", Test_company.tests);
     ]
