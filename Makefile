@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-smoke baseline clean
+.PHONY: all build test bench bench-fast bench-smoke bench-parallel baseline clean
 
 all: build
 
@@ -20,6 +20,10 @@ bench-fast:
 # Engine-internals only, CI-sized; the alias keeps it one command.
 bench-smoke:
 	dune build @bench-smoke
+
+# The 1/2/4/8-domain exploration scaling curve; writes BENCH_parallel.json.
+bench-parallel:
+	dune exec bench/main.exe -- --parallel
 
 # Regenerate the committed engine baseline at the repo root.
 baseline:

@@ -12,7 +12,9 @@ open Kola
 let quota = ref 0.25
 let fast = ref false
 let smoke = ref false
+let parallel_only = ref false
 let out_file = ref "BENCH_engine.json"
+let out_file_given = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
@@ -430,7 +432,98 @@ let time_per ~repeats f =
   done;
   (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int repeats
 
-let engine_report () =
+(* ------------------------------------------------------------------ *)
+(* parallel_scaling: the same exploration at 1/2/4/8 domains.  Each    *)
+(* timed run uses a fresh cold cost cache so the costing work — the    *)
+(* part the pool fans out — is real, and includes pool spawn/shutdown, *)
+(* so the speedup is what a caller actually observes.                  *)
+
+type parallel_row = {
+  pq : string;
+  pjobs : int;
+  pns : float;
+  pspeedup : float;       (* vs the jobs = 1 run of the same workload *)
+  pmatches : bool;        (* outcome identical to the jobs = 1 run *)
+}
+
+let parallel_workloads =
+  (* the Figure 4 derivation sources and the Figure 6 code-motion source *)
+  [ ("T1K", Paper.t1k_source, 4, 400);
+    ("T2K", Paper.t2k_source, 4, 300);
+    ("K4", Paper.k4, 3, 250) ]
+
+let parallel_scaling_rows ~jobs_list ~repeats =
+  List.concat_map
+    (fun (name, q, max_depth, max_states) ->
+      let explore jobs =
+        Optimizer.Search.explore
+          ~config:
+            {
+              Optimizer.Search.default_config with
+              max_depth;
+              max_states;
+              jobs;
+              cost_cache = Some (Optimizer.Cost.cache ());
+            }
+          q
+      in
+      let baseline = explore 1 in
+      let base_ns = ref nan in
+      List.map
+        (fun jobs ->
+          let o = explore jobs in
+          let ns = time_per ~repeats (fun () -> explore jobs) in
+          if jobs = 1 then base_ns := ns;
+          let matches =
+            Kola.Term.equal_query o.Optimizer.Search.best.Optimizer.Search.query
+              baseline.Optimizer.Search.best.Optimizer.Search.query
+            && o.Optimizer.Search.best.Optimizer.Search.path
+               = baseline.Optimizer.Search.best.Optimizer.Search.path
+            && o.Optimizer.Search.explored = baseline.Optimizer.Search.explored
+            && o.Optimizer.Search.frontier_exhausted
+               = baseline.Optimizer.Search.frontier_exhausted
+          in
+          { pq = name; pjobs = jobs; pns = ns; pspeedup = !base_ns /. ns;
+            pmatches = matches })
+        jobs_list)
+    parallel_workloads
+
+let parallel_table rows =
+  Fmt.pr
+    "@.## parallel_scaling (level-synchronous explore, cold cost cache)@.";
+  Fmt.pr "  (host reports %d recommended domain(s))@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr "  %-5s %6s %12s %9s %9s@." "query" "jobs" "wall" "speedup"
+    "outcome";
+  List.iter
+    (fun r ->
+      let pretty =
+        if r.pns > 1e9 then Fmt.str "%8.2f s " (r.pns /. 1e9)
+        else if r.pns > 1e6 then Fmt.str "%8.2f ms" (r.pns /. 1e6)
+        else Fmt.str "%8.2f us" (r.pns /. 1e3)
+      in
+      Fmt.pr "  %-5s %6d %12s %8.2fx %9s@." r.pq r.pjobs pretty r.pspeedup
+        (if r.pmatches then "identical" else "MISMATCH"))
+    rows
+
+let parallel_json rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Fmt.str "  \"parallel_scaling\": {\"recommended_domains\": %d, \"runs\": [\n"
+       (Domain.recommended_domain_count ()));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"query\": %S, \"jobs\": %d, \"ns\": %.0f, \
+            \"speedup_vs_seq\": %.2f, \"outcome_identical\": %b}%s\n"
+           r.pq r.pjobs r.pns r.pspeedup r.pmatches
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]}";
+  Buffer.contents buf
+
+let engine_report ?(parallel_rows = []) () =
   let repeats = if !fast then 5 else 50 in
   Fmt.pr
     "@.## engine_internals (head-symbol index, hashed dedup, cost memo)@.";
@@ -517,10 +610,11 @@ let engine_report () =
   Buffer.add_string buf
     (Fmt.str
        "  \"cost_cache\": {\"cold_misses\": %d, \"cold_hits\": %d, \
-        \"warm_misses\": %d, \"warm_hits\": %d}\n"
+        \"warm_misses\": %d, \"warm_hits\": %d},\n"
        cold.Optimizer.Search.cache_misses cold.Optimizer.Search.cache_hits
        warm.Optimizer.Search.cache_misses warm.Optimizer.Search.cache_hits);
-  Buffer.add_string buf "}\n";
+  Buffer.add_string buf (parallel_json parallel_rows);
+  Buffer.add_string buf "\n}\n";
   let oc = open_out !out_file in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -537,18 +631,41 @@ let () =
     | "--smoke" :: rest ->
       smoke := true;
       parse rest
+    | "--parallel" :: rest ->
+      parallel_only := true;
+      parse rest
     | "--out" :: file :: rest ->
       out_file := file;
+      out_file_given := true;
       parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then begin
-    (* engine-internals only: the CI-sized smoke run behind @bench-smoke *)
+  if !parallel_only then begin
+    (* the scaling curve alone: `make bench-parallel` *)
+    Fmt.pr "KOLA parallel-exploration scaling benchmark@.";
+    Fmt.pr "===========================================@.";
+    let rows =
+      parallel_scaling_rows ~jobs_list:[ 1; 2; 4; 8 ]
+        ~repeats:(if !fast then 2 else 5)
+    in
+    parallel_table rows;
+    if not !out_file_given then out_file := "BENCH_parallel.json";
+    let oc = open_out !out_file in
+    output_string oc (Fmt.str "{\n%s\n}\n" (parallel_json rows));
+    close_out oc;
+    Fmt.pr "  wrote %s@." !out_file;
+    Fmt.pr "@.done.@."
+  end
+  else if !smoke then begin
+    (* engine-internals only: the CI-sized smoke run behind @bench-smoke,
+       plus a 2-domain sanity point of the scaling curve *)
     Fmt.pr "KOLA engine-internals smoke benchmark@.";
     Fmt.pr "=====================================@.";
     benchmark_group "engine_internals" engine_tests;
-    engine_report ();
+    let rows = parallel_scaling_rows ~jobs_list:[ 1; 2 ] ~repeats:2 in
+    parallel_table rows;
+    engine_report ~parallel_rows:rows ();
     Fmt.pr "@.done.@."
   end
   else begin
@@ -574,6 +691,12 @@ let () =
   search_table ();
   benchmark_group "optimizer_pipeline" pipeline_tests;
   benchmark_group "engine_internals" engine_tests;
-  engine_report ();
+  let parallel_rows =
+    parallel_scaling_rows
+      ~jobs_list:(if !fast then [ 1; 2 ] else [ 1; 2; 4; 8 ])
+      ~repeats:(if !fast then 2 else 5)
+  in
+  parallel_table parallel_rows;
+  engine_report ~parallel_rows ();
   Fmt.pr "@.done.@."
   end

@@ -179,7 +179,15 @@ let search_cmd =
             "Disable head-symbol rule dispatch during successor enumeration \
              (the measured baseline; results are identical, only slower).")
   in
-  let run src store depth states naive =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ]
+          ~doc:
+            "Domains exploring each BFS level (1 = sequential; 0 = one per \
+             recommended core).  Outcomes are identical at every setting.")
+  in
+  let run src store depth states naive jobs =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let aqua = Oql.Parser.parse src in
@@ -191,13 +199,18 @@ let search_cmd =
             max_states = states;
             indexed = not naive;
             sample_db = db;
+            jobs;
           }
         in
         let o = Optimizer.Search.explore ~config q in
-        Fmt.pr "explored %d states%s (cost cache: %d hits, %d misses)@."
+        Fmt.pr "domains: %d@." (Optimizer.Search.resolved_jobs config);
+        Fmt.pr
+          "explored %d states%s (cost cache: %d hits, %d misses, %d \
+           evictions)@."
           o.Optimizer.Search.explored
           (if o.Optimizer.Search.frontier_exhausted then " (space exhausted)" else "")
-          o.Optimizer.Search.cache_hits o.Optimizer.Search.cache_misses;
+          o.Optimizer.Search.cache_hits o.Optimizer.Search.cache_misses
+          o.Optimizer.Search.cache_evictions;
         Fmt.pr "derivation: %a@."
           Fmt.(list ~sep:comma string)
           o.Optimizer.Search.best.Optimizer.Search.path;
@@ -208,7 +221,7 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Optimize by bounded exploration of the rewrite space.")
-    Term.(const run $ query_arg $ store_term $ depth $ states $ naive)
+    Term.(const run $ query_arg $ store_term $ depth $ states $ naive $ jobs)
 
 let main =
   Cmd.group

@@ -50,46 +50,149 @@ let pp ppf t =
    associativity variants of one plan share an entry.  Entries are only
    valid for one database: the cache remembers which [db] it was filled
    against (by physical identity — sample databases are built once and
-   reused) and flushes itself when costed against a different one. *)
+   reused) and flushes itself when costed against a different one.
+
+   Capacity and eviction: [size] is a real bound on resident entries
+   (the historical behaviour — initial Hashtbl size only — let long
+   pipeline runs grow the shared cache without limit).  Eviction is
+   second-chance: every entry carries a [live] bit, clear on insert and
+   set on hit; when an insert finds the table full, one sweep removes
+   every entry whose bit is clear and demotes the rest, so an entry
+   survives a sweep iff it was hit since insertion or the previous
+   sweep; if every entry was live the whole table is dropped (a full
+   clear beats thrashing sweep-per-insert).  Sweep cost is O(capacity)
+   but amortized O(1) per insert as long as a constant fraction of
+   entries is cold between sweeps. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type entry = { w : float; mutable live : bool }
 
 type cache = {
-  table : float Term.Canonical.Table.t;
+  table : entry Term.Canonical.Table.t;
+  capacity : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
   mutable cached_db : (string * Value.t) list option;
 }
 
-let cache ?(size = 512) () =
-  { table = Term.Canonical.Table.create size; hits = 0; misses = 0;
-    cached_db = None }
+let cache ?(size = 65_536) () =
+  let capacity = max 1 size in
+  {
+    table = Term.Canonical.Table.create (min capacity 1_024);
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    cached_db = None;
+  }
 
-let cache_stats c = (c.hits, c.misses)
+let cache_stats c =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    entries = Term.Canonical.Table.length c.table;
+    capacity = c.capacity;
+  }
 
 let cache_clear c =
   Term.Canonical.Table.reset c.table;
   c.cached_db <- None
 
-(* Weighted cost of [q] on [db] under the default backend, with plans that
-   fail to evaluate (e.g. ill-typed intermediate states) costed at
-   infinity — the convention search uses to prune them. *)
-let weighted_memo c ~db (q : Term.query) : float =
-  (match c.cached_db with
+(* Flush the table when costed against a different database. *)
+let prepare c ~db =
+  match c.cached_db with
   | Some d when d == db -> ()
   | Some _ ->
     Term.Canonical.Table.reset c.table;
     c.cached_db <- Some db
-  | None -> c.cached_db <- Some db);
-  let key = Term.Canonical.of_query q in
+  | None -> c.cached_db <- Some db
+
+(* Hit: refresh the second-chance bit and count. *)
+let find_memo c key =
   match Term.Canonical.Table.find_opt c.table key with
-  | Some w ->
+  | Some e ->
+    e.live <- true;
     c.hits <- c.hits + 1;
-    w
+    Some e.w
+  | None -> None
+
+let sweep c =
+  let doomed =
+    Term.Canonical.Table.fold
+      (fun k e acc ->
+        if e.live then begin
+          e.live <- false;
+          acc
+        end
+        else k :: acc)
+      c.table []
+  in
+  match doomed with
+  | [] ->
+    (* every resident entry was hit since the last sweep *)
+    c.evictions <- c.evictions + Term.Canonical.Table.length c.table;
+    Term.Canonical.Table.reset c.table
+  | doomed ->
+    List.iter (Term.Canonical.Table.remove c.table) doomed;
+    c.evictions <- c.evictions + List.length doomed
+
+(* Miss: count, make room, insert.  New entries start with the reference
+   bit clear — only a hit earns the second chance. *)
+let insert_memo c key w =
+  c.misses <- c.misses + 1;
+  if Term.Canonical.Table.length c.table >= c.capacity then sweep c;
+  Term.Canonical.Table.replace c.table key { w; live = false }
+
+(* Weighted cost of [q] on [db] under the default backend, with plans that
+   fail to evaluate (e.g. ill-typed intermediate states) costed at
+   infinity — the convention search uses to prune them. *)
+let measure_weighted ~db (q : Term.query) : float =
+  match measure ~db q with
+  | _, t -> t.weighted
+  | exception Eval.Error _ -> infinity
+
+let weighted_memo c ~db (q : Term.query) : float =
+  prepare c ~db;
+  let key = Term.Canonical.of_query q in
+  match find_memo c key with
+  | Some w -> w
   | None ->
-    c.misses <- c.misses + 1;
-    let w =
-      match measure ~db q with
-      | _, t -> t.weighted
-      | exception Eval.Error _ -> infinity
-    in
-    Term.Canonical.Table.replace c.table key w;
+    let w = measure_weighted ~db q in
+    insert_memo c key w;
     w
+
+(* Batch lookup for the parallel search: probe every key sequentially
+   (counting hits), evaluate the misses through [map] — the only step a
+   caller parallelizes — then insert the results sequentially in item
+   order.  The cache is therefore never mutated concurrently, and hit,
+   miss, and eviction accounting is the same as feeding the items to
+   [weighted_memo] one by one. *)
+let weighted_memo_batch c ~db ?(map = Array.map)
+    (items : (Term.Canonical.t * Term.query) array) : float array =
+  prepare c ~db;
+  let n = Array.length items in
+  let out = Array.make n infinity in
+  let missing = ref [] in
+  Array.iteri
+    (fun i (key, q) ->
+      match find_memo c key with
+      | Some w -> out.(i) <- w
+      | None -> missing := (i, key, q) :: !missing)
+    items;
+  let missing = Array.of_list (List.rev !missing) in
+  let ws = map (fun q -> measure_weighted ~db q) (Array.map (fun (_, _, q) -> q) missing) in
+  Array.iteri
+    (fun j (i, key, _) ->
+      insert_memo c key ws.(j);
+      out.(i) <- ws.(j))
+    missing;
+  out

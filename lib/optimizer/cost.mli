@@ -28,18 +28,58 @@ val pp : t Fmt.t
     {!Kola.Term.Canonical} keys, so associativity variants of one plan
     share an entry.  Entries are valid for a single database: costing
     against a different database (by physical identity) flushes the
-    cache. *)
+    cache.
+
+    {2 Capacity and eviction}
+
+    [size] is a hard bound on resident entries, enforced by
+    {e second-chance} eviction: every entry carries a reference bit that
+    a hit sets; when an insert finds the cache full, a single sweep
+    evicts every entry whose bit is clear and clears the bit of the
+    rest — so an entry survives a sweep iff it was hit since the
+    previous one.  If every entry was hit (the working set exceeds the
+    capacity), the whole cache is dropped rather than swept on every
+    insert.  Evicted entries are counted in {!stats.evictions}; the
+    sweep is O(capacity) but amortized O(1) per insert while a constant
+    fraction of entries stays cold between sweeps. *)
 
 type cache
 
-val cache : ?size:int -> unit -> cache
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries removed by capacity sweeps and clears *)
+  entries : int;    (** resident entries; always [<= capacity] *)
+  capacity : int;
+}
 
-val cache_stats : cache -> int * int
-(** [(hits, misses)] accumulated so far. *)
+val cache : ?size:int -> unit -> cache
+(** A fresh cache holding at most [size] entries (default 65536,
+    minimum 1). *)
+
+val cache_stats : cache -> stats
 
 val cache_clear : cache -> unit
 
 val weighted_memo : cache -> db:(string * Kola.Value.t) list ->
   Kola.Term.query -> float
 (** Weighted cost under the default backend; plans that fail to evaluate
-    cost [infinity].  Never re-evaluates a canonically-equal query. *)
+    cost [infinity].  Never re-evaluates a resident canonically-equal
+    query. *)
+
+val weighted_memo_batch :
+  cache ->
+  db:(string * Kola.Value.t) list ->
+  ?map:((Kola.Term.query -> float) -> Kola.Term.query array -> float array) ->
+  (Kola.Term.Canonical.t * Kola.Term.query) array ->
+  float array
+(** [weighted_memo_batch c ~db ~map items] costs a batch of queries,
+    each paired with its precomputed canonical key: resident keys are
+    served from the cache, the misses are evaluated through [map]
+    (default [Array.map] — pass a parallel map to evaluate them across
+    domains; the evaluations are pure), and the results are inserted
+    sequentially in item order.  The cache is never mutated inside
+    [map], so no lock is needed around it, and when the item keys are
+    distinct the hit/miss/eviction accounting is identical to calling
+    {!weighted_memo} on each item in order.  Duplicate keys in one batch
+    are evaluated once per occurrence instead of hitting. *)

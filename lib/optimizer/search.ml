@@ -12,9 +12,18 @@
    Performance layer (see DESIGN.md, "Engine internals & performance"):
    successor enumeration prunes rules through the head-symbol index, states
    are deduplicated with hashed canonical keys instead of pretty-printed
-   strings, and costing is memoized across explorations. *)
+   strings, and costing is memoized across explorations.
+
+   Parallel layer (DESIGN.md, "Parallel exploration"): with [jobs > 1] the
+   BFS runs level-synchronously on a Kola_parallel.Pool — successor
+   enumeration, canonical-key computation, and cost evaluation fan out
+   across domains, while dedup and best-state selection happen in a
+   sequential merge that walks worker results in stable item order, so
+   [best], [path], [explored], and [frontier_exhausted] are bit-identical
+   to the sequential engine whatever the domain count. *)
 
 open Kola
+module Pool = Kola_parallel.Pool
 
 type config = {
   rules : Rewrite.Rule.t list;
@@ -27,6 +36,9 @@ type config = {
   cost_cache : Cost.cache option;
       (** [None] uses a cache shared by every exploration *)
   sample_db : (string * Value.t) list;  (** database used for costing *)
+  jobs : int;
+      (** domains exploring each BFS level; 1 = the sequential engine,
+          0 = [Domain.recommended_domain_count ()] *)
 }
 
 let default_config =
@@ -38,7 +50,28 @@ let default_config =
     indexed = true;
     cost_cache = None;
     sample_db = Datagen.Store.db (Datagen.Store.tiny ());
+    jobs = 1;
   }
+
+let resolved_jobs config =
+  if config.jobs <= 0 then Domain.recommended_domain_count ()
+  else config.jobs
+
+(* Domain spawn costs milliseconds on some hosts while many explorations
+   finish in microseconds, so pools are created once per jobs count and
+   kept parked between calls (helpers block on a condition variable; an
+   idle pool burns no CPU).  Like the shared cost cache, this makes the
+   Search API single-submitter: concurrent [explore]/[reaches] calls from
+   different domains are not supported. *)
+let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool_for jobs =
+  match Hashtbl.find_opt pools jobs with
+  | Some pool -> pool
+  | None ->
+    let pool = Pool.create ~jobs () in
+    Hashtbl.add pools jobs pool;
+    pool
 
 (* The shared cost cache behind [cost_cache = None]: explorations of the
    same plans (re-runs, pipeline stages, reaches-then-explore) reuse each
@@ -132,6 +165,9 @@ type outcome = {
           state budget nor the per-rule position cap truncated anything *)
   cache_hits : int;     (** cost-cache hits during this exploration *)
   cache_misses : int;
+  cache_evictions : int;
+      (** cost-cache entries evicted by capacity sweeps during this
+          exploration *)
 }
 
 (* Pretty-printed canonical form — the legacy dedup key, kept for
@@ -151,12 +187,30 @@ let cost_of ~cache ~db q = Cost.weighted_memo cache ~db q
    accumulation in the BFS loop. *)
 type istate = { iquery : Term.query; rev_path : string list; icost : float }
 
-(* Bounded BFS with global dedup; returns the cheapest state seen. *)
-let explore ?(config = default_config) (q : Term.query) : outcome =
+let outcome_of ~cache ~(stats0 : Cost.stats) ~best ~expanded ~exhausted =
+  let stats1 = Cost.cache_stats cache in
+  {
+    best =
+      {
+        query = best.iquery;
+        path = List.rev best.rev_path;
+        cost = best.icost;
+      };
+    explored = expanded;
+    frontier_exhausted = exhausted;
+    cache_hits = stats1.Cost.hits - stats0.Cost.hits;
+    cache_misses = stats1.Cost.misses - stats0.Cost.misses;
+    cache_evictions = stats1.Cost.evictions - stats0.Cost.evictions;
+  }
+
+(* Bounded BFS with global dedup; returns the cheapest state seen.  The
+   sequential engine — the measured baseline the parallel engine must
+   reproduce bit-for-bit. *)
+let explore_seq ~config (q : Term.query) : outcome =
   let seen = Term.Canonical.Table.create 256 in
   let db = config.sample_db in
   let cache = cache_of config in
-  let hits0, misses0 = Cost.cache_stats cache in
+  let stats0 = Cost.cache_stats cache in
   let truncated = ref false in
   let start = { iquery = q; rev_path = []; icost = cost_of ~cache ~db q } in
   Term.Canonical.Table.replace seen (Term.Canonical.of_query q) ();
@@ -196,23 +250,136 @@ let explore ?(config = default_config) (q : Term.query) : outcome =
   in
   level [ start ] 0;
   if !truncated then exhausted := false;
-  let hits1, misses1 = Cost.cache_stats cache in
-  {
-    best =
-      {
-        query = !best.iquery;
-        path = List.rev !best.rev_path;
-        cost = !best.icost;
-      };
-    explored = !expanded;
-    frontier_exhausted = !exhausted;
-    cache_hits = hits1 - hits0;
-    cache_misses = misses1 - misses0;
-  }
+  outcome_of ~cache ~stats0 ~best:!best ~expanded:!expanded
+    ~exhausted:!exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Level-synchronous parallel BFS.
+
+   Each level runs in three phases:
+
+   1. fan-out — successor enumeration plus canonical-key computation for
+      every state of the level, across the pool's domains.  The [seen]
+      table is read-only during this phase (concurrent [mem] probes of an
+      unmutated Hashtbl are safe), so successors already reached at an
+      earlier depth are filtered out in parallel;
+   2. merge — a sequential walk over the worker results in stable item
+      order, deduplicating intra-level collisions exactly as the
+      sequential loop would: the first occurrence in item order wins and
+      records its path.  This is the only place [seen] is mutated;
+   3. costing — [Cost.weighted_memo_batch] probes the cache sequentially,
+      evaluates the misses across the pool, and inserts the results in
+      item order, so the cache too is never mutated concurrently.
+
+   Because every merge walks results in the order their states were
+   enqueued, [best] (ties broken by first discovery), [path], [explored],
+   and [frontier_exhausted] are independent of the domain count and of
+   scheduling.  Cost-cache hit/miss totals also agree with the sequential
+   engine except in one corner: a capacity sweep triggered mid-level can
+   evict a key the sequential interleaving would still have hit (or vice
+   versa).  That changes accounting only, never costs or outcomes. *)
+
+(* Take the first [n] elements (the level's budget slice). *)
+let rec take_n n = function
+  | x :: rest when n > 0 -> x :: take_n (n - 1) rest
+  | _ -> []
+
+(* Fan a map out across the pool, unless the batch is too small for the
+   wake-up latency to pay for itself.  Purely a scheduling choice: the
+   result is [Array.map f arr] either way. *)
+let pool_map pool f arr =
+  if Array.length arr < 2 * Pool.size pool then Array.map f arr
+  else Pool.map pool f arr
+
+let explore_par ~pool ~config (q : Term.query) : outcome =
+  let seen = Term.Canonical.Table.create 256 in
+  let db = config.sample_db in
+  let cache = cache_of config in
+  let stats0 = Cost.cache_stats cache in
+  let truncated = ref false in
+  let start = { iquery = q; rev_path = []; icost = cost_of ~cache ~db q } in
+  Term.Canonical.Table.replace seen (Term.Canonical.of_query q) ();
+  let best = ref start in
+  let expanded = ref 0 in
+  let exhausted = ref true in
+  let expand st =
+    let tr = ref false in
+    let succs =
+      successors_report ~max_positions:config.max_positions ~truncated:tr
+        ~indexed:config.indexed config.rules st.iquery
+    in
+    let fresh =
+      List.filter_map
+        (fun (rule_name, q') ->
+          let key = Term.Canonical.of_query q' in
+          if Term.Canonical.Table.mem seen key then None
+          else Some (rule_name, q', key))
+        succs
+    in
+    (fresh, !tr)
+  in
+  let rec level states depth =
+    if depth >= config.max_depth || states = [] then ()
+    else begin
+      let n = List.length states in
+      let take = min (config.max_states - !expanded) n in
+      if take < n then exhausted := false;
+      if take > 0 then begin
+        let batch = Array.of_list (take_n take states) in
+        (* phase 1: fan out enumeration and key computation *)
+        let results = pool_map pool expand batch in
+        expanded := !expanded + take;
+        (* phase 2: stable-order merge; the only writer of [seen] *)
+        let fresh = ref [] in
+        Array.iteri
+          (fun i (succs, tr) ->
+            if tr then truncated := true;
+            let parent = batch.(i) in
+            List.iter
+              (fun (rule_name, q', key) ->
+                if not (Term.Canonical.Table.mem seen key) then begin
+                  Term.Canonical.Table.replace seen key ();
+                  fresh := (parent, rule_name, q', key) :: !fresh
+                end)
+              succs)
+          results;
+        let fresh = Array.of_list (List.rev !fresh) in
+        (* phase 3: batch costing; misses evaluate across the pool *)
+        let costs =
+          Cost.weighted_memo_batch cache ~db
+            ~map:(fun f arr -> pool_map pool f arr)
+            (Array.map (fun (_, _, q', key) -> (key, q')) fresh)
+        in
+        let next = ref [] in
+        Array.iteri
+          (fun i (parent, rule_name, q', _) ->
+            let st' =
+              {
+                iquery = q';
+                rev_path = rule_name :: parent.rev_path;
+                icost = costs.(i);
+              }
+            in
+            if st'.icost < !best.icost then best := st';
+            next := st' :: !next)
+          fresh;
+        level (List.rev !next) (depth + 1)
+      end
+    end
+  in
+  level [ start ] 0;
+  if !truncated then exhausted := false;
+  outcome_of ~cache ~stats0 ~best:!best ~expanded:!expanded
+    ~exhausted:!exhausted
+
+let explore ?(config = default_config) (q : Term.query) : outcome =
+  match resolved_jobs config with
+  | 1 -> explore_seq ~config q
+  | jobs -> explore_par ~pool:(pool_for jobs) ~config q
 
 (* Was [target] reached (modulo associativity) within the budget? *)
-let reaches ?(config = default_config) (q : Term.query)
-    (target : Term.query) : string list option =
+let reaches_seq ~config (q : Term.query) (target : Term.query) :
+    string list option =
   let found = ref None in
   let seen = Term.Canonical.Table.create 256 in
   let truncated = ref false in
@@ -250,3 +417,72 @@ let reaches ?(config = default_config) (q : Term.query)
     level [ (q, []) ] 0;
     !found
   end
+
+(* Parallel [reaches]: same fan-out/merge phasing as [explore_par], no
+   costing.  The merge stops at the first successor (in stable item
+   order) whose key equals the target's — the same state and firing the
+   sequential loop would have found first. *)
+let reaches_par ~pool ~config (q : Term.query) (target : Term.query) :
+    string list option =
+  let found = ref None in
+  let seen = Term.Canonical.Table.create 256 in
+  let target_key = Term.Canonical.of_query target in
+  let start_key = Term.Canonical.of_query q in
+  let expanded = ref 0 in
+  Term.Canonical.Table.replace seen start_key ();
+  if Term.Canonical.equal start_key target_key then Some []
+  else begin
+    let expand (q0, _rev_path) =
+      let tr = ref false in
+      let succs =
+        successors_report ~max_positions:config.max_positions ~truncated:tr
+          ~indexed:config.indexed config.rules q0
+      in
+      List.filter_map
+        (fun (rule_name, q') ->
+          let key = Term.Canonical.of_query q' in
+          if Term.Canonical.Table.mem seen key then None
+          else Some (rule_name, q', key))
+        succs
+    in
+    let rec level states depth =
+      if depth >= config.max_depth || states = [] || !found <> None then ()
+      else begin
+        let n = List.length states in
+        let take = min (config.max_states - !expanded) n in
+        if take > 0 then begin
+          let batch = Array.of_list (take_n take states) in
+          let results = pool_map pool expand batch in
+          expanded := !expanded + take;
+          let next = ref [] in
+          (try
+             Array.iteri
+               (fun i succs ->
+                 let _, rev_path = batch.(i) in
+                 List.iter
+                   (fun (rule_name, q', key) ->
+                     if not (Term.Canonical.Table.mem seen key) then begin
+                       Term.Canonical.Table.replace seen key ();
+                       let rev_path' = rule_name :: rev_path in
+                       if Term.Canonical.equal key target_key then begin
+                         found := Some (List.rev rev_path');
+                         raise Exit
+                       end
+                       else next := (q', rev_path') :: !next
+                     end)
+                   succs)
+               results
+           with Exit -> ());
+          level (List.rev !next) (depth + 1)
+        end
+      end
+    in
+    level [ (q, []) ] 0;
+    !found
+  end
+
+let reaches ?(config = default_config) (q : Term.query)
+    (target : Term.query) : string list option =
+  match resolved_jobs config with
+  | 1 -> reaches_seq ~config q target
+  | jobs -> reaches_par ~pool:(pool_for jobs) ~config q target

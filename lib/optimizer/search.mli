@@ -12,7 +12,15 @@
     performance"): successor enumeration prunes rules through the
     head-symbol index, dedup uses hashed canonical keys
     ({!Kola.Term.Canonical}) instead of pretty-printed strings, and costing
-    is memoized across explorations ({!Cost.cache}). *)
+    is memoized across explorations ({!Cost.cache}).
+
+    The parallel layer (DESIGN.md, "Parallel exploration"): with
+    [jobs > 1], each BFS level fans successor enumeration, canonical-key
+    computation, and cost evaluation out across a fixed pool of OCaml 5
+    domains ({!Kola_parallel.Pool}), then merges worker results in stable
+    item order.  [explore] and [reaches] return bit-identical outcomes
+    whatever the domain count; only cost-cache hit/miss accounting may
+    shift when a capacity sweep lands mid-level. *)
 
 type config = {
   rules : Rewrite.Rule.t list;
@@ -26,9 +34,17 @@ type config = {
   cost_cache : Cost.cache option;
       (** [None] (the default) shares one cache across explorations *)
   sample_db : (string * Kola.Value.t) list;  (** database used for costing *)
+  jobs : int;
+      (** domains exploring each BFS level (default 1 = the sequential
+          engine; 0 = [Domain.recommended_domain_count ()]) *)
 }
 
 val default_config : config
+
+val resolved_jobs : config -> int
+(** The domain count [explore]/[reaches] will actually use: [config.jobs],
+    with [0] (or negative) resolved to
+    [Domain.recommended_domain_count ()]. *)
 
 val successors :
   ?schema:Kola.Schema.t ->
@@ -51,6 +67,8 @@ type outcome = {
           budget nor the position cap truncated anything *)
   cache_hits : int;   (** cost-cache hits during this call *)
   cache_misses : int;
+  cache_evictions : int;
+      (** cost-cache entries evicted by capacity sweeps during this call *)
 }
 
 val canonical : Kola.Term.query -> string

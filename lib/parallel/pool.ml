@@ -1,0 +1,146 @@
+(* A fixed-size domain pool with chunked fan-out/fan-in.
+
+   Life of a job: the submitter publishes (task, chunks) under the mutex,
+   bumps the epoch, and broadcasts; every parked helper wakes, records the
+   epoch, and joins the submitter in draining chunk indices from one
+   atomic counter; each helper reports completion under the mutex; the
+   submitter returns once every helper has reported.  Helpers park again
+   waiting for the next epoch.  The atomic counter gives dynamic load
+   balancing (a domain stuck on an expensive chunk does not stall the
+   others); the epoch protocol means helpers are spawned exactly once per
+   pool, not per job. *)
+
+type t = {
+  size : int;  (* total domains per job, including the submitter *)
+  mutable task : (int -> unit) option;
+  mutable chunks : int;
+  next : int Atomic.t;       (* next unclaimed chunk of the current job *)
+  mutable completed : int;   (* helpers finished with the current job *)
+  mutable epoch : int;
+  mutable stop : bool;
+  mutex : Mutex.t;
+  work : Condition.t;  (* new epoch published, or shutdown *)
+  idle : Condition.t;  (* a helper finished the current job *)
+  mutable helpers : unit Domain.t list;
+}
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Domain.recommended_domain_count () else jobs
+
+(* Claim and run chunks until the counter runs dry.  Tasks must not
+   escape: a raising task would kill the helper's loop and hang every
+   future job, so anything raised here is dropped — [map] catches user
+   exceptions itself and re-raises them in the submitter. *)
+let rec drain t task chunks =
+  let i = Atomic.fetch_and_add t.next 1 in
+  if i < chunks then begin
+    (try task i with _ -> ());
+    drain t task chunks
+  end
+
+let helper_loop t =
+  let my_epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.epoch = !my_epoch do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      my_epoch := t.epoch;
+      let task = Option.get t.task and chunks = t.chunks in
+      Mutex.unlock t.mutex;
+      drain t task chunks;
+      Mutex.lock t.mutex;
+      t.completed <- t.completed + 1;
+      Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(jobs = 0) () =
+  let size = resolve_jobs jobs in
+  let t =
+    {
+      size;
+      task = None;
+      chunks = 0;
+      next = Atomic.make 0;
+      completed = 0;
+      epoch = 0;
+      stop = false;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      helpers = [];
+    }
+  in
+  t.helpers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> helper_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.helpers;
+  t.helpers <- []
+
+let run t ~chunks task =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  if chunks <= 0 then ()
+  else if t.size = 1 || chunks = 1 then
+    for i = 0 to chunks - 1 do
+      task i
+    done
+  else begin
+    Mutex.lock t.mutex;
+    t.task <- Some task;
+    t.chunks <- chunks;
+    Atomic.set t.next 0;
+    t.completed <- 0;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* the submitter works too, then waits for every helper to report *)
+    Fun.protect
+      (fun () -> drain t task chunks)
+      ~finally:(fun () ->
+        Mutex.lock t.mutex;
+        while t.completed < t.size - 1 do
+          Condition.wait t.idle t.mutex
+        done;
+        t.task <- None;
+        Mutex.unlock t.mutex)
+  end
+
+let map t f (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    let err = Atomic.make None in
+    (* a few chunks per domain so a slow chunk rebalances *)
+    let chunk_count = min n (t.size * 4) in
+    let chunk_size = (n + chunk_count - 1) / chunk_count in
+    run t ~chunks:chunk_count (fun c ->
+        let lo = c * chunk_size in
+        let hi = min n (lo + chunk_size) - 1 in
+        for i = lo to hi do
+          match f xs.(i) with
+          | y -> out.(i) <- Some y
+          | exception e -> ignore (Atomic.compare_and_set err None (Some e))
+        done);
+    (match Atomic.get err with Some e -> raise e | None -> ());
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect (fun () -> f t) ~finally:(fun () -> shutdown t)
