@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-smoke bench-parallel baseline clean
+.PHONY: all build test bench bench-fast bench-smoke bench-parallel bench-hashcons baseline clean
 
 all: build
 
@@ -24,6 +24,11 @@ bench-smoke:
 # The 1/2/4/8-domain exploration scaling curve; writes BENCH_parallel.json.
 bench-parallel:
 	dune exec bench/main.exe -- --parallel
+
+# The hash-consed core: O(1) equality/hash/key micros and legacy-vs-interned
+# exploration at 1/2/4 domains; writes BENCH_hashcons.json.
+bench-hashcons:
+	dune exec bench/main.exe -- --hashcons
 
 # Regenerate the committed engine baseline at the repo root.
 baseline:

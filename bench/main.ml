@@ -13,6 +13,7 @@ let quota = ref 0.25
 let fast = ref false
 let smoke = ref false
 let parallel_only = ref false
+let hashcons_only = ref false
 let out_file = ref "BENCH_engine.json"
 let out_file_given = ref false
 
@@ -523,7 +524,187 @@ let parallel_json rows =
   Buffer.add_string buf "  ]}";
   Buffer.contents buf
 
-let engine_report ?(parallel_rows = []) () =
+(* ------------------------------------------------------------------ *)
+(* hashcons: the interned term core.  Microbenches time O(1) equality, *)
+(* hash and canonical keys against their plain recursive counterparts  *)
+(* on a deep term; the end-to-end rows time the same exploration with  *)
+(* interning on and off — fresh cost caches each run — at several      *)
+(* domain counts, checking the outcomes stay identical.                *)
+
+let deep_n = 200
+
+(* Two calls build structurally equal but physically distinct plain
+   terms, so plain equality really walks all [deep_n] stages. *)
+let deep_body () =
+  Term.chain
+    (List.init deep_n (fun i ->
+         Term.Iterate
+           ( Term.Oplus
+               ( Term.Gt,
+                 Term.Pairf
+                   (Term.Prim (Fmt.str "f%d" (i mod 7)), Term.Kf (Value.Int i))
+               ),
+             Term.Prim (Fmt.str "g%d" (i mod 5)) )))
+
+type hc_micro = { hname : string; hplain_ns : float; hhc_ns : float }
+
+let hashcons_micro ~repeats () =
+  let a = deep_body () and b = deep_body () in
+  let qd = Term.query a (Value.Named "P") in
+  let na = Term.Hc.of_func a and nb = Term.Hc.of_func b in
+  let hqd = Term.Hc.of_query qd in
+  (* the interned side is O(1) field reads; loop it more for resolution *)
+  let fr = repeats * 50 in
+  [
+    {
+      hname = "equality (deep term)";
+      hplain_ns = time_per ~repeats (fun () -> Term.equal_func a b);
+      hhc_ns = time_per ~repeats:fr (fun () -> Sys.opaque_identity (na == nb));
+    };
+    {
+      hname = "hash (deep term)";
+      hplain_ns = time_per ~repeats (fun () -> Term.hash_func a);
+      hhc_ns =
+        time_per ~repeats:fr (fun () -> Sys.opaque_identity na.Term.Hc.fhash);
+    };
+    {
+      hname = "canonical key (deep query)";
+      hplain_ns = time_per ~repeats (fun () -> Term.Canonical.of_query qd);
+      hhc_ns = time_per ~repeats:fr (fun () -> Term.Hc.query_key hqd);
+    };
+  ]
+
+type hc_row = {
+  hrq : string;
+  hrjobs : int;
+  hlegacy_ns : float;
+  hinterned_ns : float;
+  hrspeedup : float;
+  hridentical : bool;  (* legacy and interned outcomes bit-identical *)
+}
+
+(* Minimum over [trials] mean timings: explorations are milliseconds,
+   where a single GC major slice or scheduler preemption skews one mean
+   badly; the min of a few is the stable signal on a shared host. *)
+let min_time ~trials ~repeats f =
+  let rec go best n =
+    if n <= 0 then best else go (Float.min best (time_per ~repeats f)) (n - 1)
+  in
+  go (time_per ~repeats f) (trials - 1)
+
+let hashcons_scaling_rows ~jobs_list ~repeats =
+  List.concat_map
+    (fun (name, q, max_depth, max_states) ->
+      let explore ~interned jobs =
+        Optimizer.Search.explore
+          ~config:
+            {
+              Optimizer.Search.default_config with
+              max_depth;
+              max_states;
+              jobs;
+              interned;
+              cost_cache = Some (Optimizer.Cost.cache ());
+              hc_cost_cache = Some (Optimizer.Cost.hc_cache ());
+            }
+          q
+      in
+      List.map
+        (fun jobs ->
+          let legacy = explore ~interned:false jobs in
+          let interned = explore ~interned:true jobs in
+          let identical =
+            Kola.Term.equal_query
+              legacy.Optimizer.Search.best.Optimizer.Search.query
+              interned.Optimizer.Search.best.Optimizer.Search.query
+            && legacy.Optimizer.Search.best.Optimizer.Search.path
+               = interned.Optimizer.Search.best.Optimizer.Search.path
+            && legacy.Optimizer.Search.explored
+               = interned.Optimizer.Search.explored
+            && legacy.Optimizer.Search.frontier_exhausted
+               = interned.Optimizer.Search.frontier_exhausted
+          in
+          let lns =
+            min_time ~trials:3 ~repeats (fun () -> explore ~interned:false jobs)
+          in
+          let ins =
+            min_time ~trials:3 ~repeats (fun () -> explore ~interned:true jobs)
+          in
+          {
+            hrq = name;
+            hrjobs = jobs;
+            hlegacy_ns = lns;
+            hinterned_ns = ins;
+            hrspeedup = lns /. ins;
+            hridentical = identical;
+          })
+        jobs_list)
+    parallel_workloads
+
+let hashcons_table micros rows =
+  let pretty ns =
+    if ns > 1e9 then Fmt.str "%9.2f s " (ns /. 1e9)
+    else if ns > 1e6 then Fmt.str "%9.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Fmt.str "%9.2f us" (ns /. 1e3)
+    else Fmt.str "%9.1f ns" ns
+  in
+  Fmt.pr "@.## hashcons (interned term core, deep term = %d stages)@." deep_n;
+  Fmt.pr "  %-28s %12s %12s %9s@." "micro" "plain" "interned" "ratio";
+  List.iter
+    (fun m ->
+      Fmt.pr "  %-28s %12s %12s %8.0fx@." m.hname (pretty m.hplain_ns)
+        (pretty m.hhc_ns)
+        (m.hplain_ns /. m.hhc_ns))
+    micros;
+  Fmt.pr "  %-5s %6s %12s %12s %9s %9s@." "query" "jobs" "legacy" "interned"
+    "speedup" "outcome";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-5s %6d %12s %12s %8.2fx %9s@." r.hrq r.hrjobs
+        (pretty r.hlegacy_ns) (pretty r.hinterned_ns) r.hrspeedup
+        (if r.hridentical then "identical" else "MISMATCH"))
+    rows;
+  let s = Term.Hc.intern_stats () in
+  Fmt.pr
+    "  intern tables: %d entries, %d hits / %d misses (%.3f sharing), max \
+     bucket %d@."
+    s.Hashcons.entries s.Hashcons.hits s.Hashcons.misses
+    (let total = s.Hashcons.hits + s.Hashcons.misses in
+     if total = 0 then 0.
+     else float_of_int s.Hashcons.hits /. float_of_int total)
+    s.Hashcons.max_bucket
+
+(* The same numbers as a JSON fragment for BENCH_engine.json (or the
+   stand-alone BENCH_hashcons.json). *)
+let hashcons_json micros rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "  \"hashcons\": {\"micro\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"name\": %S, \"plain_ns\": %.1f, \"interned_ns\": %.1f, \
+            \"ratio\": %.1f}%s\n"
+           m.hname m.hplain_ns m.hhc_ns
+           (m.hplain_ns /. m.hhc_ns)
+           (if i = List.length micros - 1 then "" else ",")))
+    micros;
+  Buffer.add_string buf "  ], \"search\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"query\": %S, \"jobs\": %d, \"legacy_ns\": %.0f, \
+            \"interned_ns\": %.0f, \"speedup\": %.2f, \"outcome_identical\": \
+            %b}%s\n"
+           r.hrq r.hrjobs r.hlegacy_ns r.hinterned_ns r.hrspeedup
+           r.hridentical
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]}";
+  Buffer.contents buf
+
+let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "") () =
   let repeats = if !fast then 5 else 50 in
   Fmt.pr
     "@.## engine_internals (head-symbol index, hashed dedup, cost memo)@.";
@@ -613,6 +794,10 @@ let engine_report ?(parallel_rows = []) () =
         \"warm_misses\": %d, \"warm_hits\": %d},\n"
        cold.Optimizer.Search.cache_misses cold.Optimizer.Search.cache_hits
        warm.Optimizer.Search.cache_misses warm.Optimizer.Search.cache_hits);
+  if hashcons_fragment <> "" then begin
+    Buffer.add_string buf hashcons_fragment;
+    Buffer.add_string buf ",\n"
+  end;
   Buffer.add_string buf (parallel_json parallel_rows);
   Buffer.add_string buf "\n}\n";
   let oc = open_out !out_file in
@@ -634,6 +819,9 @@ let () =
     | "--parallel" :: rest ->
       parallel_only := true;
       parse rest
+    | "--hashcons" :: rest ->
+      hashcons_only := true;
+      parse rest
     | "--out" :: file :: rest ->
       out_file := file;
       out_file_given := true;
@@ -641,7 +829,24 @@ let () =
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !parallel_only then begin
+  if !hashcons_only then begin
+    (* the interned-core group alone: `make bench-hashcons` *)
+    Fmt.pr "KOLA hash-consed core benchmark@.";
+    Fmt.pr "===============================@.";
+    let micros = hashcons_micro ~repeats:(if !fast then 200 else 2_000) () in
+    let rows =
+      hashcons_scaling_rows ~jobs_list:[ 1; 2; 4 ]
+        ~repeats:(if !fast then 2 else 5)
+    in
+    hashcons_table micros rows;
+    if not !out_file_given then out_file := "BENCH_hashcons.json";
+    let oc = open_out !out_file in
+    output_string oc (Fmt.str "{\n%s\n}\n" (hashcons_json micros rows));
+    close_out oc;
+    Fmt.pr "  wrote %s@." !out_file;
+    Fmt.pr "@.done.@."
+  end
+  else if !parallel_only then begin
     (* the scaling curve alone: `make bench-parallel` *)
     Fmt.pr "KOLA parallel-exploration scaling benchmark@.";
     Fmt.pr "===========================================@.";
@@ -665,7 +870,12 @@ let () =
     benchmark_group "engine_internals" engine_tests;
     let rows = parallel_scaling_rows ~jobs_list:[ 1; 2 ] ~repeats:2 in
     parallel_table rows;
-    engine_report ~parallel_rows:rows ();
+    (* sanity slice of the interned core: tiny repeats, 1 and 2 domains *)
+    let micros = hashcons_micro ~repeats:100 () in
+    let hc_rows = hashcons_scaling_rows ~jobs_list:[ 1; 2; 4 ] ~repeats:2 in
+    hashcons_table micros hc_rows;
+    engine_report ~parallel_rows:rows
+      ~hashcons_fragment:(hashcons_json micros hc_rows) ();
     Fmt.pr "@.done.@."
   end
   else begin
@@ -697,6 +907,14 @@ let () =
       ~repeats:(if !fast then 2 else 5)
   in
   parallel_table parallel_rows;
-  engine_report ~parallel_rows ();
+  let micros = hashcons_micro ~repeats:(if !fast then 200 else 2_000) () in
+  let hc_rows =
+    hashcons_scaling_rows
+      ~jobs_list:(if !fast then [ 1; 2 ] else [ 1; 2; 4 ])
+      ~repeats:(if !fast then 2 else 5)
+  in
+  hashcons_table micros hc_rows;
+  engine_report ~parallel_rows
+    ~hashcons_fragment:(hashcons_json micros hc_rows) ();
   Fmt.pr "@.done.@."
   end

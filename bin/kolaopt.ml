@@ -180,14 +180,36 @@ let search_cmd =
              (the measured baseline; results are identical, only slower).")
   in
   let jobs =
+    (* Validated at the cmdliner layer: negative counts are a usage error
+       rather than being silently resolved like 0 is. *)
+    let nonneg =
+      let parse s =
+        match Arg.conv_parser Arg.int s with
+        | Ok n when n >= 0 -> Ok n
+        | Ok n ->
+          Error
+            (`Msg (Fmt.str "--jobs must be non-negative, got %d" n))
+        | Error _ as e -> e
+      in
+      Arg.conv ~docv:"JOBS" (parse, Arg.conv_printer Arg.int)
+    in
     Arg.(
-      value & opt int 1
-      & info [ "jobs" ]
+      value & opt nonneg 1
+      & info [ "jobs" ] ~docv:"JOBS"
           ~doc:
             "Domains exploring each BFS level (1 = sequential; 0 = one per \
              recommended core).  Outcomes are identical at every setting.")
   in
-  let run src store depth states naive jobs =
+  let legacy_terms =
+    Arg.(
+      value & flag
+      & info [ "legacy-terms" ]
+          ~doc:
+            "Explore on plain (non-interned) terms — the measured baseline. \
+             Results are identical; dedup keys and costing are slower, and \
+             no interning stats are reported.")
+  in
+  let run src store depth states naive jobs legacy_terms =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let aqua = Oql.Parser.parse src in
@@ -198,6 +220,7 @@ let search_cmd =
             max_depth = depth;
             max_states = states;
             indexed = not naive;
+            interned = not legacy_terms;
             sample_db = db;
             jobs;
           }
@@ -211,6 +234,12 @@ let search_cmd =
           (if o.Optimizer.Search.frontier_exhausted then " (space exhausted)" else "")
           o.Optimizer.Search.cache_hits o.Optimizer.Search.cache_misses
           o.Optimizer.Search.cache_evictions;
+        Fmt.pr "dedup: %d distinct states@." o.Optimizer.Search.seen_states;
+        if not legacy_terms then
+          Fmt.pr
+            "interning: %d hits, %d fresh nodes (sharing ratio %.3f)@."
+            o.Optimizer.Search.intern_hits o.Optimizer.Search.intern_misses
+            o.Optimizer.Search.sharing_ratio;
         Fmt.pr "derivation: %a@."
           Fmt.(list ~sep:comma string)
           o.Optimizer.Search.best.Optimizer.Search.path;
@@ -221,7 +250,9 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Optimize by bounded exploration of the rewrite space.")
-    Term.(const run $ query_arg $ store_term $ depth $ states $ naive $ jobs)
+    Term.(
+      const run $ query_arg $ store_term $ depth $ states $ naive $ jobs
+      $ legacy_terms)
 
 let main =
   Cmd.group

@@ -1,0 +1,81 @@
+(** Generic interning (hash-consing) tables.
+
+    An interning table maps every structurally distinct node to one
+    canonical in-memory representative, so that
+
+    - structural equality of interned nodes is physical equality ([==]),
+    - each node can carry precomputed measures (hash, size, ...) that are
+      O(1) field reads instead of term walks, and
+    - downstream tables (dedup sets, cost caches) can key by the node's
+      integer [id].
+
+    The table is {e striped}: buckets are partitioned into
+    power-of-two-many stripes, each guarded by its own mutex, so
+    concurrent interning from several domains contends only when two
+    insertions hash into the same stripe.  Node ids come from one atomic
+    counter per table; under concurrency their {e values} depend on
+    scheduling, but ids are only ever used as opaque identity keys — no
+    outcome may depend on their order (see DESIGN.md, "Hash-consed
+    core").
+
+    Buckets hold strong references ("weak-ish" by policy rather than by
+    [Weak.t]): entries live for the lifetime of the table.  A weak-bucket
+    variant would let the GC reclaim unreachable terms but would also let
+    one logical term re-intern under a fresh id after a collection,
+    invalidating id-keyed side tables; process-lifetime tables keep the
+    id ↔ term bijection stable, which is what the optimizer's caches
+    rely on.  {!stats} exposes residency so growth stays observable. *)
+
+type stats = {
+  entries : int;     (** unique nodes resident *)
+  hits : int;        (** intern calls answered by an existing node *)
+  misses : int;      (** intern calls that created a node *)
+  buckets : int;     (** total bucket slots across stripes *)
+  max_bucket : int;  (** longest chain (collision diagnostics) *)
+}
+
+val zero_stats : stats
+
+val merge_stats : stats -> stats -> stats
+(** Componentwise sum ([max] for [max_bucket]); aggregates the stats of
+    several tables. *)
+
+(** What a table needs to know about its nodes.  [shape] is a node's
+    one-level structure with {e already interned} children, so
+    [matches] can compare children by [==] and [hash] can combine the
+    children's precomputed hashes — both O(1) in the subterm size. *)
+module type NODE = sig
+  type shape
+  type t
+
+  val hash : shape -> int
+  (** Must agree with [matches]: matching shapes hash equal. *)
+
+  val matches : shape -> t -> bool
+  (** Does [shape] describe this (already interned) node?  Constructor
+      tags compared structurally, children by physical equality. *)
+
+  val build : id:int -> shape -> t
+  (** Allocate the representative.  Called at most once per distinct
+      shape, under the stripe lock; must not re-enter the table. *)
+end
+
+module Make (N : NODE) : sig
+  type t
+
+  val create : ?stripes:int -> unit -> t
+  (** [stripes] (default 64) is rounded up to a power of two. *)
+
+  val intern : t -> N.shape -> N.t
+  (** The canonical representative of [shape]'s equivalence class,
+      building (and registering) it if the class is new.  Thread-safe
+      across domains. *)
+
+  val stats : t -> stats
+
+  val counters : t -> stats
+  (** Entry/hit/miss counters only — [buckets] and [max_bucket] are [0].
+      O(stripes) with no locks and no bucket walk, so it is cheap enough
+      to sample around every exploration; under concurrent interning the
+      sums are approximate. *)
+end

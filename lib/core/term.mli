@@ -151,3 +151,210 @@ module Canonical : sig
 
   module Table : Hashtbl.S with type key = t
 end
+
+(** Hash-consed (interned) terms: one canonical in-memory node per
+    structurally distinct subterm, shared maximally.
+
+    Structural equality of interned nodes is physical equality ([==], or
+    id comparison); [fhash], [fsize] and [fhole_free] are O(1) field reads
+    agreeing with {!hash_func}, {!size_func} and {!func_is_ground}; [fterm]
+    is an always-valid plain view making {!Hc.to_func} O(1).  [fheads] is
+    the bitmask of head constructors occurring in the subtree (see
+    {!Hc.fshape_bit}) and [fcanon] memoizes reassociation, so canonical
+    dedup keys cost O(1) amortized per unique subterm.
+
+    Interning is modulo [Value.equal]: objects intern by identity
+    ([cls]/[oid]), matching the optimizer's dedup equivalence.  All tables
+    are process-global and safe to use from several domains (striped
+    mutexes, see {!Hashcons}); node ids are scheduling-dependent under
+    concurrency and must only be used as opaque identity keys. *)
+module Hc : sig
+  type fnode = private {
+    fshape : fshape;
+    fterm : func;
+    fid : int;
+    fhash : int;
+    fsize : int;
+    fheads : int;
+    fhole_free : bool;
+    mutable fcanon : fnode option;
+  }
+
+  and pnode = private {
+    pshape : pshape;
+    pterm : pred;
+    pid : int;
+    phash : int;
+    psize : int;
+    pheads : int;
+    phole_free : bool;
+    mutable pcanon : pnode option;
+  }
+
+  and vnode = private {
+    vshape : vshape;
+    vterm : Value.t;
+    vid : int;
+    vhash : int;
+    vsize : int;
+    vhole_free : bool;
+  }
+
+  and fshape = private
+    | HId
+    | HPi1
+    | HPi2
+    | HPrim of string
+    | HCompose of fnode * fnode
+    | HPairf of fnode * fnode
+    | HTimes of fnode * fnode
+    | HKf of vnode
+    | HCf of fnode * vnode
+    | HCon of pnode * fnode * fnode
+    | HArith of arith
+    | HAgg of agg
+    | HSetop of setop
+    | HSng
+    | HFlat
+    | HIterate of pnode * fnode
+    | HIter of pnode * fnode
+    | HJoin of pnode * fnode
+    | HNest of fnode * fnode
+    | HUnnest of fnode * fnode
+    | HFhole of string
+
+  and pshape = private
+    | HEq
+    | HLeq
+    | HGt
+    | HIn
+    | HPrimp of string
+    | HOplus of pnode * fnode
+    | HAndp of pnode * pnode
+    | HOrp of pnode * pnode
+    | HInv of pnode
+    | HConv of pnode
+    | HKp of bool
+    | HCp of pnode * vnode
+    | HPhole of string
+
+  and vshape = private
+    | HVunit
+    | HVbool of bool
+    | HVint of int
+    | HVstr of string
+    | HVpair of vnode * vnode
+    | HVset of vnode list
+    | HVbag of vnode list
+    | HVlist of vnode list
+    | HVobj of Value.obj
+    | HVnamed of string
+    | HVhole of string
+
+  (** {1 Head bitmasks}
+
+      Func heads occupy bits 0-19 (declaration order), pred heads bits
+      20-31.  Holes carry no bit; values contribute nothing, matching
+      {!Rewrite.Index.presence_of_query}. *)
+
+  val fshape_bit : fshape -> int
+  val pshape_bit : pshape -> int
+
+  val compose_mask : int
+  (** The [Compose] head bit: a node with [fheads land compose_mask = 0]
+      contains no composition anywhere, so matching against it degenerates
+      to pure structural (= physical) comparison. *)
+
+  (** {1 Smart constructors} *)
+
+  val id : fnode
+  val pi1 : fnode
+  val pi2 : fnode
+  val sng : fnode
+  val flat : fnode
+  val prim : string -> fnode
+  val compose : fnode -> fnode -> fnode
+  val pairf : fnode -> fnode -> fnode
+  val times : fnode -> fnode -> fnode
+  val kf : vnode -> fnode
+  val cf : fnode -> vnode -> fnode
+  val con : pnode -> fnode -> fnode -> fnode
+  val arith : arith -> fnode
+  val agg : agg -> fnode
+  val setop : setop -> fnode
+  val iterate : pnode -> fnode -> fnode
+  val iter : pnode -> fnode -> fnode
+  val join : pnode -> fnode -> fnode
+  val nest : fnode -> fnode -> fnode
+  val unnest : fnode -> fnode -> fnode
+  val fhole : string -> fnode
+  val eq : pnode
+  val leq : pnode
+  val gt : pnode
+
+  val inp : pnode
+  (** [In] ([in] is a keyword). *)
+
+  val primp : string -> pnode
+  val oplus : pnode -> fnode -> pnode
+  val andp : pnode -> pnode -> pnode
+  val orp : pnode -> pnode -> pnode
+  val inv : pnode -> pnode
+  val conv : pnode -> pnode
+  val kp : bool -> pnode
+  val cp : pnode -> vnode -> pnode
+  val phole : string -> pnode
+
+  val vpair : vnode -> vnode -> vnode
+  (** Interned pair value; other value shapes go through {!of_value}. *)
+
+  (** {1 Converters}
+
+      [of_*] intern recursively (O(n), amortized O(1) per node already
+      seen); [to_*] are O(1) field reads.  [to_func (of_func f)] is
+      [equal_func]-equal to [f] for every term, holes included. *)
+
+  val of_func : func -> fnode
+  val of_pred : pred -> pnode
+  val of_value : Value.t -> vnode
+  val to_func : fnode -> func
+  val to_pred : pnode -> pred
+  val to_value : vnode -> Value.t
+
+  (** {1 Chains and canonical forms} *)
+
+  val unchain : fnode -> fnode list
+  (** Flatten nested compositions, any associativity; mirrors {!unchain}. *)
+
+  val chain : fnode list -> fnode
+  (** Left-associated composition; [chain [] = id]. *)
+
+  val canon : fnode -> fnode
+  (** Left-associate every composition chain, recursively — the interned
+      mirror of {!reassoc_func}, memoized per node ([fcanon]): each unique
+      subterm is reassociated once ever, not once per successor. *)
+
+  val canon_pred : pnode -> pnode
+
+  (** {1 Interned queries} *)
+
+  type hquery = { hbody : fnode; harg : vnode }
+
+  val of_query : query -> hquery
+  val to_query : hquery -> query
+
+  val query_key : hquery -> int * int
+  (** [((canon hbody).fid, harg.vid)] — two queries share a key iff they
+      are {!Canonical.equal} (equal modulo ∘-associativity, [Value.equal]
+      arguments), so id-pair dedup partitions states exactly like the
+      legacy canonical table, at O(1) amortized per state. *)
+
+  module Qtable : Hashtbl.S with type key = int * int
+
+  val intern_stats : unit -> Hashcons.stats
+  (** Merged statistics of the func/pred/value intern tables. *)
+
+  val intern_counters : unit -> Hashcons.stats
+  (** Entry/hit/miss counters only ({!Hashcons.Make.counters}): cheap
+      enough for the search layer to sample around every exploration. *)
+end

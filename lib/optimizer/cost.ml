@@ -74,83 +74,106 @@ type stats = {
 
 type entry = { w : float; mutable live : bool }
 
-type cache = {
-  table : entry Term.Canonical.Table.t;
-  capacity : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable cached_db : (string * Value.t) list option;
-}
-
-let cache ?(size = 65_536) () =
-  let capacity = max 1 size in
-  {
-    table = Term.Canonical.Table.create (min capacity 1_024);
-    capacity;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    cached_db = None;
+(* The memoization machinery — capacity bound, second-chance sweep,
+   per-database validity — is independent of how entries are keyed, so it
+   is written once over any hashtable and instantiated twice: over
+   canonical query keys (the legacy cache) and over interned node-id pairs
+   (the hash-consed cache). *)
+module Memo (T : Hashtbl.S) = struct
+  type memo = {
+    table : entry T.t;
+    capacity : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable cached_db : (string * Value.t) list option;
   }
 
-let cache_stats c =
-  {
-    hits = c.hits;
-    misses = c.misses;
-    evictions = c.evictions;
-    entries = Term.Canonical.Table.length c.table;
-    capacity = c.capacity;
-  }
+  let create ?(size = 65_536) () =
+    let capacity = max 1 size in
+    {
+      table = T.create (min capacity 1_024);
+      capacity;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      cached_db = None;
+    }
 
-let cache_clear c =
-  Term.Canonical.Table.reset c.table;
-  c.cached_db <- None
+  let stats c =
+    {
+      hits = c.hits;
+      misses = c.misses;
+      evictions = c.evictions;
+      entries = T.length c.table;
+      capacity = c.capacity;
+    }
 
-(* Flush the table when costed against a different database. *)
-let prepare c ~db =
-  match c.cached_db with
-  | Some d when d == db -> ()
-  | Some _ ->
-    Term.Canonical.Table.reset c.table;
-    c.cached_db <- Some db
-  | None -> c.cached_db <- Some db
+  let clear c =
+    T.reset c.table;
+    c.cached_db <- None
 
-(* Hit: refresh the second-chance bit and count. *)
-let find_memo c key =
-  match Term.Canonical.Table.find_opt c.table key with
-  | Some e ->
-    e.live <- true;
-    c.hits <- c.hits + 1;
-    Some e.w
-  | None -> None
+  (* Flush the table when costed against a different database. *)
+  let prepare c ~db =
+    match c.cached_db with
+    | Some d when d == db -> ()
+    | Some _ ->
+      T.reset c.table;
+      c.cached_db <- Some db
+    | None -> c.cached_db <- Some db
 
-let sweep c =
-  let doomed =
-    Term.Canonical.Table.fold
-      (fun k e acc ->
-        if e.live then begin
-          e.live <- false;
-          acc
-        end
-        else k :: acc)
-      c.table []
-  in
-  match doomed with
-  | [] ->
-    (* every resident entry was hit since the last sweep *)
-    c.evictions <- c.evictions + Term.Canonical.Table.length c.table;
-    Term.Canonical.Table.reset c.table
-  | doomed ->
-    List.iter (Term.Canonical.Table.remove c.table) doomed;
-    c.evictions <- c.evictions + List.length doomed
+  (* Hit: refresh the second-chance bit and count. *)
+  let find_memo c key =
+    match T.find_opt c.table key with
+    | Some e ->
+      e.live <- true;
+      c.hits <- c.hits + 1;
+      Some e.w
+    | None -> None
 
-(* Miss: count, make room, insert.  New entries start with the reference
-   bit clear — only a hit earns the second chance. *)
-let insert_memo c key w =
-  c.misses <- c.misses + 1;
-  if Term.Canonical.Table.length c.table >= c.capacity then sweep c;
-  Term.Canonical.Table.replace c.table key { w; live = false }
+  let sweep c =
+    let doomed =
+      T.fold
+        (fun k e acc ->
+          if e.live then begin
+            e.live <- false;
+            acc
+          end
+          else k :: acc)
+        c.table []
+    in
+    match doomed with
+    | [] ->
+      (* every resident entry was hit since the last sweep *)
+      c.evictions <- c.evictions + T.length c.table;
+      T.reset c.table
+    | doomed ->
+      List.iter (T.remove c.table) doomed;
+      c.evictions <- c.evictions + List.length doomed
+
+  (* Miss: count, make room, insert.  New entries start with the reference
+     bit clear — only a hit earns the second chance. *)
+  let insert_memo c key w =
+    c.misses <- c.misses + 1;
+    if T.length c.table >= c.capacity then sweep c;
+    T.replace c.table key { w; live = false }
+end
+
+module CanonMemo = Memo (Term.Canonical.Table)
+module HcMemo = Memo (Term.Hc.Qtable)
+
+type cache = CanonMemo.memo
+type hc_cache = HcMemo.memo
+
+let cache ?size () = CanonMemo.create ?size ()
+let cache_stats = CanonMemo.stats
+let cache_clear = CanonMemo.clear
+let prepare = CanonMemo.prepare
+let find_memo = CanonMemo.find_memo
+let insert_memo = CanonMemo.insert_memo
+let hc_cache ?size () = HcMemo.create ?size ()
+let hc_cache_stats = HcMemo.stats
+let hc_cache_clear = HcMemo.clear
 
 (* Weighted cost of [q] on [db] under the default backend, with plans that
    fail to evaluate (e.g. ill-typed intermediate states) costed at
@@ -193,6 +216,48 @@ let weighted_memo_batch c ~db ?(map = Array.map)
   Array.iteri
     (fun j (i, key, _) ->
       insert_memo c key ws.(j);
+      out.(i) <- ws.(j))
+    missing;
+  out
+
+(* Interned counterparts.  Keys are [Term.Hc.query_key] — the id of the
+   memoized canonical form of the body paired with the argument's id — so
+   two interned queries share an entry exactly when their canonical plain
+   forms are equal, i.e. the hc cache partitions queries into the same
+   equivalence classes as the canonical cache.  Probing costs two field
+   reads and an int-pair hash instead of a canonicalizing walk. *)
+
+let weighted_memo_hc c ~db (hq : Term.Hc.hquery) : float =
+  HcMemo.prepare c ~db;
+  let key = Term.Hc.query_key hq in
+  match HcMemo.find_memo c key with
+  | Some w -> w
+  | None ->
+    let w = measure_weighted ~db (Term.Hc.to_query hq) in
+    HcMemo.insert_memo c key w;
+    w
+
+let weighted_memo_hc_batch c ~db ?(map = Array.map)
+    (items : ((int * int) * Term.Hc.hquery) array) : float array =
+  HcMemo.prepare c ~db;
+  let n = Array.length items in
+  let out = Array.make n infinity in
+  let missing = ref [] in
+  Array.iteri
+    (fun i (key, hq) ->
+      match HcMemo.find_memo c key with
+      | Some w -> out.(i) <- w
+      | None -> missing := (i, key, hq) :: !missing)
+    items;
+  let missing = Array.of_list (List.rev !missing) in
+  let ws =
+    map
+      (fun q -> measure_weighted ~db q)
+      (Array.map (fun (_, _, hq) -> Term.Hc.to_query hq) missing)
+  in
+  Array.iteri
+    (fun j (i, key, _) ->
+      HcMemo.insert_memo c key ws.(j);
       out.(i) <- ws.(j))
     missing;
   out

@@ -83,3 +83,31 @@ val weighted_memo_batch :
     distinct the hit/miss/eviction accounting is identical to calling
     {!weighted_memo} on each item in order.  Duplicate keys in one batch
     are evaluated once per occurrence instead of hitting. *)
+
+(** {2 Interned cache}
+
+    The same memoization (capacity, second-chance eviction, per-database
+    validity) keyed by {!Kola.Term.Hc.query_key} — precomputed node-id
+    pairs — instead of canonical keys.  The key of an interned query is
+    the id of its body's memoized canonical form paired with its
+    argument's id, so the hc cache partitions queries into exactly the
+    canonical cache's equivalence classes while probing in O(1). *)
+
+type hc_cache
+
+val hc_cache : ?size:int -> unit -> hc_cache
+val hc_cache_stats : hc_cache -> stats
+val hc_cache_clear : hc_cache -> unit
+
+val weighted_memo_hc :
+  hc_cache -> db:(string * Kola.Value.t) list -> Kola.Term.Hc.hquery -> float
+
+val weighted_memo_hc_batch :
+  hc_cache ->
+  db:(string * Kola.Value.t) list ->
+  ?map:((Kola.Term.query -> float) -> Kola.Term.query array -> float array) ->
+  ((int * int) * Kola.Term.Hc.hquery) array ->
+  float array
+(** Batch analogue of {!weighted_memo_batch} over interned queries; the
+    misses are converted to plain queries (an O(1) field read per item)
+    before being evaluated through [map]. *)

@@ -33,8 +33,14 @@ type config = {
       (** positions per rule enumerated by {!successors}; truncation is
           reported through [frontier_exhausted], never silent *)
   indexed : bool;      (** prune rules through the head-symbol index *)
+  interned : bool;
+      (** explore on hash-consed nodes: id-keyed dedup, O(1) canonical
+          keys, physical-identity fast paths in matching.  Same outcome as
+          the legacy engine; only the per-state costs change. *)
   cost_cache : Cost.cache option;
       (** [None] uses a cache shared by every exploration *)
+  hc_cost_cache : Cost.hc_cache option;
+      (** cache for the interned engine; [None] shares one likewise *)
   sample_db : (string * Value.t) list;  (** database used for costing *)
   jobs : int;
       (** domains exploring each BFS level; 1 = the sequential engine,
@@ -48,7 +54,9 @@ let default_config =
     max_states = 400;
     max_positions = 64;
     indexed = true;
+    interned = true;
     cost_cache = None;
+    hc_cost_cache = None;
     sample_db = Datagen.Store.db (Datagen.Store.tiny ());
     jobs = 1;
   }
@@ -77,6 +85,7 @@ let pool_for jobs =
    same plans (re-runs, pipeline stages, reaches-then-explore) reuse each
    other's measurements.  It flushes itself when the database changes. *)
 let shared_cache = Cost.cache ()
+let shared_hc_cache = Cost.hc_cache ()
 
 (* Enumerate every single-firing successor of [q]: each rule at each
    position.  Positions are enumerated with a skip counter: the strategy
@@ -168,6 +177,13 @@ type outcome = {
   cache_evictions : int;
       (** cost-cache entries evicted by capacity sweeps during this
           exploration *)
+  seen_states : int;    (** distinct states (dedup classes) recorded *)
+  intern_hits : int;    (** intern-table hits during this exploration *)
+  intern_misses : int;  (** nodes freshly interned during this exploration *)
+  sharing_ratio : float;
+      (** [intern_hits / (intern_hits + intern_misses)] — the fraction of
+          node constructions answered by an existing node; [0.] on the
+          legacy engine, which interns nothing *)
 }
 
 (* Pretty-printed canonical form — the legacy dedup key, kept for
@@ -187,21 +203,30 @@ let cost_of ~cache ~db q = Cost.weighted_memo cache ~db q
    accumulation in the BFS loop. *)
 type istate = { iquery : Term.query; rev_path : string list; icost : float }
 
-let outcome_of ~cache ~(stats0 : Cost.stats) ~best ~expanded ~exhausted =
-  let stats1 = Cost.cache_stats cache in
+let outcome_record ~query ~rev_path ~cost ~expanded ~exhausted
+    ~(cstats0 : Cost.stats) ~(cstats1 : Cost.stats) ~seen_states ~intern_hits
+    ~intern_misses =
+  let total = intern_hits + intern_misses in
   {
-    best =
-      {
-        query = best.iquery;
-        path = List.rev best.rev_path;
-        cost = best.icost;
-      };
+    best = { query; path = List.rev rev_path; cost };
     explored = expanded;
     frontier_exhausted = exhausted;
-    cache_hits = stats1.Cost.hits - stats0.Cost.hits;
-    cache_misses = stats1.Cost.misses - stats0.Cost.misses;
-    cache_evictions = stats1.Cost.evictions - stats0.Cost.evictions;
+    cache_hits = cstats1.Cost.hits - cstats0.Cost.hits;
+    cache_misses = cstats1.Cost.misses - cstats0.Cost.misses;
+    cache_evictions = cstats1.Cost.evictions - cstats0.Cost.evictions;
+    seen_states;
+    intern_hits;
+    intern_misses;
+    sharing_ratio =
+      (if total = 0 then 0.
+       else float_of_int intern_hits /. float_of_int total);
   }
+
+let outcome_of ~cache ~(stats0 : Cost.stats) ~seen_states ~best ~expanded
+    ~exhausted =
+  outcome_record ~query:best.iquery ~rev_path:best.rev_path ~cost:best.icost
+    ~expanded ~exhausted ~cstats0:stats0 ~cstats1:(Cost.cache_stats cache)
+    ~seen_states ~intern_hits:0 ~intern_misses:0
 
 (* Bounded BFS with global dedup; returns the cheapest state seen.  The
    sequential engine — the measured baseline the parallel engine must
@@ -250,8 +275,9 @@ let explore_seq ~config (q : Term.query) : outcome =
   in
   level [ start ] 0;
   if !truncated then exhausted := false;
-  outcome_of ~cache ~stats0 ~best:!best ~expanded:!expanded
-    ~exhausted:!exhausted
+  outcome_of ~cache ~stats0
+    ~seen_states:(Term.Canonical.Table.length seen)
+    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
 
 (* ------------------------------------------------------------------ *)
 (* Level-synchronous parallel BFS.
@@ -369,13 +395,268 @@ let explore_par ~pool ~config (q : Term.query) : outcome =
   in
   level [ start ] 0;
   if !truncated then exhausted := false;
-  outcome_of ~cache ~stats0 ~best:!best ~expanded:!expanded
-    ~exhausted:!exhausted
+  outcome_of ~cache ~stats0
+    ~seen_states:(Term.Canonical.Table.length seen)
+    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Interned exploration: the same BFS on hash-consed nodes.
+
+   What changes per state: dedup keys are [Term.Hc.query_key] — two field
+   reads after a memoized canonicalization — probed in an int-pair-keyed
+   table; costing goes through the id-keyed {!Cost.hc_cache}; matching and
+   substitution run on interned nodes with physical-identity fast paths.
+   What does not change: rule-try order, traversal order, position
+   enumeration, and the dedup partition (query keys identify interned
+   queries exactly when their canonical plain forms are equal), so [best],
+   [path], [explored] and [frontier_exhausted] coincide with the legacy
+   engine at every [jobs] setting.
+
+   The intern tables are global and striped, so the parallel phases may
+   intern concurrently; ids may differ run to run under [jobs > 1] but are
+   only ever used as opaque identity keys. *)
+
+let hc_cache_of config =
+  match config.hc_cost_cache with Some c -> c | None -> shared_hc_cache
+
+type histate = {
+  ihq : Term.Hc.hquery;
+  hrev_path : string list;
+  hcost : float;
+}
+
+(* Interned successor enumeration, mirroring [successors_report]
+   line-for-line: query rules first (catalog order), then function and
+   predicate rules with the k-th-position skip counter; [keep] prunes
+   through the body's head bitmask instead of a presence walk. *)
+let successors_hc_report ?schema ~max_positions ~truncated ~indexed
+    (rules : Rewrite.Rule.t list) (hq : Term.Hc.hquery) :
+    (string * Term.Hc.hquery) list =
+  let keep =
+    if indexed then
+      let mask = hq.Term.Hc.hbody.Term.Hc.fheads in
+      Rewrite.Index.mask_may_fire mask
+    else fun _ -> true
+  in
+  let fun_rules, query_rules =
+    List.partition
+      (fun r ->
+        match r.Rewrite.Rule.body with
+        | Rewrite.Rule.Fun_rule _ | Rewrite.Rule.Pred_rule _ -> true
+        | Rewrite.Rule.Query_rule _ -> false)
+      rules
+  in
+  let from_query_rules =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun hq' -> (r.Rewrite.Rule.name, hq'))
+          (Rewrite.Rule.apply_hquery ?schema r hq))
+      query_rules
+  in
+  let at_kth ~rmask r k =
+    let remaining = ref k in
+    let s tgt =
+      match Rewrite.Strategy.H.of_rule ?schema r tgt with
+      | Some t ->
+        if !remaining = 0 then Some t
+        else begin
+          decr remaining;
+          None
+        end
+      | None -> None
+    in
+    Option.map
+      (fun hbody -> { hq with Term.Hc.hbody })
+      (Rewrite.Strategy.H.apply_func
+         (Rewrite.Strategy.H.once_topdown_masked ~mask:rmask s)
+         hq.Term.Hc.hbody)
+  in
+  let from_fun_rules =
+    List.concat_map
+      (fun r ->
+        if not (keep r) then []
+        else
+          let rmask = Rewrite.Index.rule_head_mask r in
+          let rec collect k acc =
+            if k >= max_positions then begin
+              if Option.is_some (at_kth ~rmask r k) then truncated := true;
+              List.rev acc
+            end
+            else
+              match at_kth ~rmask r k with
+              | Some hq' -> collect (k + 1) ((r.Rewrite.Rule.name, hq') :: acc)
+              | None -> List.rev acc
+          in
+          collect 0 [])
+      fun_rules
+  in
+  from_query_rules @ from_fun_rules
+
+let successors_hc ?schema ?(max_positions = 64) (rules : Rewrite.Rule.t list)
+    (hq : Term.Hc.hquery) : (string * Term.Hc.hquery) list =
+  successors_hc_report ?schema ~max_positions ~truncated:(ref false)
+    ~indexed:true rules hq
+
+let outcome_of_hc ~cache ~(stats0 : Cost.stats)
+    ~(istats0 : Kola.Hashcons.stats) ~seen_states ~best ~expanded ~exhausted =
+  let istats1 = Term.Hc.intern_counters () in
+  outcome_record ~query:(Term.Hc.to_query best.ihq) ~rev_path:best.hrev_path
+    ~cost:best.hcost ~expanded ~exhausted ~cstats0:stats0
+    ~cstats1:(Cost.hc_cache_stats cache) ~seen_states
+    ~intern_hits:(istats1.Kola.Hashcons.hits - istats0.Kola.Hashcons.hits)
+    ~intern_misses:
+      (istats1.Kola.Hashcons.misses - istats0.Kola.Hashcons.misses)
+
+let explore_hc_seq ~config (q : Term.query) : outcome =
+  let seen = Term.Hc.Qtable.create 256 in
+  let db = config.sample_db in
+  let cache = hc_cache_of config in
+  let istats0 = Term.Hc.intern_counters () in
+  let stats0 = Cost.hc_cache_stats cache in
+  let truncated = ref false in
+  let hq0 = Term.Hc.of_query q in
+  let start =
+    { ihq = hq0; hrev_path = []; hcost = Cost.weighted_memo_hc cache ~db hq0 }
+  in
+  Term.Hc.Qtable.replace seen (Term.Hc.query_key hq0) ();
+  let best = ref start in
+  let expanded = ref 0 in
+  let exhausted = ref true in
+  let rec level states depth =
+    if depth >= config.max_depth || states = [] then ()
+    else begin
+      let next = ref [] in
+      List.iter
+        (fun st ->
+          if !expanded >= config.max_states then exhausted := false
+          else begin
+            incr expanded;
+            List.iter
+              (fun (rule_name, hq') ->
+                let key = Term.Hc.query_key hq' in
+                if not (Term.Hc.Qtable.mem seen key) then begin
+                  Term.Hc.Qtable.replace seen key ();
+                  let st' =
+                    {
+                      ihq = hq';
+                      hrev_path = rule_name :: st.hrev_path;
+                      hcost = Cost.weighted_memo_hc cache ~db hq';
+                    }
+                  in
+                  if st'.hcost < !best.hcost then best := st';
+                  next := st' :: !next
+                end)
+              (successors_hc_report ~max_positions:config.max_positions
+                 ~truncated ~indexed:config.indexed config.rules st.ihq)
+          end)
+        states;
+      level (List.rev !next) (depth + 1)
+    end
+  in
+  level [ start ] 0;
+  if !truncated then exhausted := false;
+  outcome_of_hc ~cache ~stats0 ~istats0
+    ~seen_states:(Term.Hc.Qtable.length seen)
+    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
+
+(* Parallel interned exploration: the same three phases as [explore_par].
+   Phase 1 interns concurrently (the tables are striped) and probes [seen]
+   read-only; phase 2 is the only writer of [seen], walking results in
+   stable item order; phase 3 batches costing through the id-keyed cache,
+   evaluating misses across the pool. *)
+let explore_hc_par ~pool ~config (q : Term.query) : outcome =
+  let seen = Term.Hc.Qtable.create 256 in
+  let db = config.sample_db in
+  let cache = hc_cache_of config in
+  let istats0 = Term.Hc.intern_counters () in
+  let stats0 = Cost.hc_cache_stats cache in
+  let truncated = ref false in
+  let hq0 = Term.Hc.of_query q in
+  let start =
+    { ihq = hq0; hrev_path = []; hcost = Cost.weighted_memo_hc cache ~db hq0 }
+  in
+  Term.Hc.Qtable.replace seen (Term.Hc.query_key hq0) ();
+  let best = ref start in
+  let expanded = ref 0 in
+  let exhausted = ref true in
+  let expand st =
+    let tr = ref false in
+    let succs =
+      successors_hc_report ~max_positions:config.max_positions ~truncated:tr
+        ~indexed:config.indexed config.rules st.ihq
+    in
+    let fresh =
+      List.filter_map
+        (fun (rule_name, hq') ->
+          let key = Term.Hc.query_key hq' in
+          if Term.Hc.Qtable.mem seen key then None
+          else Some (rule_name, hq', key))
+        succs
+    in
+    (fresh, !tr)
+  in
+  let rec level states depth =
+    if depth >= config.max_depth || states = [] then ()
+    else begin
+      let n = List.length states in
+      let take = min (config.max_states - !expanded) n in
+      if take < n then exhausted := false;
+      if take > 0 then begin
+        let batch = Array.of_list (take_n take states) in
+        (* phase 1: fan out enumeration and key computation *)
+        let results = pool_map pool expand batch in
+        expanded := !expanded + take;
+        (* phase 2: stable-order merge; the only writer of [seen] *)
+        let fresh = ref [] in
+        Array.iteri
+          (fun i (succs, tr) ->
+            if tr then truncated := true;
+            let parent = batch.(i) in
+            List.iter
+              (fun (rule_name, hq', key) ->
+                if not (Term.Hc.Qtable.mem seen key) then begin
+                  Term.Hc.Qtable.replace seen key ();
+                  fresh := (parent, rule_name, hq', key) :: !fresh
+                end)
+              succs)
+          results;
+        let fresh = Array.of_list (List.rev !fresh) in
+        (* phase 3: batch costing; misses evaluate across the pool *)
+        let costs =
+          Cost.weighted_memo_hc_batch cache ~db
+            ~map:(fun f arr -> pool_map pool f arr)
+            (Array.map (fun (_, _, hq', key) -> (key, hq')) fresh)
+        in
+        let next = ref [] in
+        Array.iteri
+          (fun i (parent, rule_name, hq', _) ->
+            let st' =
+              {
+                ihq = hq';
+                hrev_path = rule_name :: parent.hrev_path;
+                hcost = costs.(i);
+              }
+            in
+            if st'.hcost < !best.hcost then best := st';
+            next := st' :: !next)
+          fresh;
+        level (List.rev !next) (depth + 1)
+      end
+    end
+  in
+  level [ start ] 0;
+  if !truncated then exhausted := false;
+  outcome_of_hc ~cache ~stats0 ~istats0
+    ~seen_states:(Term.Hc.Qtable.length seen)
+    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
 
 let explore ?(config = default_config) (q : Term.query) : outcome =
-  match resolved_jobs config with
-  | 1 -> explore_seq ~config q
-  | jobs -> explore_par ~pool:(pool_for jobs) ~config q
+  match (config.interned, resolved_jobs config) with
+  | true, 1 -> explore_hc_seq ~config q
+  | true, jobs -> explore_hc_par ~pool:(pool_for jobs) ~config q
+  | false, 1 -> explore_seq ~config q
+  | false, jobs -> explore_par ~pool:(pool_for jobs) ~config q
 
 (* Was [target] reached (modulo associativity) within the budget? *)
 let reaches_seq ~config (q : Term.query) (target : Term.query) :
@@ -481,8 +762,115 @@ let reaches_par ~pool ~config (q : Term.query) (target : Term.query) :
     !found
   end
 
+(* Interned [reaches]: the same BFS with [Term.Hc.query_key] dedup and
+   target test.  Because query keys partition interned queries exactly as
+   canonical keys partition plain ones, the derivation found (and its
+   firing order) is the one the legacy loop finds. *)
+let reaches_hc_seq ~config (q : Term.query) (target : Term.query) :
+    string list option =
+  let found = ref None in
+  let seen = Term.Hc.Qtable.create 256 in
+  let truncated = ref false in
+  let target_key = Term.Hc.query_key (Term.Hc.of_query target) in
+  let hq0 = Term.Hc.of_query q in
+  let start_key = Term.Hc.query_key hq0 in
+  let expanded = ref 0 in
+  Term.Hc.Qtable.replace seen start_key ();
+  if start_key = target_key then Some []
+  else begin
+    let rec level states depth =
+      if depth >= config.max_depth || states = [] || !found <> None then ()
+      else begin
+        let next = ref [] in
+        List.iter
+          (fun (hq, rev_path) ->
+            if !expanded < config.max_states && !found = None then begin
+              incr expanded;
+              List.iter
+                (fun (rule_name, hq') ->
+                  let key = Term.Hc.query_key hq' in
+                  if not (Term.Hc.Qtable.mem seen key) then begin
+                    Term.Hc.Qtable.replace seen key ();
+                    let rev_path' = rule_name :: rev_path in
+                    if key = target_key then
+                      found := Some (List.rev rev_path')
+                    else next := (hq', rev_path') :: !next
+                  end)
+                (successors_hc_report ~max_positions:config.max_positions
+                   ~truncated ~indexed:config.indexed config.rules hq)
+            end)
+          states;
+        level (List.rev !next) (depth + 1)
+      end
+    in
+    level [ (hq0, []) ] 0;
+    !found
+  end
+
+let reaches_hc_par ~pool ~config (q : Term.query) (target : Term.query) :
+    string list option =
+  let found = ref None in
+  let seen = Term.Hc.Qtable.create 256 in
+  let target_key = Term.Hc.query_key (Term.Hc.of_query target) in
+  let hq0 = Term.Hc.of_query q in
+  let start_key = Term.Hc.query_key hq0 in
+  let expanded = ref 0 in
+  Term.Hc.Qtable.replace seen start_key ();
+  if start_key = target_key then Some []
+  else begin
+    let expand (hq, _rev_path) =
+      let tr = ref false in
+      let succs =
+        successors_hc_report ~max_positions:config.max_positions ~truncated:tr
+          ~indexed:config.indexed config.rules hq
+      in
+      List.filter_map
+        (fun (rule_name, hq') ->
+          let key = Term.Hc.query_key hq' in
+          if Term.Hc.Qtable.mem seen key then None
+          else Some (rule_name, hq', key))
+        succs
+    in
+    let rec level states depth =
+      if depth >= config.max_depth || states = [] || !found <> None then ()
+      else begin
+        let n = List.length states in
+        let take = min (config.max_states - !expanded) n in
+        if take > 0 then begin
+          let batch = Array.of_list (take_n take states) in
+          let results = pool_map pool expand batch in
+          expanded := !expanded + take;
+          let next = ref [] in
+          (try
+             Array.iteri
+               (fun i succs ->
+                 let _, rev_path = batch.(i) in
+                 List.iter
+                   (fun (rule_name, hq', key) ->
+                     if not (Term.Hc.Qtable.mem seen key) then begin
+                       Term.Hc.Qtable.replace seen key ();
+                       let rev_path' = rule_name :: rev_path in
+                       if key = target_key then begin
+                         found := Some (List.rev rev_path');
+                         raise Exit
+                       end
+                       else next := (hq', rev_path') :: !next
+                     end)
+                   succs)
+               results
+           with Exit -> ());
+          level (List.rev !next) (depth + 1)
+        end
+      end
+    in
+    level [ (hq0, []) ] 0;
+    !found
+  end
+
 let reaches ?(config = default_config) (q : Term.query)
     (target : Term.query) : string list option =
-  match resolved_jobs config with
-  | 1 -> reaches_seq ~config q target
-  | jobs -> reaches_par ~pool:(pool_for jobs) ~config q target
+  match (config.interned, resolved_jobs config) with
+  | true, 1 -> reaches_hc_seq ~config q target
+  | true, jobs -> reaches_hc_par ~pool:(pool_for jobs) ~config q target
+  | false, 1 -> reaches_seq ~config q target
+  | false, jobs -> reaches_par ~pool:(pool_for jobs) ~config q target

@@ -31,8 +31,16 @@ type config = {
           truncation clears [frontier_exhausted], it is never silent *)
   indexed : bool;
       (** prune rules through the head-symbol index (default [true]) *)
+  interned : bool;
+      (** explore on hash-consed nodes (default [true]): id-keyed dedup,
+          O(1) canonical keys and physical-identity fast paths in matching.
+          [best], [path], [explored] and [frontier_exhausted] are identical
+          to the legacy engine at every [jobs] setting; only per-state
+          costs — and the interning stats reported — change. *)
   cost_cache : Cost.cache option;
       (** [None] (the default) shares one cache across explorations *)
+  hc_cost_cache : Cost.hc_cache option;
+      (** cache for the interned engine; [None] shares one likewise *)
   sample_db : (string * Kola.Value.t) list;  (** database used for costing *)
   jobs : int;
       (** domains exploring each BFS level (default 1 = the sequential
@@ -53,6 +61,14 @@ val successors :
 (** Every single-firing successor: each rule at each matching position, up
     to [max_positions] positions per rule (default 64). *)
 
+val successors_hc :
+  ?schema:Kola.Schema.t ->
+  ?max_positions:int ->
+  Rewrite.Rule.t list ->
+  Kola.Term.Hc.hquery ->
+  (string * Kola.Term.Hc.hquery) list
+(** [successors] on interned nodes: same successors in the same order. *)
+
 type state = {
   query : Kola.Term.query;
   path : string list;  (** rules fired, in order *)
@@ -69,6 +85,14 @@ type outcome = {
   cache_misses : int;
   cache_evictions : int;
       (** cost-cache entries evicted by capacity sweeps during this call *)
+  seen_states : int;
+      (** distinct states (dedup equivalence classes) recorded, including
+          the start state *)
+  intern_hits : int;   (** intern-table hits during this call *)
+  intern_misses : int; (** nodes freshly interned during this call *)
+  sharing_ratio : float;
+      (** [intern_hits / (intern_hits + intern_misses)]; [0.] on the
+          legacy engine, which interns nothing *)
 }
 
 val canonical : Kola.Term.query -> string

@@ -58,3 +58,26 @@ val run_func :
   Rule.t list -> Kola.Term.func -> Kola.Term.func * trace
 
 val fired_rules : outcome -> string list
+
+(** {1 Interned engine}
+
+    The indexed path over hash-consed nodes: same rule-try order, same
+    traversal, same attempts-counter semantics as {!step_once_indexed} /
+    {!run}, so firings, trace and stats coincide — only per-node match and
+    substitution costs change. *)
+
+val step_once_hc :
+  ?schema:Kola.Schema.t ->
+  ?counter:int ref ->
+  Index.t ->
+  Kola.Term.Hc.hquery ->
+  (string * Kola.Term.Hc.hquery) option
+
+val run_hc :
+  ?schema:Kola.Schema.t ->
+  ?fuel:int ->
+  Rule.t list ->
+  Kola.Term.query ->
+  outcome
+(** Normalize on the interned representation; outcome identical to
+    [run ~indexed:true]. *)

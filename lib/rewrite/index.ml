@@ -218,3 +218,112 @@ let may_fire (pres : presence) (r : Rule.t) =
     match head_of_pred lhs with
     | None -> true
     | Some h -> Hashtbl.mem pres h)
+
+(* ------------------------------------------------------------------ *)
+(* Interned dispatch: hash-consed nodes carry their head constructor in
+   [fshape]/[pshape] and the set of heads occurring anywhere beneath them
+   as a precomputed bitmask ([fheads]/[pheads]), so bucket lookup needs no
+   [head_of_*] walk and whole-term presence is a single [land] instead of
+   building a hashtable per state. *)
+
+(* Bit positions must agree with [Kola.Term.Hc.fshape_bit]/[pshape_bit]
+   (func heads at bits 0-19 in declaration order, pred heads at 20-31);
+   test_hashcons pins the correspondence against [presence_of_query]. *)
+let head_bit = function
+  | HId -> 1 lsl 0
+  | HPi1 -> 1 lsl 1
+  | HPi2 -> 1 lsl 2
+  | HPrim -> 1 lsl 3
+  | HCompose -> 1 lsl 4
+  | HPairf -> 1 lsl 5
+  | HTimes -> 1 lsl 6
+  | HKf -> 1 lsl 7
+  | HCf -> 1 lsl 8
+  | HCon -> 1 lsl 9
+  | HArith -> 1 lsl 10
+  | HAgg -> 1 lsl 11
+  | HSetop -> 1 lsl 12
+  | HSng -> 1 lsl 13
+  | HFlat -> 1 lsl 14
+  | HIterate -> 1 lsl 15
+  | HIter -> 1 lsl 16
+  | HJoin -> 1 lsl 17
+  | HNest -> 1 lsl 18
+  | HUnnest -> 1 lsl 19
+  | HEq -> 1 lsl 20
+  | HLeq -> 1 lsl 21
+  | HGt -> 1 lsl 22
+  | HIn -> 1 lsl 23
+  | HPrimp -> 1 lsl 24
+  | HOplus -> 1 lsl 25
+  | HAndp -> 1 lsl 26
+  | HOrp -> 1 lsl 27
+  | HInv -> 1 lsl 28
+  | HConv -> 1 lsl 29
+  | HKp -> 1 lsl 30
+  | HCp -> 1 lsl 31
+
+let head_of_fshape : Hc.fshape -> head option = function
+  | Hc.HId -> Some HId
+  | Hc.HPi1 -> Some HPi1
+  | Hc.HPi2 -> Some HPi2
+  | Hc.HPrim _ -> Some HPrim
+  | Hc.HCompose _ -> Some HCompose
+  | Hc.HPairf _ -> Some HPairf
+  | Hc.HTimes _ -> Some HTimes
+  | Hc.HKf _ -> Some HKf
+  | Hc.HCf _ -> Some HCf
+  | Hc.HCon _ -> Some HCon
+  | Hc.HArith _ -> Some HArith
+  | Hc.HAgg _ -> Some HAgg
+  | Hc.HSetop _ -> Some HSetop
+  | Hc.HSng -> Some HSng
+  | Hc.HFlat -> Some HFlat
+  | Hc.HIterate _ -> Some HIterate
+  | Hc.HIter _ -> Some HIter
+  | Hc.HJoin _ -> Some HJoin
+  | Hc.HNest _ -> Some HNest
+  | Hc.HUnnest _ -> Some HUnnest
+  | Hc.HFhole _ -> None
+
+let head_of_pshape : Hc.pshape -> head option = function
+  | Hc.HEq -> Some HEq
+  | Hc.HLeq -> Some HLeq
+  | Hc.HGt -> Some HGt
+  | Hc.HIn -> Some HIn
+  | Hc.HPrimp _ -> Some HPrimp
+  | Hc.HOplus _ -> Some HOplus
+  | Hc.HAndp _ -> Some HAndp
+  | Hc.HOrp _ -> Some HOrp
+  | Hc.HInv _ -> Some HInv
+  | Hc.HConv _ -> Some HConv
+  | Hc.HKp _ -> Some HKp
+  | Hc.HCp _ -> Some HCp
+  | Hc.HPhole _ -> None
+
+let candidates_hfunc t (f : Hc.fnode) =
+  match head_of_fshape f.Hc.fshape with
+  | Some h -> bucket t.fun_cache t.fun_entries h
+  | None -> all_of t.fun_entries
+
+let candidates_hpred t (p : Hc.pnode) =
+  match head_of_pshape p.Hc.pshape with
+  | Some h -> bucket t.pred_cache t.pred_entries h
+  | None -> all_of t.pred_entries
+
+(* The head bit a subtree must contain for [r] to fire anywhere inside
+   it; [0] when the pattern has no fixed head (every subtree remains a
+   candidate). *)
+let rule_head_mask (r : Rule.t) =
+  match r.Rule.body with
+  | Rule.Query_rule _ -> 0
+  | Rule.Fun_rule (lhs, _) -> (
+    match head_of_func lhs with None -> 0 | Some h -> head_bit h)
+  | Rule.Pred_rule (lhs, _) -> (
+    match head_of_pred lhs with None -> 0 | Some h -> head_bit h)
+
+(* [may_fire] against a head bitmask (a state body's [fheads]); same
+   verdicts as the presence-table variant, without the per-state walk. *)
+let mask_may_fire (mask : int) (r : Rule.t) =
+  let m = rule_head_mask r in
+  m = 0 || mask land m <> 0

@@ -80,3 +80,32 @@ val presence_of_query : Kola.Term.query -> presence
 val may_fire : presence -> Rule.t -> bool
 (** Query rules and wildcard patterns always may fire; otherwise the
     pattern's head must occur in the term. *)
+
+(** {1 Interned dispatch}
+
+    Hash-consed nodes carry their head in [fshape]/[pshape] and the heads
+    of their whole subtree as a precomputed bitmask, so dispatch reads a
+    field and presence pruning is a single [land]. *)
+
+val head_bit : head -> int
+(** Bit position of a head in [Kola.Term.Hc.fheads]/[pheads] masks; agrees
+    with [Kola.Term.Hc.fshape_bit]/[pshape_bit]. *)
+
+val head_of_fshape : Kola.Term.Hc.fshape -> head option
+val head_of_pshape : Kola.Term.Hc.pshape -> head option
+
+val candidates_hfunc : t -> Kola.Term.Hc.fnode -> Rule.t list
+(** Same buckets (and catalog order) as {!candidates_func}, dispatched on
+    the interned head tag. *)
+
+val candidates_hpred : t -> Kola.Term.Hc.pnode -> Rule.t list
+
+val rule_head_mask : Rule.t -> int
+(** The head bit a subtree must contain for the rule to fire anywhere
+    inside it — interned nodes carry the occurrence mask of their whole
+    subtree ([fheads]/[pheads]), so this turns per-subtree reachability
+    into one [land].  [0] when the pattern has no fixed head. *)
+
+val mask_may_fire : int -> Rule.t -> bool
+(** [may_fire] against a head bitmask (a state body's [fheads]); same
+    verdicts as the presence-table variant without the per-state walk. *)

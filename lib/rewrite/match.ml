@@ -104,3 +104,123 @@ and value subst pat t =
 
 let func_matches pat t = Option.is_some (func Subst.empty pat t)
 let pred_matches pat t = Option.is_some (pred Subst.empty pat t)
+
+(* ------------------------------------------------------------------ *)
+(* Matching over hash-consed nodes: the same one-way matching, with two
+   short-circuits the interned representation makes sound.
+
+   A hole-free pattern binds nothing, so it matches a target iff the two
+   are equal modulo ∘-associativity.  Physically equal nodes therefore
+   match immediately; physically distinct ones can only match through
+   chain reassociation, which requires a [Compose] somewhere in the
+   pattern — a hole-free pattern whose [fheads] has no [Compose] bit
+   matches purely structurally, and structural equality of interned nodes
+   *is* physical equality, so the mismatch is decided in O(1).  Patterns
+   with a [Compose] fall through to the full walk, whose recursive calls
+   re-enter the fast path at every level. *)
+
+let rec hfunc subst (pat : Hc.fnode) (t : Hc.fnode) =
+  if pat.Hc.fhole_free then
+    if pat == t then Some subst
+    else if pat.Hc.fheads land Hc.compose_mask = 0 then None
+    else hfunc_walk subst pat t
+  else hfunc_walk subst pat t
+
+and hfunc_walk subst pat t =
+  match pat.Hc.fshape, t.Hc.fshape with
+  | Hc.HFhole h, _ -> Subst.H.bind_func subst h t
+  | Hc.HId, Hc.HId
+  | Hc.HPi1, Hc.HPi1
+  | Hc.HPi2, Hc.HPi2
+  | Hc.HFlat, Hc.HFlat
+  | Hc.HSng, Hc.HSng -> Some subst
+  | Hc.HPrim a, Hc.HPrim b when String.equal a b -> Some subst
+  | Hc.HCompose _, Hc.HCompose _ ->
+    hchain_match subst (Hc.unchain pat) (Hc.unchain t)
+  | Hc.HPairf (p1, p2), Hc.HPairf (t1, t2)
+  | Hc.HTimes (p1, p2), Hc.HTimes (t1, t2)
+  | Hc.HNest (p1, p2), Hc.HNest (t1, t2)
+  | Hc.HUnnest (p1, p2), Hc.HUnnest (t1, t2) ->
+    Option.bind (hfunc subst p1 t1) (fun s -> hfunc s p2 t2)
+  | Hc.HKf pv, Hc.HKf tv -> hvalue subst pv tv
+  | Hc.HCf (p1, pv), Hc.HCf (t1, tv) ->
+    Option.bind (hfunc subst p1 t1) (fun s -> hvalue s pv tv)
+  | Hc.HCon (pp, p1, p2), Hc.HCon (tp, t1, t2) ->
+    Option.bind (hpred subst pp tp) (fun s ->
+        Option.bind (hfunc s p1 t1) (fun s -> hfunc s p2 t2))
+  | Hc.HArith a, Hc.HArith b when a = b -> Some subst
+  | Hc.HAgg a, Hc.HAgg b when a = b -> Some subst
+  | Hc.HSetop a, Hc.HSetop b when a = b -> Some subst
+  | Hc.HIterate (pp, p1), Hc.HIterate (tp, t1)
+  | Hc.HIter (pp, p1), Hc.HIter (tp, t1)
+  | Hc.HJoin (pp, p1), Hc.HJoin (tp, t1) ->
+    Option.bind (hpred subst pp tp) (fun s -> hfunc s p1 t1)
+  | _, _ -> None
+
+and hchain_match subst lps tps =
+  match lps, tps with
+  | [], [] -> Some subst
+  | [], _ :: _ | _ :: _, [] -> None
+  | lp :: lrest, _ -> (
+    match lp.Hc.fshape with
+    | Hc.HFhole h ->
+      let n = List.length tps in
+      let max_take = n - List.length lrest in
+      let rec try_take k =
+        if k > max_take then None
+        else
+          let rec split i acc = function
+            | rest when i = 0 -> (List.rev acc, rest)
+            | [] -> (List.rev acc, [])
+            | x :: rest -> split (i - 1) (x :: acc) rest
+          in
+          let taken, rest = split k [] tps in
+          match Subst.H.bind_func subst h (Hc.chain taken) with
+          | Some s -> (
+            match hchain_match s lrest rest with
+            | Some _ as res -> res
+            | None -> try_take (k + 1))
+          | None -> try_take (k + 1)
+      in
+      try_take 1
+    | _ -> (
+      match tps with
+      | tp :: trest ->
+        Option.bind (hfunc subst lp tp) (fun s -> hchain_match s lrest trest)
+      | [] -> None))
+
+and hpred subst (pat : Hc.pnode) (t : Hc.pnode) =
+  if pat.Hc.phole_free then
+    if pat == t then Some subst
+    else if pat.Hc.pheads land Hc.compose_mask = 0 then None
+    else hpred_walk subst pat t
+  else hpred_walk subst pat t
+
+and hpred_walk subst pat t =
+  match pat.Hc.pshape, t.Hc.pshape with
+  | Hc.HPhole h, _ -> Subst.H.bind_pred subst h t
+  | Hc.HEq, Hc.HEq | Hc.HLeq, Hc.HLeq | Hc.HGt, Hc.HGt | Hc.HIn, Hc.HIn ->
+    Some subst
+  | Hc.HPrimp a, Hc.HPrimp b when String.equal a b -> Some subst
+  | Hc.HOplus (pp, pf), Hc.HOplus (tp, tf) ->
+    Option.bind (hpred subst pp tp) (fun s -> hfunc s pf tf)
+  | Hc.HAndp (p1, p2), Hc.HAndp (t1, t2)
+  | Hc.HOrp (p1, p2), Hc.HOrp (t1, t2) ->
+    Option.bind (hpred subst p1 t1) (fun s -> hpred s p2 t2)
+  | Hc.HInv p1, Hc.HInv t1 | Hc.HConv p1, Hc.HConv t1 -> hpred subst p1 t1
+  | Hc.HKp a, Hc.HKp b when Bool.equal a b -> Some subst
+  | Hc.HCp (p1, pv), Hc.HCp (t1, tv) ->
+    Option.bind (hpred subst p1 t1) (fun s -> hvalue s pv tv)
+  | _, _ -> None
+
+and hvalue subst (pat : Hc.vnode) (t : Hc.vnode) =
+  match pat.Hc.vshape with
+  | Hc.HVhole h -> Subst.H.bind_value subst h t
+  | _ -> (
+    let pat = Subst.H.apply_value subst pat in
+    if pat.Hc.vhole_free && pat == t then Some subst
+    else
+      match pat.Hc.vshape, t.Hc.vshape with
+      | Hc.HVpair (p1, p2), Hc.HVpair (t1, t2) ->
+        Option.bind (hvalue subst p1 t1) (fun s -> hvalue s p2 t2)
+      | _ -> None)

@@ -21,3 +21,28 @@ val chain_match :
 
 val func_matches : Kola.Term.func -> Kola.Term.func -> bool
 val pred_matches : Kola.Term.pred -> Kola.Term.pred -> bool
+
+(** {1 Matching over hash-consed nodes}
+
+    Same one-way matching and binding order as the plain functions —
+    bindings accepted and rejected identically — with two O(1)
+    short-circuits: a hole-free pattern physically equal to the target
+    matches immediately, and a hole-free pattern without any [Compose]
+    (read off [fheads]) that is physically distinct cannot match at all,
+    because without reassociation matching is structural and structural
+    equality of interned nodes is physical. *)
+
+val hfunc :
+  Subst.H.t -> Kola.Term.Hc.fnode -> Kola.Term.Hc.fnode -> Subst.H.t option
+
+val hpred :
+  Subst.H.t -> Kola.Term.Hc.pnode -> Kola.Term.Hc.pnode -> Subst.H.t option
+
+val hvalue :
+  Subst.H.t -> Kola.Term.Hc.vnode -> Kola.Term.Hc.vnode -> Subst.H.t option
+
+val hchain_match :
+  Subst.H.t ->
+  Kola.Term.Hc.fnode list ->
+  Kola.Term.Hc.fnode list ->
+  Subst.H.t option

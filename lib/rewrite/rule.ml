@@ -14,6 +14,13 @@ type body =
   | Pred_rule of pred * pred
   | Query_rule of (func * Value.t) * (func * Value.t)
 
+(* The same patterns, interned (see {!Kola.Term.Hc}); memoized per rule so
+   pattern nodes are shared across every match attempt the rule ever makes. *)
+type hbody =
+  | HFun_rule of Hc.fnode * Hc.fnode
+  | HPred_rule of Hc.pnode * Hc.pnode
+  | HQuery_rule of (Hc.fnode * Hc.vnode) * (Hc.fnode * Hc.vnode)
+
 type precondition = { prop : Props.prop; hole : string }
 
 type t = {
@@ -21,10 +28,14 @@ type t = {
   description : string;
   body : body;
   preconditions : precondition list;
+  mutable hbody_memo : hbody option;
+      (** lazily interned [body]; benignly racy under domains — every
+          writer stores structurally identical tuples of physically
+          identical interned nodes *)
 }
 
 let make ?(preconditions = []) ~name ~description body =
-  { name; description; body; preconditions }
+  { name; description; body; preconditions; hbody_memo = None }
 
 let fun_rule ?preconditions ~name ~description lhs rhs =
   make ?preconditions ~name ~description (Fun_rule (lhs, rhs))
@@ -43,7 +54,8 @@ let flip t =
     | Pred_rule (l, r) -> Pred_rule (r, l)
     | Query_rule (l, r) -> Query_rule (r, l)
   in
-  { t with name = t.name ^ "-1"; body }
+  (* The memo caches the unflipped body; it must not survive the flip. *)
+  { t with name = t.name ^ "-1"; body; hbody_memo = None }
 
 (* A precondition names a hole; the property is read against whatever the
    match bound it to — a function (injective, total, ...) or a value
@@ -139,6 +151,111 @@ let apply_query ?(schema = Schema.paper) t (q : query) =
           | _ -> None)
         | None -> None)
   | Fun_rule _ | Pred_rule _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Interned application, mirroring [apply_func]/[apply_pred]/[apply_query]
+   verbatim over hash-consed nodes: same window enumeration (leftmost,
+   shortest first), same absorption backtracking inside {!Match}, same
+   precondition reads — a rule fires on an interned node exactly when it
+   fires on the plain view, producing the interned image of the same
+   result. *)
+
+let hbody t =
+  match t.hbody_memo with
+  | Some hb -> hb
+  | None ->
+    let hb =
+      match t.body with
+      | Fun_rule (l, r) -> HFun_rule (Hc.of_func l, Hc.of_func r)
+      | Pred_rule (l, r) -> HPred_rule (Hc.of_pred l, Hc.of_pred r)
+      | Query_rule ((l, la), (r, ra)) ->
+        HQuery_rule
+          ((Hc.of_func l, Hc.of_value la), (Hc.of_func r, Hc.of_value ra))
+    in
+    t.hbody_memo <- Some hb;
+    hb
+
+let hcheck_preconditions schema t (subst : Subst.H.t) =
+  List.for_all
+    (fun { prop; hole } ->
+      match Subst.H.find_func subst hole with
+      | Some f -> Props.holds schema prop (Hc.to_func f)
+      | None -> (
+        match Subst.H.find_value subst hole with
+        | Some v -> Props.holds_value prop (Hc.to_value v)
+        | None -> false))
+    t.preconditions
+
+let apply_hfunc ?(schema = Schema.paper) t (f : Hc.fnode) =
+  match hbody t with
+  | HPred_rule _ | HQuery_rule _ -> None
+  | HFun_rule (lhs, rhs) -> (
+    let rewrite_root () =
+      match Match.hfunc Subst.H.empty lhs f with
+      | Some subst when hcheck_preconditions schema t subst ->
+        Some (Subst.H.apply_func subst rhs)
+      | _ -> None
+    in
+    match lhs.Hc.fshape, f.Hc.fshape with
+    | Hc.HCompose _, Hc.HCompose _ ->
+      let tparts = Hc.unchain f in
+      let n = List.length tparts in
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+      in
+      let rec drop n xs =
+        if n = 0 then xs
+        else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+      in
+      let rec try_at i len =
+        if i + 2 > n then None
+        else if i + len > n then try_at (i + 1) 2
+        else
+          let window = Hc.chain (take len (drop i tparts)) in
+          match Match.hfunc Subst.H.empty lhs window with
+          | Some subst when hcheck_preconditions schema t subst ->
+            let rhs' = Hc.unchain (Subst.H.apply_func subst rhs) in
+            let parts' = take i tparts @ rhs' @ drop (i + len) tparts in
+            Some (Hc.chain parts')
+          | _ -> try_at i (len + 1)
+      in
+      try_at 0 2
+    | _ -> rewrite_root ())
+
+let apply_hpred ?(schema = Schema.paper) t (p : Hc.pnode) =
+  match hbody t with
+  | HPred_rule (lhs, rhs) -> (
+    match Match.hpred Subst.H.empty lhs p with
+    | Some subst when hcheck_preconditions schema t subst ->
+      Some (Subst.H.apply_pred subst rhs)
+    | _ -> None)
+  | HFun_rule _ | HQuery_rule _ -> None
+
+let apply_hquery ?(schema = Schema.paper) t (hq : Hc.hquery) =
+  match hbody t with
+  | HQuery_rule ((lpat, lav), (rpat, rav)) ->
+    let parts = Hc.unchain hq.Hc.hbody in
+    let rec split_last acc = function
+      | [] -> None
+      | [ last ] -> Some (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    Option.bind (split_last [] parts) (fun (prefix, last) ->
+        match Match.hfunc Subst.H.empty lpat last with
+        | Some subst -> (
+          match Match.hvalue subst lav hq.Hc.harg with
+          | Some subst when hcheck_preconditions schema t subst ->
+            let last' = Subst.H.apply_func subst rpat in
+            let arg' = Subst.H.apply_value subst rav in
+            Some
+              {
+                Hc.hbody = Hc.chain (prefix @ Hc.unchain last');
+                Hc.harg = arg';
+              }
+          | _ -> None)
+        | None -> None)
+  | HFun_rule _ | HPred_rule _ -> None
 
 let pp ppf t =
   let arrow = " \u{2192} " in

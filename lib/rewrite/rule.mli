@@ -12,6 +12,14 @@ type body =
   | Query_rule of
       (Kola.Term.func * Kola.Value.t) * (Kola.Term.func * Kola.Value.t)
 
+(** The same patterns, interned; built lazily per rule via {!hbody}. *)
+type hbody =
+  | HFun_rule of Kola.Term.Hc.fnode * Kola.Term.Hc.fnode
+  | HPred_rule of Kola.Term.Hc.pnode * Kola.Term.Hc.pnode
+  | HQuery_rule of
+      (Kola.Term.Hc.fnode * Kola.Term.Hc.vnode)
+      * (Kola.Term.Hc.fnode * Kola.Term.Hc.vnode)
+
 type precondition = { prop : Props.prop; hole : string }
 
 type t = {
@@ -19,6 +27,8 @@ type t = {
   description : string;
   body : body;
   preconditions : precondition list;
+  mutable hbody_memo : hbody option;
+      (** lazily interned [body]; managed by {!hbody}, reset by {!flip} *)
 }
 
 val make :
@@ -57,5 +67,30 @@ val apply_pred : ?schema:Kola.Schema.t -> t -> Kola.Term.pred -> Kola.Term.pred 
 val apply_query : ?schema:Kola.Schema.t -> t -> Kola.Term.query -> Kola.Term.query option
 (** Query rules match the tail of the query's composition chain (the
     operator adjacent to the argument) together with the argument itself. *)
+
+(** {1 Interned application}
+
+    Mirrors of the plain [apply_*] over hash-consed nodes: same window
+    enumeration, same absorption backtracking, same precondition reads — a
+    rule fires on an interned node exactly when it fires on the plain view,
+    producing the interned image of the same result. *)
+
+val hbody : t -> hbody
+(** The rule's patterns interned, memoized on first use (safe to race:
+    every writer stores equivalent nodes). *)
+
+val hcheck_preconditions : Kola.Schema.t -> t -> Subst.H.t -> bool
+
+val apply_hfunc :
+  ?schema:Kola.Schema.t -> t -> Kola.Term.Hc.fnode -> Kola.Term.Hc.fnode option
+
+val apply_hpred :
+  ?schema:Kola.Schema.t -> t -> Kola.Term.Hc.pnode -> Kola.Term.Hc.pnode option
+
+val apply_hquery :
+  ?schema:Kola.Schema.t ->
+  t ->
+  Kola.Term.Hc.hquery ->
+  Kola.Term.Hc.hquery option
 
 val pp : t Fmt.t

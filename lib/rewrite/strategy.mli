@@ -54,3 +54,33 @@ val normalize : ?fuel:int -> t -> t
 
 val apply_func : t -> Kola.Term.func -> Kola.Term.func option
 val apply_pred : t -> Kola.Term.pred -> Kola.Term.pred option
+
+(** Strategies over hash-consed nodes.  [one_child] mirrors the plain
+    traversal position-for-position (left to right, predicate before
+    function children, no descent into constant values), so an interned
+    [once_topdown] visits exactly the positions the plain one does, in the
+    same order. *)
+module H : sig
+  type target = F of Kola.Term.Hc.fnode | P of Kola.Term.Hc.pnode
+  type t = target -> target option
+
+  val as_f : target -> Kola.Term.Hc.fnode option
+  val as_p : target -> Kola.Term.Hc.pnode option
+
+  val of_rule : ?schema:Kola.Schema.t -> Rule.t -> t
+  (** The rule applied at the root of the target. *)
+
+  val choice : t -> t -> t
+  val one_child : t -> t
+  val once_topdown : t -> t
+
+  val once_topdown_masked : mask:int -> t -> t
+  (** [once_topdown], skipping subtrees whose head bitmask
+      ([fheads]/[pheads]) has no bit of [mask] — O(1) per skipped subtree
+      instead of a walk.  With [mask] = {!Index.rule_head_mask} of the
+      rule being applied, it visits the same matching positions in the
+      same order as [once_topdown]; [mask = 0] disables pruning. *)
+
+  val apply_func : t -> Kola.Term.Hc.fnode -> Kola.Term.Hc.fnode option
+  val apply_pred : t -> Kola.Term.Hc.pnode -> Kola.Term.Hc.pnode option
+end

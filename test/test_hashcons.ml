@@ -1,0 +1,294 @@
+(* The hash-consed term core: maximal sharing (structural equality is
+   physical equality), O(1) hash/size/canonical keys, and the interned
+   engine built on them.  Correctness is equivalence once more: converters
+   must round-trip, interned fields must agree with the plain recursive
+   functions, id-pair dedup must partition queries exactly like canonical
+   keys, and the interned engines — rewriting and search, sequential and
+   parallel — must reproduce the legacy outcomes bit for bit. *)
+
+open Kola
+open Util
+module Hc = Term.Hc
+module Engine = Rewrite.Engine
+module Index = Rewrite.Index
+module Subst = Rewrite.Subst
+module Search = Optimizer.Search
+module Cost = Optimizer.Cost
+
+let paper_queries =
+  [ Paper.t1k_source; Paper.t2k_source; Paper.k3; Paper.k4; Paper.kg1;
+    Paper.kg2 ]
+
+let paper_bodies = List.map (fun q -> q.Term.body) paper_queries
+
+let random_query i depth =
+  Translate.Compile.query (Datagen.Queries.query ~seed:i ~depth)
+
+(* Right-associate every composition chain: an associativity variant that
+   id-pair keys must identify with the original. *)
+let rec right_assoc f =
+  match f with
+  | Term.Compose _ ->
+    let rec build = function
+      | [] -> Term.Id
+      | [ g ] -> g
+      | g :: gs -> Term.Compose (g, build gs)
+    in
+    build (List.map right_assoc (Term.unchain f))
+  | f -> f
+
+let trace_names (o : Engine.outcome) =
+  List.map (fun s -> s.Engine.rule_name) o.Engine.trace
+
+(* Fresh caches per run, as in test_parallel: equivalence must not depend
+   on what an earlier exploration left in the shared caches. *)
+let explore_at ?(interned = true) ?(jobs = 1) ~max_depth ~max_states q =
+  Search.explore
+    ~config:
+      {
+        Search.default_config with
+        max_depth;
+        max_states;
+        jobs;
+        interned;
+        cost_cache = Some (Cost.cache ());
+        hc_cost_cache = Some (Cost.hc_cache ());
+      }
+    q
+
+let check_same_outcome name (a : Search.outcome) (b : Search.outcome) =
+  Alcotest.check query (name ^ ": best query") a.Search.best.Search.query
+    b.Search.best.Search.query;
+  Alcotest.(check (list string))
+    (name ^ ": derivation") a.Search.best.Search.path b.Search.best.Search.path;
+  Alcotest.(check (float 0.))
+    (name ^ ": cost") a.Search.best.Search.cost b.Search.best.Search.cost;
+  Alcotest.(check int) (name ^ ": explored") a.Search.explored b.Search.explored;
+  Alcotest.(check bool)
+    (name ^ ": frontier") a.Search.frontier_exhausted
+    b.Search.frontier_exhausted;
+  Alcotest.(check int)
+    (name ^ ": distinct states") a.Search.seen_states b.Search.seen_states
+
+let fig_workloads =
+  [
+    ("T1K", Paper.t1k_source, 4, 200);
+    ("T2K", Paper.t2k_source, 4, 150);
+    ("K4", Paper.k4, 3, 120);
+    ("KG1", Paper.kg1, 2, 60);
+  ]
+
+let tests =
+  [
+    case "of/to round-trips the paper queries exactly" (fun () ->
+        List.iter
+          (fun q ->
+            Alcotest.check Alcotest.bool "roundtrip" true
+              (Term.equal_query q (Hc.to_query (Hc.of_query q))))
+          paper_queries);
+    case "interning is maximal: equal terms intern to the same node"
+      (fun () ->
+        List.iter
+          (fun b1 ->
+            List.iter
+              (fun b2 ->
+                Alcotest.check Alcotest.bool "equal iff =="
+                  (Term.equal_func b1 b2)
+                  (Hc.of_func b1 == Hc.of_func b2))
+              paper_bodies)
+          paper_bodies);
+    case "fhash and fsize agree with the plain recursive functions"
+      (fun () ->
+        List.iter
+          (fun b ->
+            let n = Hc.of_func b in
+            Alcotest.(check int) "fhash" (Term.hash_func b) n.Hc.fhash;
+            Alcotest.(check int) "fsize" (Term.size_func b) n.Hc.fsize;
+            Alcotest.check Alcotest.bool "hole-free" true n.Hc.fhole_free)
+          paper_bodies);
+    case "canon mirrors reassoc_func and is physically idempotent"
+      (fun () ->
+        List.iter
+          (fun b ->
+            let variant = right_assoc b in
+            let c = Hc.canon (Hc.of_func variant) in
+            Alcotest.check func "canon = reassoc"
+              (Term.reassoc_func variant)
+              (Hc.to_func c);
+            Alcotest.check Alcotest.bool "canon idempotent (physically)" true
+              (Hc.canon c == c);
+            Alcotest.check Alcotest.bool
+              "associativity variants canon to the same node" true
+              (Hc.canon (Hc.of_func b) == c))
+          paper_bodies);
+    case "query_key partitions states exactly like canonical keys"
+      (fun () ->
+        List.iter
+          (fun q1 ->
+            List.iter
+              (fun q2 ->
+                let v2 = { q2 with Term.body = right_assoc q2.Term.body } in
+                let keys_equal =
+                  Hc.query_key (Hc.of_query q1) = Hc.query_key (Hc.of_query v2)
+                in
+                let canon_equal =
+                  Term.Canonical.equal
+                    (Term.Canonical.of_query q1)
+                    (Term.Canonical.of_query v2)
+                in
+                Alcotest.check Alcotest.bool "same partition" canon_equal
+                  keys_equal)
+              paper_queries)
+          paper_queries);
+    case "mask_may_fire agrees with the presence-walk may_fire" (fun () ->
+        List.iter
+          (fun q ->
+            let presence = Index.presence_of_query q in
+            let mask = (Hc.of_query q).Hc.hbody.Hc.fheads in
+            List.iter
+              (fun r ->
+                Alcotest.check Alcotest.bool
+                  ("rule " ^ r.Rewrite.Rule.name)
+                  (Index.may_fire presence r)
+                  (Index.mask_may_fire mask r))
+              Rules.Catalog.all)
+          paper_queries);
+    case "substitution returns the input subtree physically unchanged"
+      (fun () ->
+        List.iter
+          (fun b ->
+            (* plain: no binding applies to a hole-free term *)
+            Alcotest.check Alcotest.bool "plain, empty subst" true
+              (Subst.apply_func Subst.empty b == b);
+            let irrelevant =
+              Option.get (Subst.bind_func Subst.empty "zz" Term.Id)
+            in
+            Alcotest.check Alcotest.bool "plain, irrelevant binding" true
+              (Subst.apply_func irrelevant b == b);
+            (* interned: the hole-free bit short-circuits *)
+            let n = Hc.of_func b in
+            Alcotest.check Alcotest.bool "interned, empty subst" true
+              (Subst.H.apply_func Subst.H.empty n == n))
+          paper_bodies);
+    case "run_hc reproduces the indexed engine on the paper queries"
+      (fun () ->
+        List.iter
+          (fun q ->
+            let plain = Engine.run ~fuel:40 Rules.Catalog.all q in
+            let interned = Engine.run_hc ~fuel:40 Rules.Catalog.all q in
+            Alcotest.(check (list string))
+              "same trace" (trace_names plain) (trace_names interned);
+            Alcotest.check query "same normal form" plain.Engine.query
+              interned.Engine.query;
+            Alcotest.(check int)
+              "same attempts" plain.Engine.stats.Engine.attempts
+              interned.Engine.stats.Engine.attempts)
+          paper_queries);
+    case "interned explore is bit-identical to the legacy engine" (fun () ->
+        List.iter
+          (fun (name, q, max_depth, max_states) ->
+            let legacy =
+              explore_at ~interned:false ~max_depth ~max_states q
+            in
+            let interned = explore_at ~max_depth ~max_states q in
+            check_same_outcome name legacy interned;
+            Alcotest.(check (float 0.))
+              (name ^ ": legacy reports no interning") 0.
+              legacy.Search.sharing_ratio;
+            Alcotest.check Alcotest.bool
+              (name ^ ": interned engine shares nodes") true
+              (interned.Search.intern_hits > 0))
+          fig_workloads);
+    case "interned explore at jobs = 2 and 4 equals sequential" (fun () ->
+        List.iter
+          (fun (name, q, max_depth, max_states) ->
+            let seq = explore_at ~max_depth ~max_states q in
+            List.iter
+              (fun jobs ->
+                let par = explore_at ~jobs ~max_depth ~max_states q in
+                check_same_outcome (Fmt.str "%s @ jobs=%d" name jobs) seq par)
+              [ 2; 4 ])
+          fig_workloads);
+    case "interned reaches finds the identical derivation" (fun () ->
+        let config interned jobs =
+          {
+            Search.default_config with
+            max_depth = 4;
+            max_states = 200;
+            interned;
+            jobs;
+          }
+        in
+        let q = Paper.t1k_source and target = Paper.t1k_target in
+        let legacy = Search.reaches ~config:(config false 1) q target in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (option (list string)))
+              (Fmt.str "jobs=%d" jobs) legacy
+              (Search.reaches ~config:(config true jobs) q target))
+          [ 1; 2; 4 ]);
+  ]
+
+let props =
+  let open QCheck in
+  let arb depth =
+    QCheck.make
+      ~print:(fun i -> Kola.Pretty.query_to_string (random_query i depth))
+      QCheck.Gen.(int_bound 1_000_000)
+  in
+  [
+    Test.make ~count:100 ~name:"of/to round-trips random queries" (arb 3)
+      (fun i ->
+        let q = random_query i 3 in
+        Term.equal_query q (Hc.to_query (Hc.of_query q)));
+    Test.make ~count:100
+      ~name:"interned hash and size agree with the plain functions on \
+             random queries"
+      (arb 3)
+      (fun i ->
+        let b = (random_query i 3).Term.body in
+        let n = Hc.of_func b in
+        n.Hc.fhash = Term.hash_func b && n.Hc.fsize = Term.size_func b);
+    Test.make ~count:120
+      ~name:"structural equality is physical equality on random pairs"
+      (pair (arb 3) (arb 3))
+      (fun (i, j) ->
+        let b1 = (random_query i 3).Term.body in
+        let b2 = (random_query j 3).Term.body in
+        Term.equal_func b1 b2 = (Hc.of_func b1 == Hc.of_func b2))
+    ;
+    Test.make ~count:120
+      ~name:"id-pair dedup classifies pairs like canonical keys"
+      (pair (arb 3) (pair (arb 3) bool))
+      (fun (i, (j, use_variant)) ->
+        let q1 = random_query i 3 in
+        let q2 =
+          if use_variant then { q1 with Term.body = right_assoc q1.Term.body }
+          else random_query j 3
+        in
+        let keys_equal =
+          Hc.query_key (Hc.of_query q1) = Hc.query_key (Hc.of_query q2)
+        in
+        Term.Canonical.equal
+          (Term.Canonical.of_query q1)
+          (Term.Canonical.of_query q2)
+        = keys_equal);
+    Test.make ~count:25
+      ~name:"interned explore equals legacy explore on random queries"
+      (arb 2)
+      (fun i ->
+        let q = random_query i 2 in
+        let legacy =
+          explore_at ~interned:false ~max_depth:2 ~max_states:40 q
+        in
+        let interned = explore_at ~max_depth:2 ~max_states:40 q in
+        Term.equal_query legacy.Search.best.Search.query
+          interned.Search.best.Search.query
+        && legacy.Search.best.Search.path = interned.Search.best.Search.path
+        && legacy.Search.explored = interned.Search.explored
+        && legacy.Search.frontier_exhausted
+           = interned.Search.frontier_exhausted
+        && legacy.Search.seen_states = interned.Search.seen_states);
+  ]
+
+let tests = tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

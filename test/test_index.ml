@@ -171,8 +171,13 @@ let tests =
     case "cost cache eliminates re-evaluation on a warm exploration"
       (fun () ->
         let cache = Optimizer.Cost.cache () in
+        let hc = Optimizer.Cost.hc_cache () in
         let config =
-          { Search.default_config with cost_cache = Some cache }
+          {
+            Search.default_config with
+            cost_cache = Some cache;
+            hc_cost_cache = Some hc;
+          }
         in
         let cold = Search.explore ~config Paper.t1k_source in
         Alcotest.check Alcotest.bool "cold run evaluates" true

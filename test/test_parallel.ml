@@ -27,6 +27,7 @@ let explore_at ?(rules = Rules.Catalog.all) ~max_depth ~max_states jobs q =
         max_states;
         jobs;
         cost_cache = Some (Cost.cache ());
+        hc_cost_cache = Some (Cost.hc_cache ());
       }
     q
 
