@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-smoke bench-parallel bench-hashcons baseline clean
+.PHONY: all build test bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph baseline clean
 
 all: build
 
@@ -29,6 +29,12 @@ bench-parallel:
 # exploration at 1/2/4 domains; writes BENCH_hashcons.json.
 bench-hashcons:
 	dune exec bench/main.exe -- --hashcons
+
+# Equality saturation vs bounded BFS on the Figure 4/6/8 workloads:
+# cost parity at the default depth and wall-clock vs a depth-5 symmetric
+# closure exploration; writes BENCH_egraph.json.
+bench-egraph:
+	dune exec bench/main.exe -- --egraph
 
 # Regenerate the committed engine baseline at the repo root.
 baseline:

@@ -14,6 +14,7 @@ let fast = ref false
 let smoke = ref false
 let parallel_only = ref false
 let hashcons_only = ref false
+let egraph_only = ref false
 let out_file = ref "BENCH_engine.json"
 let out_file_given = ref false
 
@@ -704,7 +705,149 @@ let hashcons_json micros rows =
   Buffer.add_string buf "  ]}";
   Buffer.contents buf
 
-let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "") () =
+(* ------------------------------------------------------------------ *)
+(* egraph_saturation: equality saturation vs bounded BFS on the        *)
+(* E-F4/E-F6/E-F8 workloads.  Two comparisons per workload:            *)
+(*   cost    — egraph extract-after-saturate vs BFS best at            *)
+(*             default_config depth, same forward catalog;             *)
+(*   wall    — egraph saturation vs BFS *full exploration* of the same *)
+(*             equivalence closure: e-class unions are symmetric, so   *)
+(*             the BFS analogue runs the catalog plus every flip at    *)
+(*             depth 5 (where its frontier stops fitting any budget).  *)
+
+module Saturate = Kola_egraph.Saturate
+
+type egraph_row = {
+  gq : string;
+  gbfs_cost : float;       (* BFS best, default_config depth, forward rules *)
+  geg_cost : float;        (* egraph best after extraction + re-measuring *)
+  gbfs_full_ns : float;    (* symmetric closure at depth 5, state-capped *)
+  gbfs_explored : int;
+  gbfs_exhausted : bool;   (* whether capped BFS even covered depth 5 *)
+  geg_ns : float;
+  gspeedup : float;        (* gbfs_full_ns / geg_ns *)
+  gstats : Saturate.stats;
+}
+
+let symmetric_catalog =
+  Rules.Catalog.all @ List.map Rewrite.Rule.flip Rules.Catalog.all
+
+let egraph_rows () =
+  let full = not (!fast || !smoke) in
+  let cap = if full then 5_000 else 1_000 in
+  let budgets =
+    if full then Saturate.default_budgets
+    else
+      { Saturate.max_enodes = 4_000; max_iterations = 10; max_millis = 600. }
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  List.map
+    (fun (name, q, states) ->
+      let bfs =
+        Optimizer.Search.explore
+          ~config:
+            {
+              Optimizer.Search.default_config with
+              hc_cost_cache = Some (Optimizer.Cost.hc_cache ());
+            }
+          q
+      in
+      let eg, eg_ns =
+        wall (fun () ->
+            Optimizer.Search.explore
+              ~config:
+                {
+                  Optimizer.Search.default_config with
+                  engine = Optimizer.Search.Egraph;
+                  egraph_budgets = budgets;
+                  hc_cost_cache = Some (Optimizer.Cost.hc_cache ());
+                }
+              q)
+      in
+      let bfs_full, bfs_full_ns =
+        wall (fun () ->
+            Optimizer.Search.explore
+              ~config:
+                {
+                  Optimizer.Search.default_config with
+                  rules = symmetric_catalog;
+                  max_depth = 5;
+                  max_states = states;
+                  hc_cost_cache = Some (Optimizer.Cost.hc_cache ());
+                }
+              q)
+      in
+      {
+        gq = name;
+        gbfs_cost = bfs.Optimizer.Search.best.Optimizer.Search.cost;
+        geg_cost = eg.Optimizer.Search.best.Optimizer.Search.cost;
+        gbfs_full_ns = bfs_full_ns;
+        gbfs_explored = bfs_full.Optimizer.Search.explored;
+        gbfs_exhausted = bfs_full.Optimizer.Search.frontier_exhausted;
+        geg_ns = eg_ns;
+        gspeedup = bfs_full_ns /. eg_ns;
+        gstats = Option.get eg.Optimizer.Search.saturation;
+      })
+    [
+      ("T1K (E-F4)", Paper.t1k_source, cap);
+      ("T2K (E-F4)", Paper.t2k_source, cap);
+      ("K4 (E-F6)", Paper.k4, cap);
+      ("KG1 (E-F8)", Paper.kg1, max 200 (cap / 2));
+    ]
+
+let egraph_table rows =
+  Fmt.pr "@.## egraph_saturation (extract-after-saturate vs bounded BFS)@.";
+  Fmt.pr "  %-11s %9s %9s %12s %12s %9s %s@." "query" "bfs-cost" "eg-cost"
+    "bfs-d5-wall" "eg-wall" "speedup" "saturation";
+  List.iter
+    (fun r ->
+      let pretty ns =
+        if ns > 1e9 then Fmt.str "%9.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Fmt.str "%9.2f ms" (ns /. 1e6)
+        else Fmt.str "%9.2f us" (ns /. 1e3)
+      in
+      Fmt.pr "  %-11s %9.1f %9.1f %12s %12s %8.1fx %s@." r.gq r.gbfs_cost
+        r.geg_cost
+        (pretty r.gbfs_full_ns)
+        (pretty r.geg_ns) r.gspeedup
+        (Fmt.str "%d nodes / %d classes / %d iters, stop: %s%s"
+           r.gstats.Saturate.e_nodes r.gstats.Saturate.e_classes
+           r.gstats.Saturate.iterations
+           (Saturate.stop_reason_label r.gstats.Saturate.stop)
+           (if r.gbfs_exhausted then "" else "; bfs frontier unfinished")))
+    rows
+
+let egraph_json rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "  \"egraph_saturation\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    {\"query\": %S, \"bfs_default_cost\": %.2f, \
+            \"egraph_cost\": %.2f, \"bfs_depth5_ns\": %.0f, \
+            \"bfs_depth5_explored\": %d, \"bfs_depth5_exhausted\": %b, \
+            \"egraph_ns\": %.0f, \"speedup_vs_bfs_depth5\": %.2f, \
+            \"e_nodes\": %d, \"e_classes\": %d, \"unions\": %d, \
+            \"iterations\": %d, \"rebuild_ms\": %.1f, \"total_ms\": %.1f, \
+            \"stop\": %S}%s\n"
+           r.gq r.gbfs_cost r.geg_cost r.gbfs_full_ns r.gbfs_explored
+           r.gbfs_exhausted r.geg_ns r.gspeedup r.gstats.Saturate.e_nodes
+           r.gstats.Saturate.e_classes r.gstats.Saturate.unions
+           r.gstats.Saturate.iterations r.gstats.Saturate.rebuild_ms
+           r.gstats.Saturate.total_ms
+           (Saturate.stop_reason_label r.gstats.Saturate.stop)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]";
+  Buffer.contents buf
+
+let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "")
+    ?(egraph_fragment = "") () =
   let repeats = if !fast then 5 else 50 in
   Fmt.pr
     "@.## engine_internals (head-symbol index, hashed dedup, cost memo)@.";
@@ -798,6 +941,10 @@ let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "") () =
     Buffer.add_string buf hashcons_fragment;
     Buffer.add_string buf ",\n"
   end;
+  if egraph_fragment <> "" then begin
+    Buffer.add_string buf egraph_fragment;
+    Buffer.add_string buf ",\n"
+  end;
   Buffer.add_string buf (parallel_json parallel_rows);
   Buffer.add_string buf "\n}\n";
   let oc = open_out !out_file in
@@ -822,6 +969,9 @@ let () =
     | "--hashcons" :: rest ->
       hashcons_only := true;
       parse rest
+    | "--egraph" :: rest ->
+      egraph_only := true;
+      parse rest
     | "--out" :: file :: rest ->
       out_file := file;
       out_file_given := true;
@@ -842,6 +992,19 @@ let () =
     if not !out_file_given then out_file := "BENCH_hashcons.json";
     let oc = open_out !out_file in
     output_string oc (Fmt.str "{\n%s\n}\n" (hashcons_json micros rows));
+    close_out oc;
+    Fmt.pr "  wrote %s@." !out_file;
+    Fmt.pr "@.done.@."
+  end
+  else if !egraph_only then begin
+    (* the saturation-vs-BFS group alone: `make bench-egraph` *)
+    Fmt.pr "KOLA equality-saturation benchmark@.";
+    Fmt.pr "==================================@.";
+    let rows = egraph_rows () in
+    egraph_table rows;
+    if not !out_file_given then out_file := "BENCH_egraph.json";
+    let oc = open_out !out_file in
+    output_string oc (Fmt.str "{\n%s\n}\n" (egraph_json rows));
     close_out oc;
     Fmt.pr "  wrote %s@." !out_file;
     Fmt.pr "@.done.@."
@@ -874,8 +1037,12 @@ let () =
     let micros = hashcons_micro ~repeats:100 () in
     let hc_rows = hashcons_scaling_rows ~jobs_list:[ 1; 2; 4 ] ~repeats:2 in
     hashcons_table micros hc_rows;
+    (* small-budget slice of the saturation group *)
+    let eg_rows = egraph_rows () in
+    egraph_table eg_rows;
     engine_report ~parallel_rows:rows
-      ~hashcons_fragment:(hashcons_json micros hc_rows) ();
+      ~hashcons_fragment:(hashcons_json micros hc_rows)
+      ~egraph_fragment:(egraph_json eg_rows) ();
     Fmt.pr "@.done.@."
   end
   else begin
@@ -914,7 +1081,10 @@ let () =
       ~repeats:(if !fast then 2 else 5)
   in
   hashcons_table micros hc_rows;
+  let eg_rows = egraph_rows () in
+  egraph_table eg_rows;
   engine_report ~parallel_rows
-    ~hashcons_fragment:(hashcons_json micros hc_rows) ();
+    ~hashcons_fragment:(hashcons_json micros hc_rows)
+    ~egraph_fragment:(egraph_json eg_rows) ();
   Fmt.pr "@.done.@."
   end

@@ -209,7 +209,35 @@ let search_cmd =
              Results are identical; dedup keys and costing are slower, and \
              no interning stats are reported.")
   in
-  let run src store depth states naive jobs legacy_terms =
+  let engine =
+    (* Validated at the cmdliner layer: an unknown engine is a usage error
+       listing the accepted names, not a silent default. *)
+    let engine_conv =
+      let parse s =
+        match String.lowercase_ascii s with
+        | "bfs" -> Ok Optimizer.Search.Bfs
+        | "egraph" -> Ok Optimizer.Search.Egraph
+        | other ->
+          Error
+            (`Msg
+               (Fmt.str "unknown engine %S, accepted engines: bfs, egraph"
+                  other))
+      in
+      let print ppf = function
+        | Optimizer.Search.Bfs -> Fmt.string ppf "bfs"
+        | Optimizer.Search.Egraph -> Fmt.string ppf "egraph"
+      in
+      Arg.conv ~docv:"ENGINE" (parse, print)
+    in
+    Arg.(
+      value
+      & opt engine_conv Optimizer.Search.Bfs
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Search engine: $(b,bfs) (bounded breadth-first exploration) or \
+             $(b,egraph) (equality saturation with cost extraction).")
+  in
+  let run src store depth states naive jobs legacy_terms engine =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let aqua = Oql.Parser.parse src in
@@ -217,6 +245,7 @@ let search_cmd =
         let config =
           {
             Optimizer.Search.default_config with
+            engine;
             max_depth = depth;
             max_states = states;
             indexed = not naive;
@@ -226,7 +255,11 @@ let search_cmd =
           }
         in
         let o = Optimizer.Search.explore ~config q in
-        Fmt.pr "domains: %d@." (Optimizer.Search.resolved_jobs config);
+        if engine = Optimizer.Search.Bfs then
+          Fmt.pr "domains: %d@." (Optimizer.Search.resolved_jobs config);
+        (match o.Optimizer.Search.saturation with
+        | Some s -> Fmt.pr "saturation: %a@." Kola_egraph.Saturate.pp_stats s
+        | None -> ());
         Fmt.pr
           "explored %d states%s (cost cache: %d hits, %d misses, %d \
            evictions)@."
@@ -252,7 +285,7 @@ let search_cmd =
        ~doc:"Optimize by bounded exploration of the rewrite space.")
     Term.(
       const run $ query_arg $ store_term $ depth $ states $ naive $ jobs
-      $ legacy_terms)
+      $ legacy_terms $ engine)
 
 let main =
   Cmd.group

@@ -1,0 +1,94 @@
+(* Bottom-up cost extraction: the k cheapest distinct terms of every
+   e-class under the per-operator weights of {!Lang.op_weight}.
+
+   Fixpoint dynamic programming: a pass recomputes each class's candidate
+   list from its e-nodes' child candidates; passes repeat until no list
+   improves (cycles introduced by merges make a single bottom-up order
+   impossible, but every Func/Pred operator weighs at least 0.1, so going
+   around a cycle strictly increases weight and the tables converge).
+
+   The weights only rank candidates — the optimizer re-measures the
+   extracted front with the executed cost model ({!Optimizer.Cost}), which
+   is why extraction returns k terms per class rather than one. *)
+
+open Lang
+
+type best = { bw : float; bt : wterm }
+
+type table = (int, best list) Hashtbl.t
+(** canonical class id → candidates, cheapest first, ≤ k, distinct terms *)
+
+(* Merge candidate lists keeping the k cheapest distinct terms. *)
+let merge ~k (xs : best list) (ys : best list) : best list =
+  let all = List.sort (fun a b -> compare a.bw b.bw) (xs @ ys) in
+  let rec take seen n = function
+    | [] -> []
+    | b :: rest ->
+      if n = 0 then []
+      else
+        let key = wkey b.bt in
+        if List.mem key seen then take seen n rest
+        else b :: take (key :: seen) (n - 1) rest
+  in
+  take [] k all
+
+let same_front (xs : best list) (ys : best list) =
+  List.length xs = List.length ys
+  && List.for_all2 (fun a b -> a.bw = b.bw && wkey a.bt = wkey b.bt) xs ys
+
+(* Candidates an e-node contributes, given current child tables: the
+   cartesian product of child candidates (each list already ≤ k). *)
+let node_candidates ~k g (tbl : table) (n : Graph.enode) : best list =
+  let child_lists =
+    Array.to_list n.Graph.children
+    |> List.map (fun c ->
+           match Hashtbl.find_opt tbl (Graph.find g c) with
+           | Some (_ :: _ as l) -> Some l
+           | _ -> None)
+  in
+  if List.exists (fun l -> l = None) child_lists then []
+  else
+    let w0 = op_weight n.Graph.op in
+    let combos =
+      List.fold_left
+        (fun acc l ->
+          let l = Option.get l in
+          List.concat_map
+            (fun (w, cs) -> List.map (fun b -> (w +. b.bw, b.bt :: cs)) l)
+            acc)
+        [ (w0, []) ]
+        child_lists
+    in
+    merge ~k
+      (List.map
+         (fun (w, rev_cs) -> { bw = w; bt = rebuild n.Graph.op (List.rev rev_cs) })
+         combos)
+      []
+
+let k_best ?(k = 4) ?(max_passes = 30) (g : Graph.t) : table =
+  let tbl : table = Hashtbl.create 256 in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < max_passes do
+    changed := false;
+    incr passes;
+    Graph.iter_classes g (fun root (c : Graph.eclass) ->
+        let fresh =
+          List.fold_left
+            (fun acc n -> merge ~k acc (node_candidates ~k g tbl n))
+            [] c.Graph.nodes
+        in
+        let old = Option.value ~default:[] (Hashtbl.find_opt tbl root) in
+        let next = merge ~k old fresh in
+        if not (same_front old next) then begin
+          Hashtbl.replace tbl root next;
+          changed := true
+        end)
+  done;
+  tbl
+
+let bests (tbl : table) g (cls : int) : best list =
+  Option.value ~default:[] (Hashtbl.find_opt tbl (Graph.find g cls))
+
+let best (tbl : table) g (cls : int) : best option =
+  match bests tbl g cls with [] -> None | b :: _ -> Some b

@@ -1,0 +1,241 @@
+(* The saturation loop: grow the e-graph under the catalog until nothing
+   new appears or a budget trips, then answer optimization questions by
+   extraction and equivalence questions by same-class checks.
+
+   One iteration = match every rule against every e-class (pruned by the
+   class head mask), dedup the instances fired in earlier iterations,
+   apply the fresh ones (add both sides, union with a justification), then
+   rebuild congruence.  Budgets bound e-nodes, iterations and wall-clock;
+   the stop reason is always reported, never silent. *)
+
+open Kola
+open Lang
+
+type budgets = { max_enodes : int; max_iterations : int; max_millis : float }
+
+let default_budgets =
+  { max_enodes = 20_000; max_iterations = 12; max_millis = 2_000. }
+
+type stop_reason =
+  | Saturated  (** a full iteration added no e-node and united no classes *)
+  | Node_budget
+  | Iter_budget
+  | Time_budget
+  | Target_found  (** equivalence query answered early *)
+
+let stop_reason_label = function
+  | Saturated -> "saturated"
+  | Node_budget -> "node-budget"
+  | Iter_budget -> "iteration-budget"
+  | Time_budget -> "time-budget"
+  | Target_found -> "target-found"
+
+type stats = {
+  iterations : int;
+  e_nodes : int;
+  e_classes : int;
+  unions : int;
+  rebuild_ms : float;
+  total_ms : float;
+  stop : stop_reason;
+}
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "%d e-nodes, %d e-classes, %d unions, %d iterations, rebuild %.1fms, \
+     total %.1fms, stop: %s"
+    s.e_nodes s.e_classes s.unions s.iterations s.rebuild_ms s.total_ms
+    (stop_reason_label s.stop)
+
+type space = {
+  graph : Graph.t;
+  src : wterm;  (** the source query, verbatim *)
+  root : int;  (** its class *)
+  tgt : wterm option;  (** the target query, when posed *)
+  target : int option;  (** its class *)
+  schema : Schema.t;
+  stats : stats;
+}
+
+let wterm_of_query (hq : Term.Hc.hquery) : wterm =
+  Wq (hq.Term.Hc.hbody, hq.Term.Hc.harg)
+
+let hquery_of_wterm : wterm -> Term.Hc.hquery option = function
+  | Wq (f, v) -> Some { Term.Hc.hbody = f; Term.Hc.harg = v }
+  | _ -> None
+
+let query_of_wterm : wterm -> Term.query option = function
+  | Wq (f, v) -> Some (Term.Hc.to_query { Term.Hc.hbody = f; Term.Hc.harg = v })
+  | _ -> None
+
+(* Instances already applied, across iterations: re-firing them cannot
+   change the graph (both sides are already present and united). *)
+module Seen = Hashtbl.Make (struct
+  type t = string * wkey * wkey
+
+  let equal (a1, b1, c1) (a2, b2, c2) =
+    String.equal a1 a2 && b1 = b2 && c1 = c2
+
+  let hash = Hashtbl.hash
+end)
+
+let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
+    ~rules (hq : Term.Hc.hquery) : space =
+  let t0 = Unix.gettimeofday () in
+  let g = Graph.create () in
+  let src = wterm_of_query hq in
+  let root = Graph.add_term g src in
+  let tgt = Option.map wterm_of_query target in
+  let tcls = Option.map (Graph.add_term g) tgt in
+  let erules = Ematch.compile rules in
+  let seen = Seen.create 1024 in
+  let rebuild_ms = ref 0. in
+  let iterations = ref 0 in
+  let timed_rebuild () =
+    let r0 = Unix.gettimeofday () in
+    Graph.rebuild g;
+    rebuild_ms := !rebuild_ms +. ((Unix.gettimeofday () -. r0) *. 1000.)
+  in
+  timed_rebuild ();
+  let target_found () =
+    match tcls with
+    | Some c -> Graph.find g c = Graph.find g root
+    | None -> false
+  in
+  let out_of_time () =
+    (Unix.gettimeofday () -. t0) *. 1000. > budgets.max_millis
+  in
+  let stop = ref None in
+  while !stop = None do
+    if target_found () then stop := Some Target_found
+    else if !iterations >= budgets.max_iterations then stop := Some Iter_budget
+    else if out_of_time () then stop := Some Time_budget
+    else begin
+      incr iterations;
+      let nodes_before = Graph.n_nodes g
+      and unions_before = Graph.n_unions g in
+      (* Matches are collected against the graph as it stood at the start
+         of the iteration, then applied in one batch. *)
+      let classes = ref [] in
+      Graph.iter_classes g (fun r _ -> classes := r :: !classes);
+      (* The deadline is re-checked per class: one iteration over a large
+         graph can dwarf the whole budget, and a trip mid-match must not
+         stretch the run to the iteration boundary. *)
+      let deadline_hit = ref false in
+      let insts =
+        List.concat_map
+          (fun cls ->
+            if !deadline_hit then []
+            else if out_of_time () then begin
+              deadline_hit := true;
+              []
+            end
+            else Ematch.matches_in_class g schema erules cls)
+          !classes
+      in
+      let fresh =
+        List.filter
+          (fun (m : Ematch.match_inst) ->
+            let key = (m.mrule.Ematch.ename, wkey m.mlhs, wkey m.mrhs) in
+            if Seen.mem seen key then false
+            else begin
+              Seen.replace seen key ();
+              true
+            end)
+          insts
+      in
+      let hit_node_budget = ref false in
+      List.iter
+        (fun (m : Ematch.match_inst) ->
+          if Graph.n_nodes g >= budgets.max_enodes then
+            hit_node_budget := true
+          else begin
+            let ca = Graph.add_term g m.mlhs in
+            let cb = Graph.add_term g m.mrhs in
+            let just =
+              if m.mrule.Ematch.einternal then Graph.Jassoc
+              else Graph.Jrule m.mrule.Ematch.ename
+            in
+            ignore (Graph.union g ~ja:m.mlhs ~jb:m.mrhs ~just ca cb)
+          end)
+        fresh;
+      timed_rebuild ();
+      if !deadline_hit then
+        stop := Some (if target_found () then Target_found else Time_budget)
+      else if !hit_node_budget then stop := Some Node_budget
+      else if
+        Graph.n_nodes g = nodes_before && Graph.n_unions g = unions_before
+      then stop := Some (if target_found () then Target_found else Saturated)
+    end
+  done;
+  let stop = Option.get !stop in
+  {
+    graph = g;
+    src;
+    root;
+    tgt;
+    target = tcls;
+    schema;
+    stats =
+      {
+        iterations = !iterations;
+        e_nodes = Graph.n_nodes g;
+        e_classes = Graph.n_classes g;
+        unions = Graph.n_unions g;
+        rebuild_ms = !rebuild_ms;
+        total_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+        stop;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extraction: the k cheapest spellings of the source's class. *)
+
+let best_terms ?(k = 4) (sp : space) : wterm list =
+  let tbl = Extract.k_best ~k sp.graph in
+  List.map (fun (b : Extract.best) -> b.Extract.bt) (Extract.bests tbl sp.graph sp.root)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence and proof replay. *)
+
+let equiv (sp : space) : bool =
+  match sp.target with
+  | Some c -> Graph.find sp.graph c = Graph.find sp.graph sp.root
+  | None -> false
+
+(* A step taken right-to-left replays as the flipped rule: "r" ↔ "r-1",
+   matching {!Rewrite.Rule.flip}'s naming. *)
+let oriented_name name fwd =
+  if fwd then name
+  else if Filename.check_suffix name "-1" then
+    String.sub name 0 (String.length name - 2)
+  else name ^ "-1"
+
+(* Proof-forest steps → (rule, query) replay.  Internal reassociations
+   drop out: the BFS engine matches modulo associativity, so an assoc
+   step is a no-op to its checker and the next retained step still
+   follows from the previous retained query. *)
+let steps_to_path (steps : Graph.step list) : (string * Term.query) list =
+  List.filter_map
+    (fun (j, fwd, w) ->
+      match j with
+      | Graph.Jrule name -> (
+        match query_of_wterm w with
+        | Some q -> Some (oriented_name name fwd, q)
+        | None -> None)
+      | Graph.Jassoc | Graph.Jcong -> None)
+    steps
+
+(* Derivation from the source to any term of its class.  The term is
+   first re-added: after the final rebuild the hash-cons keys are
+   canonical, so an extracted candidate folds back onto existing e-nodes
+   (alias proof nodes only, no new classes) and becomes explainable. *)
+let path_to (sp : space) (w : wterm) : (string * Term.query) list option =
+  let c = Graph.add_term sp.graph w in
+  if Graph.find sp.graph c <> Graph.find sp.graph sp.root then None
+  else Some (steps_to_path (Graph.explain sp.graph sp.src w))
+
+let path (sp : space) : (string * Term.query) list option =
+  match sp.tgt with
+  | Some w when equiv sp -> path_to sp w
+  | _ -> None

@@ -72,16 +72,18 @@ type stats = {
   capacity : int;
 }
 
-type entry = { w : float; mutable live : bool }
+type 'v entry = { w : 'v; mutable live : bool }
 
 (* The memoization machinery — capacity bound, second-chance sweep,
-   per-database validity — is independent of how entries are keyed, so it
-   is written once over any hashtable and instantiated twice: over
-   canonical query keys (the legacy cache) and over interned node-id pairs
-   (the hash-consed cache). *)
+   per-database validity — is independent of how entries are keyed and of
+   what they store, so it is written once over any hashtable and
+   instantiated three times: over canonical query keys (the legacy
+   cache), over interned node-id pairs (the hash-consed cache), both
+   storing weighted floats, and over (plan, backend, dedup) triples
+   storing full cost records (the pipeline's plan cache). *)
 module Memo (T : Hashtbl.S) = struct
-  type memo = {
-    table : entry T.t;
+  type 'v memo = {
+    table : 'v entry T.t;
     capacity : int;
     mutable hits : int;
     mutable misses : int;
@@ -162,8 +164,8 @@ end
 module CanonMemo = Memo (Term.Canonical.Table)
 module HcMemo = Memo (Term.Hc.Qtable)
 
-type cache = CanonMemo.memo
-type hc_cache = HcMemo.memo
+type cache = float CanonMemo.memo
+type hc_cache = float HcMemo.memo
 
 let cache ?size () = CanonMemo.create ?size ()
 let cache_stats = CanonMemo.stats
@@ -261,3 +263,40 @@ let weighted_memo_hc_batch c ~db ?(map = Array.map)
       out.(i) <- ws.(j))
     missing;
   out
+
+(* ------------------------------------------------------------------ *)
+(* The plan cache: full cost records per evaluation setting.
+
+   The pipeline compares candidate plans across execution dimensions —
+   the same query costed under naive vs hashed backends and eager vs
+   deferred dedup has genuinely different counters — so entries are
+   keyed by (interned query, backend, dedup) and store the whole
+   {!t}, not just the weighted scalar.  The memoization machinery
+   (capacity, second-chance sweep, per-database validity) is the same
+   [Memo] instantiation as the search caches. *)
+
+module PlanTbl = Hashtbl.Make (struct
+  type t = (int * int) * Eval.backend * Eval.dedup
+
+  let equal (k1 : t) k2 = k1 = k2
+  let hash = Hashtbl.hash
+end)
+
+module PlanMemo = Memo (PlanTbl)
+
+type plan_cache = t PlanMemo.memo
+
+let plan_cache ?size () = PlanMemo.create ?size ()
+let plan_cache_stats = PlanMemo.stats
+let plan_cache_clear = PlanMemo.clear
+
+let measure_memo c ?(backend = Eval.Naive) ?(dedup = Eval.Eager) ~db
+    (q : Term.query) : t =
+  PlanMemo.prepare c ~db;
+  let key = (Term.Hc.query_key (Term.Hc.of_query q), backend, dedup) in
+  match PlanMemo.find_memo c key with
+  | Some cost -> cost
+  | None ->
+    let _, cost = measure ~backend ~dedup ~db q in
+    PlanMemo.insert_memo c key cost;
+    cost

@@ -111,3 +111,29 @@ val weighted_memo_hc_batch :
 (** Batch analogue of {!weighted_memo_batch} over interned queries; the
     misses are converted to plain queries (an O(1) field read per item)
     before being evaluated through [map]. *)
+
+(** {2 Plan cache}
+
+    Full cost records memoized per evaluation setting.  The pipeline
+    compares candidate plans across execution dimensions — the same query
+    costed under naive vs hashed backends and eager vs deferred dedup has
+    genuinely different counters — so entries are keyed by (interned
+    query, backend, dedup) and store the whole {!t}.  Capacity,
+    second-chance eviction, and per-database validity are identical to
+    the search caches. *)
+
+type plan_cache
+
+val plan_cache : ?size:int -> unit -> plan_cache
+val plan_cache_stats : plan_cache -> stats
+val plan_cache_clear : plan_cache -> unit
+
+val measure_memo :
+  plan_cache ->
+  ?backend:Kola.Eval.backend ->
+  ?dedup:Kola.Eval.dedup ->
+  db:(string * Kola.Value.t) list ->
+  Kola.Term.query ->
+  t
+(** Like {!measure} without the result value, serving repeats from the
+    cache.  Evaluation failures propagate and are never cached. *)

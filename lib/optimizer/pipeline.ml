@@ -26,6 +26,8 @@ type report = {
   blocks : (string * bool) list;
   candidates : plan list;
   chosen : plan;
+  cost_cache_hits : int;    (** plan-cache hits while costing candidates *)
+  cost_cache_misses : int;  (** candidate evaluations actually run *)
 }
 
 let backend_name = function Eval.Naive -> "naive" | Eval.Hashed -> "hashed"
@@ -61,7 +63,14 @@ let normalize q =
   let o = Coko.Block.run Coko.Programs.simplify q in
   (o.Coko.Block.query, o.Coko.Block.trace)
 
-let candidates_of ~db label q =
+(* One plan cache shared across [optimize] calls (like the search cost
+   caches): re-optimizing a query — or optimizing one whose normalized and
+   untangled forms coincide with an earlier run's — serves every
+   (backend × dedup) measurement from the memo instead of re-running the
+   plan. *)
+let shared_plan_cache = Cost.plan_cache ()
+
+let candidates_of ?(cache = shared_plan_cache) ~db label q =
   let dedups =
     if contains_agg q.Term.body then [ Eval.Eager ]
     else [ Eval.Eager; Eval.Deferred ]
@@ -70,12 +79,13 @@ let candidates_of ~db label q =
     (fun backend ->
       List.map
         (fun dedup ->
-          let _, cost = Cost.measure ~backend ~dedup ~db q in
+          let cost = Cost.measure_memo cache ~backend ~dedup ~db q in
           { label; query = q; backend; dedup; cost })
         dedups)
     [ Eval.Naive; Eval.Hashed ]
 
-let optimize ?source ~db (aqua : Aqua.Ast.expr) : report =
+let optimize ?source ?(plan_cache = shared_plan_cache) ~db
+    (aqua : Aqua.Ast.expr) : report =
   let translated = Translate.Compile.query aqua in
   let normalized, trace1 = normalize translated in
   let untangle_outcome, blocks = Coko.Programs.hidden_join normalized in
@@ -83,13 +93,15 @@ let optimize ?source ~db (aqua : Aqua.Ast.expr) : report =
     if List.for_all snd blocks then Some untangle_outcome.Coko.Block.query
     else None
   in
+  let before = Cost.plan_cache_stats plan_cache in
   let candidates =
-    candidates_of ~db "original" normalized
+    candidates_of ~cache:plan_cache ~db "original" normalized
     @
     match untangled with
-    | Some q -> candidates_of ~db "untangled" q
+    | Some q -> candidates_of ~cache:plan_cache ~db "untangled" q
     | None -> []
   in
+  let after = Cost.plan_cache_stats plan_cache in
   let chosen =
     List.fold_left
       (fun best c -> if c.cost.Cost.weighted < best.cost.Cost.weighted then c else best)
@@ -105,11 +117,13 @@ let optimize ?source ~db (aqua : Aqua.Ast.expr) : report =
     blocks;
     candidates;
     chosen;
+    cost_cache_hits = after.Cost.hits - before.Cost.hits;
+    cost_cache_misses = after.Cost.misses - before.Cost.misses;
   }
 
-let optimize_oql ?extents ~db src =
+let optimize_oql ?extents ?plan_cache ~db src =
   let aqua = Oql.Parser.parse ?extents src in
-  optimize ~source:src ~db aqua
+  optimize ~source:src ?plan_cache ~db aqua
 
 (* Execute the chosen plan against a database. *)
 let run ~db (r : report) : Value.t =
@@ -127,6 +141,8 @@ let pp_report ppf (r : report) =
   Fmt.pf ppf "rules fired: %a@."
     Fmt.(list ~sep:comma string)
     (List.map (fun s -> s.Rewrite.Engine.rule_name) r.trace);
+  Fmt.pf ppf "plan cache: %d hits, %d misses@." r.cost_cache_hits
+    r.cost_cache_misses;
   List.iter
     (fun c ->
       Fmt.pf ppf "  plan %-10s %-7s %-9s %a%s@." c.label

@@ -24,6 +24,9 @@ type report = {
   blocks : (string * bool) list;
   candidates : plan list;
   chosen : plan;
+  cost_cache_hits : int;
+      (** plan-cache hits while costing this report's candidates *)
+  cost_cache_misses : int;  (** candidate evaluations actually run *)
 }
 
 val backend_name : Kola.Eval.backend -> string
@@ -34,10 +37,21 @@ val contains_agg : Kola.Term.func -> bool
     aggregate), which disables the deferred-dedup dimension. *)
 
 val optimize :
-  ?source:string -> db:(string * Kola.Value.t) list -> Aqua.Ast.expr -> report
+  ?source:string ->
+  ?plan_cache:Cost.plan_cache ->
+  db:(string * Kola.Value.t) list ->
+  Aqua.Ast.expr ->
+  report
+(** [plan_cache] defaults to one cache shared across calls, so repeated
+    (backend × dedup) measurements of canonically-equal plans hit the
+    memo; the report carries this call's hit/miss deltas. *)
 
 val optimize_oql :
-  ?extents:string list -> db:(string * Kola.Value.t) list -> string -> report
+  ?extents:string list ->
+  ?plan_cache:Cost.plan_cache ->
+  db:(string * Kola.Value.t) list ->
+  string ->
+  report
 (** @raise Oql.Parser.Error on bad input. *)
 
 val run : db:(string * Kola.Value.t) list -> report -> Kola.Value.t

@@ -24,8 +24,17 @@
 
 open Kola
 module Pool = Kola_parallel.Pool
+module Saturate = Kola_egraph.Saturate
+
+type engine = Bfs | Egraph
 
 type config = {
+  engine : engine;
+      (** [Bfs] (default) explores single firings breadth-first; [Egraph]
+          saturates an e-graph ({!Kola_egraph}) and answers by extraction
+          (explore) or same-class check with proof replay (reaches) *)
+  egraph_budgets : Saturate.budgets;
+      (** e-node / iteration / wall-clock budgets for [Egraph] *)
   rules : Rewrite.Rule.t list;
   max_depth : int;     (** maximum derivation length *)
   max_states : int;    (** exploration budget (states expanded) *)
@@ -49,6 +58,8 @@ type config = {
 
 let default_config =
   {
+    engine = Bfs;
+    egraph_budgets = Saturate.default_budgets;
     rules = Rules.Catalog.all;
     max_depth = 6;
     max_states = 400;
@@ -184,6 +195,8 @@ type outcome = {
       (** [intern_hits / (intern_hits + intern_misses)] — the fraction of
           node constructions answered by an existing node; [0.] on the
           legacy engine, which interns nothing *)
+  saturation : Saturate.stats option;
+      (** e-graph statistics when [engine = Egraph]; [None] under BFS *)
 }
 
 (* Pretty-printed canonical form — the legacy dedup key, kept for
@@ -203,9 +216,9 @@ let cost_of ~cache ~db q = Cost.weighted_memo cache ~db q
    accumulation in the BFS loop. *)
 type istate = { iquery : Term.query; rev_path : string list; icost : float }
 
-let outcome_record ~query ~rev_path ~cost ~expanded ~exhausted
+let outcome_record ?saturation ~query ~rev_path ~cost ~expanded ~exhausted
     ~(cstats0 : Cost.stats) ~(cstats1 : Cost.stats) ~seen_states ~intern_hits
-    ~intern_misses =
+    ~intern_misses () =
   let total = intern_hits + intern_misses in
   {
     best = { query; path = List.rev rev_path; cost };
@@ -220,13 +233,14 @@ let outcome_record ~query ~rev_path ~cost ~expanded ~exhausted
     sharing_ratio =
       (if total = 0 then 0.
        else float_of_int intern_hits /. float_of_int total);
+    saturation;
   }
 
 let outcome_of ~cache ~(stats0 : Cost.stats) ~seen_states ~best ~expanded
     ~exhausted =
   outcome_record ~query:best.iquery ~rev_path:best.rev_path ~cost:best.icost
     ~expanded ~exhausted ~cstats0:stats0 ~cstats1:(Cost.cache_stats cache)
-    ~seen_states ~intern_hits:0 ~intern_misses:0
+    ~seen_states ~intern_hits:0 ~intern_misses:0 ()
 
 (* Bounded BFS with global dedup; returns the cheapest state seen.  The
    sequential engine — the measured baseline the parallel engine must
@@ -498,15 +512,18 @@ let successors_hc ?schema ?(max_positions = 64) (rules : Rewrite.Rule.t list)
   successors_hc_report ?schema ~max_positions ~truncated:(ref false)
     ~indexed:true rules hq
 
-let outcome_of_hc ~cache ~(stats0 : Cost.stats)
-    ~(istats0 : Kola.Hashcons.stats) ~seen_states ~best ~expanded ~exhausted =
+let outcome_of_hc ?saturation ~cache ~(stats0 : Cost.stats)
+    ~(istats0 : Kola.Hashcons.stats) ~seen_states ~best ~expanded ~exhausted
+    () =
   let istats1 = Term.Hc.intern_counters () in
-  outcome_record ~query:(Term.Hc.to_query best.ihq) ~rev_path:best.hrev_path
+  outcome_record ?saturation ~query:(Term.Hc.to_query best.ihq)
+    ~rev_path:best.hrev_path
     ~cost:best.hcost ~expanded ~exhausted ~cstats0:stats0
     ~cstats1:(Cost.hc_cache_stats cache) ~seen_states
     ~intern_hits:(istats1.Kola.Hashcons.hits - istats0.Kola.Hashcons.hits)
     ~intern_misses:
       (istats1.Kola.Hashcons.misses - istats0.Kola.Hashcons.misses)
+    ()
 
 let explore_hc_seq ~config (q : Term.query) : outcome =
   let seen = Term.Hc.Qtable.create 256 in
@@ -558,7 +575,7 @@ let explore_hc_seq ~config (q : Term.query) : outcome =
   if !truncated then exhausted := false;
   outcome_of_hc ~cache ~stats0 ~istats0
     ~seen_states:(Term.Hc.Qtable.length seen)
-    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
+    ~best:!best ~expanded:!expanded ~exhausted:!exhausted ()
 
 (* Parallel interned exploration: the same three phases as [explore_par].
    Phase 1 interns concurrently (the tables are striped) and probes [seen]
@@ -649,14 +666,57 @@ let explore_hc_par ~pool ~config (q : Term.query) : outcome =
   if !truncated then exhausted := false;
   outcome_of_hc ~cache ~stats0 ~istats0
     ~seen_states:(Term.Hc.Qtable.length seen)
-    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
+    ~best:!best ~expanded:!expanded ~exhausted:!exhausted ()
+
+(* Equality-saturation engine: saturate the e-graph under the catalog
+   within the configured budgets, then extract the cheapest spellings of
+   the source's class (per-node weights) and re-measure that small front
+   with the executed cost model — exploration collapses into one
+   saturation plus a handful of evaluations.  The source is always a
+   candidate, so the result is never worse than the input; the reported
+   path is replayed out of the proof forest. *)
+let explore_egraph ~config (q : Term.query) : outcome =
+  let db = config.sample_db in
+  let cache = hc_cache_of config in
+  let istats0 = Term.Hc.intern_counters () in
+  let stats0 = Cost.hc_cache_stats cache in
+  let hq0 = Term.Hc.of_query q in
+  let sp =
+    Saturate.saturate ~rules:config.rules ~budgets:config.egraph_budgets hq0
+  in
+  (* k = 2: the extraction weights are a heuristic, so re-measure a small
+     front with the real cost model rather than trusting the single
+     winner — but keep it small, k-best DP cost grows as k² per node. *)
+  let front = Saturate.best_terms ~k:2 sp in
+  let cands = hq0 :: List.filter_map Saturate.hquery_of_wterm front in
+  let best_hq, best_cost =
+    List.fold_left
+      (fun (bq, bc) hq ->
+        let c = Cost.weighted_memo_hc cache ~db hq in
+        if c < bc then (hq, c) else (bq, bc))
+      (hq0, Cost.weighted_memo_hc cache ~db hq0)
+      cands
+  in
+  let rev_path =
+    match Saturate.path_to sp (Saturate.wterm_of_query best_hq) with
+    | Some steps -> List.rev_map fst steps
+    | None -> []
+  in
+  let stats = sp.Saturate.stats in
+  outcome_of_hc ~saturation:stats ~cache ~stats0 ~istats0
+    ~seen_states:stats.Saturate.e_classes
+    ~best:{ ihq = best_hq; hrev_path = rev_path; hcost = best_cost }
+    ~expanded:stats.Saturate.e_nodes
+    ~exhausted:(stats.Saturate.stop = Saturate.Saturated)
+    ()
 
 let explore ?(config = default_config) (q : Term.query) : outcome =
-  match (config.interned, resolved_jobs config) with
-  | true, 1 -> explore_hc_seq ~config q
-  | true, jobs -> explore_hc_par ~pool:(pool_for jobs) ~config q
-  | false, 1 -> explore_seq ~config q
-  | false, jobs -> explore_par ~pool:(pool_for jobs) ~config q
+  match (config.engine, config.interned, resolved_jobs config) with
+  | Egraph, _, _ -> explore_egraph ~config q
+  | Bfs, true, 1 -> explore_hc_seq ~config q
+  | Bfs, true, jobs -> explore_hc_par ~pool:(pool_for jobs) ~config q
+  | Bfs, false, 1 -> explore_seq ~config q
+  | Bfs, false, jobs -> explore_par ~pool:(pool_for jobs) ~config q
 
 (* Was [target] reached (modulo associativity) within the budget? *)
 let reaches_seq ~config (q : Term.query) (target : Term.query) :
@@ -867,10 +927,100 @@ let reaches_hc_par ~pool ~config (q : Term.query) (target : Term.query) :
     !found
   end
 
+(* Saturation-based reachability: equivalence is a same-e-class check
+   after saturating with the target as an early-exit probe, and the
+   derivation is replayed out of the proof forest (assoc scaffolding
+   dropped, reversed steps renamed "r" ↔ "r-1"). *)
+let reaches_egraph ~config (q : Term.query) (target : Term.query) :
+    (string * Term.query) list option =
+  let hq0 = Term.Hc.of_query q and ht = Term.Hc.of_query target in
+  let sp =
+    Saturate.saturate ~rules:config.rules ~budgets:config.egraph_budgets
+      ~target:ht hq0
+  in
+  Saturate.path sp
+
 let reaches ?(config = default_config) (q : Term.query)
     (target : Term.query) : string list option =
-  match (config.interned, resolved_jobs config) with
-  | true, 1 -> reaches_hc_seq ~config q target
-  | true, jobs -> reaches_hc_par ~pool:(pool_for jobs) ~config q target
-  | false, 1 -> reaches_seq ~config q target
-  | false, jobs -> reaches_par ~pool:(pool_for jobs) ~config q target
+  match (config.engine, config.interned, resolved_jobs config) with
+  | Egraph, _, _ ->
+    Option.map (List.map fst) (reaches_egraph ~config q target)
+  | Bfs, true, 1 -> reaches_hc_seq ~config q target
+  | Bfs, true, jobs -> reaches_hc_par ~pool:(pool_for jobs) ~config q target
+  | Bfs, false, 1 -> reaches_seq ~config q target
+  | Bfs, false, jobs -> reaches_par ~pool:(pool_for jobs) ~config q target
+
+(* Recover the intermediate queries of a named derivation: follow the
+   names through [successors], branching over the positions each rule
+   fired at, until the list is exhausted at the target. *)
+let replay_names ~config q (target : Term.query) (names : string list) :
+    (string * Term.query) list option =
+  let target_key = Term.Canonical.of_query target in
+  let rec go q = function
+    | [] ->
+      if Term.Canonical.equal (Term.Canonical.of_query q) target_key then
+        Some []
+      else None
+    | name :: rest ->
+      List.fold_left
+        (fun acc (n, q') ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if String.equal n name then
+              Option.map (fun tl -> (name, q') :: tl) (go q' rest)
+            else None)
+        None
+        (successors ~max_positions:config.max_positions config.rules q)
+  in
+  go q names
+
+let reaches_steps ?(config = default_config) (q : Term.query)
+    (target : Term.query) : (string * Term.query) list option =
+  match config.engine with
+  | Egraph -> reaches_egraph ~config q target
+  | Bfs -> (
+    match reaches ~config q target with
+    | None -> None
+    | Some names -> replay_names ~config q target names)
+
+(* A derivation step named "r" replays rule r as listed; "r-1" replays
+   its {!Rewrite.Rule.flip}.  Exact names win: a catalog that already
+   lists "r12-1" resolves to it before any flipping. *)
+let resolve_rule rules name =
+  let find n =
+    List.find_opt (fun r -> String.equal r.Rewrite.Rule.name n) rules
+  in
+  match find name with
+  | Some r -> Some r
+  | None ->
+    if Filename.check_suffix name "-1" then
+      Option.map Rewrite.Rule.flip
+        (find (String.sub name 0 (String.length name - 2)))
+    else Option.map Rewrite.Rule.flip (find (name ^ "-1"))
+
+let validate_path ?schema ?(rules = default_config.rules) (q : Term.query)
+    (steps : (string * Term.query) list) : bool =
+  let fires src r dst =
+    let key = Term.Canonical.of_query dst in
+    List.exists
+      (fun (_, q2) -> Term.Canonical.equal (Term.Canonical.of_query q2) key)
+      (successors ?schema ~max_positions:max_int [ r ] src)
+  in
+  let ok_step q (name, q') =
+    match resolve_rule rules name with
+    | None -> false
+    | Some r ->
+      (* A rule that erases a hole ("Kp(T) ⊕ f ≡ Kp(T)") leaves that hole
+         unbound when fired right-to-left, so its successors carry a
+         literal hole no concrete query equals.  The same instance is
+         witnessed by firing the flip the other way — which re-binds the
+         hole and is always ground — so a step passes in either
+         orientation. *)
+      fires q r q' || fires q' (Rewrite.Rule.flip r) q
+  in
+  let rec go q = function
+    | [] -> true
+    | (name, q') :: rest -> ok_step q (name, q') && go q' rest
+  in
+  go q steps

@@ -22,7 +22,18 @@
     whatever the domain count; only cost-cache hit/miss accounting may
     shift when a capacity sweep lands mid-level. *)
 
+(** Which engine answers [explore]/[reaches]: bounded breadth-first
+    search over single firings, or equality saturation on the e-graph
+    backend ({!Kola_egraph}) — the whole rewrite space compressed into
+    e-classes, best terms recovered by cost extraction, equivalence by a
+    same-class check with proof replay. *)
+type engine = Bfs | Egraph
+
 type config = {
+  engine : engine;  (** default [Bfs] *)
+  egraph_budgets : Kola_egraph.Saturate.budgets;
+      (** saturation budgets (e-nodes, iterations, wall-clock) used when
+          [engine = Egraph] *)
   rules : Rewrite.Rule.t list;
   max_depth : int;   (** maximum derivation length *)
   max_states : int;  (** states expanded before giving up *)
@@ -93,6 +104,9 @@ type outcome = {
   sharing_ratio : float;
       (** [intern_hits / (intern_hits + intern_misses)]; [0.] on the
           legacy engine, which interns nothing *)
+  saturation : Kola_egraph.Saturate.stats option;
+      (** e-graph statistics (e-classes, e-nodes, iterations, rebuild
+          time, stop reason) when [engine = Egraph]; [None] under BFS *)
 }
 
 val canonical : Kola.Term.query -> string
@@ -105,4 +119,28 @@ val explore : ?config:config -> Kola.Term.query -> outcome
 val reaches :
   ?config:config -> Kola.Term.query -> Kola.Term.query -> string list option
 (** A derivation from the first query to the second (modulo associativity),
-    if one exists within the budget. *)
+    if one exists within the budget.  Under [engine = Egraph] the answer
+    comes from a same-e-class check after saturation, and the derivation is
+    replayed out of the proof forest — same format, validated by
+    {!validate_path}. *)
+
+val reaches_steps :
+  ?config:config ->
+  Kola.Term.query ->
+  Kola.Term.query ->
+  (string * Kola.Term.query) list option
+(** Like {!reaches}, with the intermediate query after every firing —
+    the input {!validate_path} checks.  Under BFS the intermediates are
+    recomputed by replaying the found path. *)
+
+val validate_path :
+  ?schema:Kola.Schema.t ->
+  ?rules:Rewrite.Rule.t list ->
+  Kola.Term.query ->
+  (string * Kola.Term.query) list ->
+  bool
+(** Step-by-step check of a derivation against the BFS successor
+    machinery: every step's named rule (["r"]/["r-1"] resolved through
+    {!Rewrite.Rule.flip}) must fire at some position of the previous
+    query and produce the step's query modulo associativity.  [rules]
+    defaults to the full catalog. *)

@@ -35,5 +35,6 @@ let () =
       ("engine-index (perf layer)", Test_index.tests);
       ("engine-hashcons (interned core)", Test_hashcons.tests);
       ("engine-parallel (domain pool)", Test_parallel.tests);
+      ("engine-egraph (equality saturation)", Test_egraph.tests);
       ("company (second schema)", Test_company.tests);
     ]

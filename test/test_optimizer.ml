@@ -94,4 +94,35 @@ let tests =
         let _, c2 = Optimizer.Cost.measure ~db:tiny_db Paper.kg1 in
         Alcotest.check Alcotest.int "tuples" c1.Optimizer.Cost.tuples
           c2.Optimizer.Cost.tuples);
+    case "re-optimizing hits the shared plan cache, same costs" (fun () ->
+        let plan_cache = Optimizer.Cost.plan_cache () in
+        let r1 =
+          Optimizer.Pipeline.optimize_oql ~plan_cache ~db:tiny_db garage_src
+        in
+        Alcotest.check Alcotest.int "cold run: every candidate evaluated"
+          (List.length r1.candidates)
+          r1.Optimizer.Pipeline.cost_cache_misses;
+        Alcotest.check Alcotest.int "cold run: no hits" 0
+          r1.Optimizer.Pipeline.cost_cache_hits;
+        let r2 =
+          Optimizer.Pipeline.optimize_oql ~plan_cache ~db:tiny_db garage_src
+        in
+        Alcotest.check Alcotest.int "warm run: every candidate served"
+          (List.length r2.candidates)
+          r2.Optimizer.Pipeline.cost_cache_hits;
+        Alcotest.check Alcotest.int "warm run: nothing re-evaluated" 0
+          r2.Optimizer.Pipeline.cost_cache_misses;
+        List.iter2
+          (fun (a : Optimizer.Pipeline.plan) (b : Optimizer.Pipeline.plan) ->
+            Alcotest.(check (float 0.))
+              (Fmt.str "%s %s cost unchanged" a.label
+                 (Optimizer.Pipeline.backend_name a.backend))
+              a.cost.Optimizer.Cost.weighted b.cost.Optimizer.Cost.weighted)
+          r1.candidates r2.candidates;
+        (* a different database invalidates the whole cache *)
+        let r3 =
+          Optimizer.Pipeline.optimize_oql ~plan_cache ~db:gen_db garage_src
+        in
+        Alcotest.check Alcotest.int "new db: cold again" 0
+          r3.Optimizer.Pipeline.cost_cache_hits);
   ]
