@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph baseline clean
+.PHONY: all build test bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph baseline trace-demo clean
 
 all: build
 
@@ -39,6 +39,11 @@ bench-egraph:
 # Regenerate the committed engine baseline at the repo root.
 baseline:
 	dune exec bench/main.exe -- --smoke --out BENCH_engine.json
+
+# Regenerate the committed telemetry demo trace: a traced BFS search of
+# the paper's K4 query, loadable in chrome://tracing or Perfetto.
+trace-demo:
+	dune exec bin/kolaopt.exe -- search --paper k4 --depth 4 --trace examples/trace_k4.json --stats
 
 clean:
 	dune clean

@@ -907,6 +907,25 @@ let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "")
   Fmt.pr "  cost cache:  cold %d misses / %d hits, warm %d misses / %d hits@."
     cold.Optimizer.Search.cache_misses cold.Optimizer.Search.cache_hits
     warm.Optimizer.Search.cache_misses warm.Optimizer.Search.cache_hits;
+  (* tracing overhead guard: the identical warm-cache exploration with
+     the telemetry session off and then on.  The off row is the one the
+     <3%-regression acceptance bound in EXPERIMENTS.md watches — with no
+     session every record call must cost a single atomic read. *)
+  let tracing_repeats = if !fast || !smoke then 20 else 100 in
+  let tr_explore () =
+    Optimizer.Search.explore ~config:warm_cfg Paper.t1k_source
+  in
+  let tracing_off_ns = min_time ~trials:3 ~repeats:tracing_repeats tr_explore in
+  Kola_telemetry.Telemetry.start ();
+  let tracing_on_ns = min_time ~trials:3 ~repeats:tracing_repeats tr_explore in
+  ignore (Kola_telemetry.Telemetry.stop ());
+  let tracing_overhead_pct =
+    (tracing_on_ns -. tracing_off_ns) /. tracing_off_ns *. 100.
+  in
+  Fmt.pr
+    "  tracing:     off %.0f ns/explore, on %.0f ns/explore (overhead \
+     %+.1f%%)@."
+    tracing_off_ns tracing_on_ns tracing_overhead_pct;
   (* the same numbers, machine-readable *)
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -937,6 +956,11 @@ let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "")
         \"warm_misses\": %d, \"warm_hits\": %d},\n"
        cold.Optimizer.Search.cache_misses cold.Optimizer.Search.cache_hits
        warm.Optimizer.Search.cache_misses warm.Optimizer.Search.cache_hits);
+  Buffer.add_string buf
+    (Fmt.str
+       "  \"tracing\": {\"query\": \"T1K\", \"off_ns_per_explore\": %.0f, \
+        \"on_ns_per_explore\": %.0f, \"overhead_pct\": %.2f},\n"
+       tracing_off_ns tracing_on_ns tracing_overhead_pct);
   if hashcons_fragment <> "" then begin
     Buffer.add_string buf hashcons_fragment;
     Buffer.add_string buf ",\n"

@@ -237,11 +237,93 @@ let search_cmd =
             "Search engine: $(b,bfs) (bounded breadth-first exploration) or \
              $(b,egraph) (equality saturation with cost extraction).")
   in
-  let run src store depth states naive jobs legacy_terms engine =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Collect engine telemetry during the search and write a Chrome \
+             trace_event JSON file loadable in chrome://tracing or Perfetto \
+             (per-rule fire/miss counts, per-level frontier instants, \
+             cost-cache and e-graph events).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Collect engine telemetry and print the compact text summary \
+             (span totals, counters, distributions) after the search.")
+  in
+  let deadline =
+    (* Validated at the cmdliner layer: a non-positive deadline is a usage
+       error, not an instantly-expired search. *)
+    let pos_float =
+      let parse s =
+        match Arg.conv_parser Arg.float s with
+        | Ok d when d > 0. -> Ok d
+        | Ok d -> Error (`Msg (Fmt.str "--deadline must be positive, got %g" d))
+        | Error _ as e -> e
+      in
+      Arg.conv ~docv:"SECONDS" (parse, Arg.conv_printer Arg.float)
+    in
+    Arg.(
+      value
+      & opt (some pos_float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget in seconds.  When it expires the search \
+             stops gracefully and reports the best plan found so far with \
+             stop reason $(b,deadline).")
+  in
+  let paper =
+    (* Validated at the cmdliner layer like --engine: unknown names are a
+       usage error listing the accepted queries. *)
+    let paper_conv =
+      let parse s =
+        match String.lowercase_ascii s with
+        | "t1k" -> Ok ("T1K", Kola.Paper.t1k_source)
+        | "t2k" -> Ok ("T2K", Kola.Paper.t2k_source)
+        | "k4" -> Ok ("K4", Kola.Paper.k4)
+        | "kg1" -> Ok ("KG1", Kola.Paper.kg1)
+        | other ->
+          Error
+            (`Msg
+               (Fmt.str "unknown paper query %S, accepted: t1k, t2k, k4, kg1"
+                  other))
+      in
+      let print ppf (name, _) = Fmt.string ppf name in
+      Arg.conv ~docv:"QUERY" (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some paper_conv) None
+      & info [ "paper" ] ~docv:"QUERY"
+          ~doc:
+            "Search one of the paper's KOLA queries ($(b,t1k), $(b,t2k), \
+             $(b,k4), $(b,kg1)) instead of translating a positional OQL \
+             argument.")
+  in
+  (* --paper makes the positional OQL argument optional. *)
+  let query_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"OQL" ~doc:"An OQL query over extents P, V, A.")
+  in
+  let run src store depth states naive jobs legacy_terms engine trace stats
+      deadline paper =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
-        let aqua = Oql.Parser.parse src in
-        let q = Translate.Compile.query aqua in
+        let q =
+          match (paper, src) with
+          | Some (_, q), _ -> q
+          | None, Some src -> Translate.Compile.query (Oql.Parser.parse src)
+          | None, None ->
+            Fmt.epr "search: expected an OQL query or --paper QUERY@.";
+            exit 124
+        in
         let config =
           {
             Optimizer.Search.default_config with
@@ -252,19 +334,25 @@ let search_cmd =
             interned = not legacy_terms;
             sample_db = db;
             jobs;
+            deadline;
           }
         in
+        let collect = trace <> None || stats in
+        if collect then Kola_telemetry.Telemetry.start ();
         let o = Optimizer.Search.explore ~config q in
+        let tr =
+          if collect then Some (Kola_telemetry.Telemetry.stop ()) else None
+        in
         if engine = Optimizer.Search.Bfs then
           Fmt.pr "domains: %d@." (Optimizer.Search.resolved_jobs config);
         (match o.Optimizer.Search.saturation with
         | Some s -> Fmt.pr "saturation: %a@." Kola_egraph.Saturate.pp_stats s
         | None -> ());
         Fmt.pr
-          "explored %d states%s (cost cache: %d hits, %d misses, %d \
+          "explored %d states, stop: %s (cost cache: %d hits, %d misses, %d \
            evictions)@."
           o.Optimizer.Search.explored
-          (if o.Optimizer.Search.frontier_exhausted then " (space exhausted)" else "")
+          (Optimizer.Search.stop_reason_label o.Optimizer.Search.stop)
           o.Optimizer.Search.cache_hits o.Optimizer.Search.cache_misses
           o.Optimizer.Search.cache_evictions;
         Fmt.pr "dedup: %d distinct states@." o.Optimizer.Search.seen_states;
@@ -278,14 +366,28 @@ let search_cmd =
           o.Optimizer.Search.best.Optimizer.Search.path;
         Fmt.pr "best plan (cost %.1f):@.  %a@."
           o.Optimizer.Search.best.Optimizer.Search.cost Kola.Pretty.pp_query
-          o.Optimizer.Search.best.Optimizer.Search.query)
+          o.Optimizer.Search.best.Optimizer.Search.query;
+        match tr with
+        | None -> ()
+        | Some tr ->
+          (match trace with
+          | Some file ->
+            Kola_telemetry.Telemetry.write_chrome file tr;
+            Fmt.pr "trace: wrote %s (%d spans, %d marks) — load in \
+                    chrome://tracing@."
+              file
+              (List.length tr.Kola_telemetry.Telemetry.spans)
+              (List.length tr.Kola_telemetry.Telemetry.marks)
+          | None -> ());
+          if stats then
+            Fmt.pr "%a" Kola_telemetry.Telemetry.pp_summary tr)
   in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Optimize by bounded exploration of the rewrite space.")
     Term.(
-      const run $ query_arg $ store_term $ depth $ states $ naive $ jobs
-      $ legacy_terms $ engine)
+      const run $ query_opt $ store_term $ depth $ states $ naive $ jobs
+      $ legacy_terms $ engine $ trace $ stats $ deadline $ paper)
 
 let main =
   Cmd.group

@@ -100,30 +100,31 @@ let rec eval ctx e : Value.t =
   | SetLit xs -> Value.set (List.map (eval ctx) xs)
   | Bin (op, a, b) -> (
     let va = eval ctx a in
-    (* And/Or are short-circuiting, as in any reasonable query language. *)
+    (* And/Or short-circuit, as in any reasonable query language: their
+       right operand evaluates only when the left one doesn't decide.
+       Every strict operator forces [vb] exactly once.  One exhaustive
+       match — no catch-all, so a new operator is a compile error here
+       rather than a latent [assert false]. *)
+    let vb = lazy (eval ctx b) in
     match op with
-    | And -> if as_bool ctx va then eval ctx b else Value.Bool false
-    | Or -> if as_bool ctx va then Value.Bool true else eval ctx b
-    | _ -> (
-      let vb = eval ctx b in
-      match op with
-      | Eq -> Value.Bool (Value.equal va vb)
-      | Leq -> Value.Bool (Value.compare va vb <= 0)
-      | Lt -> Value.Bool (Value.compare va vb < 0)
-      | Gt -> Value.Bool (Value.compare va vb > 0)
-      | Geq -> Value.Bool (Value.compare va vb >= 0)
-      | In -> Value.Bool (List.exists (Value.equal va) (as_set ctx vb))
-      | Add -> Value.Int (as_int ctx va + as_int ctx vb)
-      | Sub -> Value.Int (as_int ctx va - as_int ctx vb)
-      | Mul -> Value.Int (as_int ctx va * as_int ctx vb)
-      | Union -> Value.set (as_set ctx va @ as_set ctx vb)
-      | Inter ->
-        let ys = as_set ctx vb in
-        Value.set (List.filter (fun x -> List.exists (Value.equal x) ys) (as_set ctx va))
-      | Diff ->
-        let ys = as_set ctx vb in
-        Value.set
-          (List.filter (fun x -> not (List.exists (Value.equal x) ys)) (as_set ctx va))
-      | And | Or -> assert false))
+    | And -> if as_bool ctx va then Lazy.force vb else Value.Bool false
+    | Or -> if as_bool ctx va then Value.Bool true else Lazy.force vb
+    | Eq -> Value.Bool (Value.equal va (Lazy.force vb))
+    | Leq -> Value.Bool (Value.compare va (Lazy.force vb) <= 0)
+    | Lt -> Value.Bool (Value.compare va (Lazy.force vb) < 0)
+    | Gt -> Value.Bool (Value.compare va (Lazy.force vb) > 0)
+    | Geq -> Value.Bool (Value.compare va (Lazy.force vb) >= 0)
+    | In -> Value.Bool (List.exists (Value.equal va) (as_set ctx (Lazy.force vb)))
+    | Add -> Value.Int (as_int ctx va + as_int ctx (Lazy.force vb))
+    | Sub -> Value.Int (as_int ctx va - as_int ctx (Lazy.force vb))
+    | Mul -> Value.Int (as_int ctx va * as_int ctx (Lazy.force vb))
+    | Union -> Value.set (as_set ctx va @ as_set ctx (Lazy.force vb))
+    | Inter ->
+      let ys = as_set ctx (Lazy.force vb) in
+      Value.set (List.filter (fun x -> List.exists (Value.equal x) ys) (as_set ctx va))
+    | Diff ->
+      let ys = as_set ctx (Lazy.force vb) in
+      Value.set
+        (List.filter (fun x -> not (List.exists (Value.equal x) ys)) (as_set ctx va)))
 
 let eval_closed ?db e = eval (ctx ?db ()) e

@@ -68,15 +68,13 @@ let generate (p : params) : t =
   let employees =
     List.mapi
       (fun i e ->
-        match e with
-        | Value.Obj o ->
-          let n = Store.int r (p.max_mentors + 1) in
-          let mentors = Value.set (List.init n (fun _ -> Store.pick r shallow)) in
-          Value.obj ~cls:"Employee" ~oid:i
-            (List.map
-               (fun (k, v) -> if k = "mentors" then (k, mentors) else (k, v))
-               o.Value.fields)
-        | _ -> assert false)
+        let n = Store.int r (p.max_mentors + 1) in
+        let mentors = Value.set (List.init n (fun _ -> Store.pick r shallow)) in
+        Value.obj ~cls:"Employee" ~oid:i
+          (List.map
+             (fun (k, v) -> if k = "mentors" then (k, mentors) else (k, v))
+             (Store.obj_fields
+                ~context:"Datagen.Company.generate: employee row" e)))
       shallow
   in
   {

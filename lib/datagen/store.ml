@@ -26,6 +26,14 @@ let int r bound =
 
 let pick r xs = List.nth xs (int r (List.length xs))
 
+(* Row deepening rewrites an object's fields in place; anything else in
+   the extent is a generator bug upstream — name the site and the value
+   so the failure is diagnosable instead of an anonymous [assert false]. *)
+let obj_fields ~context (v : Value.t) : (string * Value.t) list =
+  match v with
+  | Value.Obj o -> o.Value.fields
+  | v -> invalid_arg (Fmt.str "%s: expected an object row, got %a" context Value.pp v)
+
 type params = {
   people : int;
   vehicles : int;
@@ -107,20 +115,17 @@ let generate (p : params) : t =
   let persons =
     List.mapi
       (fun i person ->
-        match person with
-        | Value.Obj o ->
-          let fields =
-            List.map
-              (fun (k, v) ->
-                match k with
-                | "child" -> (k, sample_set p.max_children shallow)
-                | "cars" -> (k, sample_set p.max_cars vehicles)
-                | "grgs" -> (k, sample_set p.max_garages addresses)
-                | _ -> (k, v))
-              o.Value.fields
-          in
-          Value.obj ~cls:"Person" ~oid:i fields
-        | _ -> assert false)
+        let fields =
+          List.map
+            (fun (k, v) ->
+              match k with
+              | "child" -> (k, sample_set p.max_children shallow)
+              | "cars" -> (k, sample_set p.max_cars vehicles)
+              | "grgs" -> (k, sample_set p.max_garages addresses)
+              | _ -> (k, v))
+            (obj_fields ~context:"Datagen.Store.generate: person row" person)
+        in
+        Value.obj ~cls:"Person" ~oid:i fields)
       shallow
   in
   {

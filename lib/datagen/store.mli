@@ -11,6 +11,12 @@ val int : rng -> int -> int
 
 val pick : rng -> 'a list -> 'a
 
+val obj_fields : context:string -> Kola.Value.t -> (string * Kola.Value.t) list
+(** The fields of an object row.  Raises [Invalid_argument] with
+    [context] and the offending value on anything that is not an object —
+    row-deepening passes use this so malformed extents fail with a
+    diagnosable message instead of [assert false]. *)
+
 type params = {
   people : int;
   vehicles : int;

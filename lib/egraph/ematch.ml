@@ -244,9 +244,28 @@ type match_inst = {
 
 let matches_in_class g schema (erules : erule list) (cls : int) :
     match_inst list =
+  let module Telemetry = Kola_telemetry.Telemetry in
   List.concat_map
     (fun er ->
       if er.emask <> 0 && Graph.class_mask g cls land er.emask = 0 then []
+      else if Telemetry.enabled () then begin
+        (* Per-rule matcher time, aggregated as a distribution; the
+           disabled path below stays clock-free. *)
+        let t0 = Telemetry.now () in
+        let res =
+          match_wterm g Rewrite.Subst.H.empty er.elhs cls
+          |> List.filter_map (fun s ->
+                 match check_preconditions g schema er s with
+                 | None -> None
+                 | Some s ->
+                   Some
+                     { mrule = er; mlhs = inst s er.elhs; mrhs = inst s er.erhs })
+        in
+        Telemetry.observe
+          ("egraph.match_ms." ^ er.ename)
+          ((Telemetry.now () -. t0) *. 1000.);
+        res
+      end
       else
         match_wterm g Rewrite.Subst.H.empty er.elhs cls
         |> List.filter_map (fun s ->

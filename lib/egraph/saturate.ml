@@ -10,6 +10,7 @@
 
 open Kola
 open Lang
+module Telemetry = Kola_telemetry.Telemetry
 
 type budgets = { max_enodes : int; max_iterations : int; max_millis : float }
 
@@ -81,7 +82,10 @@ end)
 
 let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
     ~rules (hq : Term.Hc.hquery) : space =
-  let t0 = Unix.gettimeofday () in
+  Telemetry.span "egraph.saturate" @@ fun () ->
+  (* Budgets and span timings run on the monotonic clock: a wall-clock
+     (NTP) jump must neither trip nor stretch the time budget. *)
+  let t0 = Telemetry.now () in
   let g = Graph.create () in
   let src = wterm_of_query hq in
   let root = Graph.add_term g src in
@@ -92,9 +96,9 @@ let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
   let rebuild_ms = ref 0. in
   let iterations = ref 0 in
   let timed_rebuild () =
-    let r0 = Unix.gettimeofday () in
+    let r0 = Telemetry.now () in
     Graph.rebuild g;
-    rebuild_ms := !rebuild_ms +. ((Unix.gettimeofday () -. r0) *. 1000.)
+    rebuild_ms := !rebuild_ms +. ((Telemetry.now () -. r0) *. 1000.)
   in
   timed_rebuild ();
   let target_found () =
@@ -102,9 +106,7 @@ let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
     | Some c -> Graph.find g c = Graph.find g root
     | None -> false
   in
-  let out_of_time () =
-    (Unix.gettimeofday () -. t0) *. 1000. > budgets.max_millis
-  in
+  let out_of_time () = (Telemetry.now () -. t0) *. 1000. > budgets.max_millis in
   let stop = ref None in
   while !stop = None do
     if target_found () then stop := Some Target_found
@@ -160,6 +162,17 @@ let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
           end)
         fresh;
       timed_rebuild ();
+      if Telemetry.enabled () then
+        Telemetry.instant
+          ~args:
+            [
+              ("iter", string_of_int !iterations);
+              ("e_nodes", string_of_int (Graph.n_nodes g));
+              ("e_classes", string_of_int (Graph.n_classes g));
+              ("unions", string_of_int (Graph.n_unions g));
+              ("fresh_instances", string_of_int (List.length fresh));
+            ]
+          "egraph.iteration";
       if !deadline_hit then
         stop := Some (if target_found () then Target_found else Time_budget)
       else if !hit_node_budget then stop := Some Node_budget
@@ -169,6 +182,10 @@ let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
     end
   done;
   let stop = Option.get !stop in
+  if Telemetry.enabled () then
+    Telemetry.instant
+      ~args:[ ("reason", stop_reason_label stop) ]
+      "egraph.stop";
   {
     graph = g;
     src;
@@ -183,7 +200,7 @@ let saturate ?(schema = Schema.paper) ?(budgets = default_budgets) ?target
         e_classes = Graph.n_classes g;
         unions = Graph.n_unions g;
         rebuild_ms = !rebuild_ms;
-        total_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+        total_ms = (Telemetry.now () -. t0) *. 1000.;
         stop;
       };
   }

@@ -130,6 +130,7 @@ module Memo (T : Hashtbl.S) = struct
     | Some e ->
       e.live <- true;
       c.hits <- c.hits + 1;
+      Kola_telemetry.Telemetry.count "cost.cache_hit";
       Some e.w
     | None -> None
 
@@ -144,19 +145,25 @@ module Memo (T : Hashtbl.S) = struct
           else k :: acc)
         c.table []
     in
-    match doomed with
-    | [] ->
-      (* every resident entry was hit since the last sweep *)
-      c.evictions <- c.evictions + T.length c.table;
-      T.reset c.table
-    | doomed ->
-      List.iter (T.remove c.table) doomed;
-      c.evictions <- c.evictions + List.length doomed
+    let evicted =
+      match doomed with
+      | [] ->
+        (* every resident entry was hit since the last sweep *)
+        let n = T.length c.table in
+        T.reset c.table;
+        n
+      | doomed ->
+        List.iter (T.remove c.table) doomed;
+        List.length doomed
+    in
+    c.evictions <- c.evictions + evicted;
+    Kola_telemetry.Telemetry.count ~n:evicted "cost.cache_evict"
 
   (* Miss: count, make room, insert.  New entries start with the reference
      bit clear — only a hit earns the second chance. *)
   let insert_memo c key w =
     c.misses <- c.misses + 1;
+    Kola_telemetry.Telemetry.count "cost.cache_miss";
     if T.length c.table >= c.capacity then sweep c;
     T.replace c.table key { w; live = false }
 end

@@ -25,8 +25,16 @@
 open Kola
 module Pool = Kola_parallel.Pool
 module Saturate = Kola_egraph.Saturate
+module Telemetry = Kola_telemetry.Telemetry
 
 type engine = Bfs | Egraph
+
+type stop_reason = Exhausted | Budget | Deadline
+
+let stop_reason_label = function
+  | Exhausted -> "exhausted"
+  | Budget -> "budget"
+  | Deadline -> "deadline"
 
 type config = {
   engine : engine;
@@ -54,6 +62,11 @@ type config = {
   jobs : int;
       (** domains exploring each BFS level; 1 = the sequential engine,
           0 = [Domain.recommended_domain_count ()] *)
+  deadline : float option;
+      (** wall-clock budget in seconds on the monotonic clock; when it
+          expires the search stops gracefully and reports the best state
+          found so far with [stop = Deadline].  Under [Egraph] the
+          deadline tightens the saturation time budget. *)
 }
 
 let default_config =
@@ -70,11 +83,20 @@ let default_config =
     hc_cost_cache = None;
     sample_db = Datagen.Store.db (Datagen.Store.tiny ());
     jobs = 1;
+    deadline = None;
   }
 
 let resolved_jobs config =
   if config.jobs <= 0 then Domain.recommended_domain_count ()
   else config.jobs
+
+(* Per-rule attribution for successor enumeration: how many successors
+   each catalog rule contributed ([rule.fire.*]) or failed to ([rule.miss.*]).
+   Names are only built while a telemetry session is active. *)
+let note_rule_successors name n =
+  if Telemetry.enabled () then
+    if n = 0 then Telemetry.count ("rule.miss." ^ name)
+    else Telemetry.count ~n ("rule.fire." ^ name)
 
 (* Domain spawn costs milliseconds on some hosts while many explorations
    finish in microseconds, so pools are created once per jobs count and
@@ -125,12 +147,18 @@ let successors_report ?schema ~max_positions ~truncated ~indexed
   let from_query_rules =
     List.filter_map
       (fun r ->
-        Option.map
-          (fun q' -> (r.Rewrite.Rule.name, q'))
-          (Rewrite.Rule.apply_query ?schema r q))
+        let res =
+          Option.map
+            (fun q' -> (r.Rewrite.Rule.name, q'))
+            (Rewrite.Rule.apply_query ?schema r q)
+        in
+        note_rule_successors r.Rewrite.Rule.name
+          (if res = None then 0 else 1);
+        res)
       query_rules
   in
   let at_kth r k =
+    Telemetry.count "search.positions";
     let remaining = ref k in
     let s tgt =
       match Rewrite.Strategy.of_rule ?schema r tgt with
@@ -153,7 +181,13 @@ let successors_report ?schema ~max_positions ~truncated ~indexed
         else
           let rec collect k acc =
             if k >= max_positions then begin
-              if Option.is_some (at_kth r k) then truncated := true;
+              if Option.is_some (at_kth r k) then begin
+                truncated := true;
+                if Telemetry.enabled () then
+                  Telemetry.instant
+                    ~args:[ ("rule", r.Rewrite.Rule.name) ]
+                    "search.truncated"
+              end;
               List.rev acc
             end
             else
@@ -161,7 +195,9 @@ let successors_report ?schema ~max_positions ~truncated ~indexed
               | Some q' -> collect (k + 1) ((r.Rewrite.Rule.name, q') :: acc)
               | None -> List.rev acc
           in
-          collect 0 [])
+          let found = collect 0 [] in
+          note_rule_successors r.Rewrite.Rule.name (List.length found);
+          found)
       fun_rules
   in
   from_query_rules @ from_fun_rules
@@ -180,9 +216,14 @@ type state = {
 type outcome = {
   best : state;
   explored : int;       (** states expanded *)
+  stop : stop_reason;
+      (** why the search returned: [Exhausted] (whole space within depth
+          covered), [Budget] (state budget or position cap), or
+          [Deadline] (wall-clock deadline expired) *)
   frontier_exhausted : bool;
-      (** the whole reachable space within depth was covered: neither the
-          state budget nor the per-rule position cap truncated anything *)
+      (** [stop = Exhausted], kept for existing callers: neither the
+          state budget, the position cap, nor a deadline truncated
+          anything *)
   cache_hits : int;     (** cost-cache hits during this exploration *)
   cache_misses : int;
   cache_evictions : int;
@@ -211,19 +252,36 @@ let cache_of config =
 
 let cost_of ~cache ~db q = Cost.weighted_memo cache ~db q
 
+(* [deadline_check config] returns a zero-argument predicate that turns
+   true once the configured deadline has expired.  With no deadline the
+   predicate is a constant — the hot loops pay nothing. *)
+let deadline_check config =
+  match config.deadline with
+  | None -> fun () -> false
+  | Some d ->
+    let t1 = Telemetry.now () +. d in
+    fun () -> Telemetry.now () >= t1
+
+(* Fold the three exhaustion signals into the reported stop reason.
+   Deadline wins: a search cut short by the clock may also look
+   budget-truncated, but the actionable cause is the deadline. *)
+let stop_of ~hit_deadline ~exhausted =
+  if hit_deadline then Deadline else if exhausted then Exhausted else Budget
+
 (* Internal search states carry their path cons-reversed (innermost rule
    first); reversing once at the end avoids the quadratic [path @ [name]]
    accumulation in the BFS loop. *)
 type istate = { iquery : Term.query; rev_path : string list; icost : float }
 
-let outcome_record ?saturation ~query ~rev_path ~cost ~expanded ~exhausted
+let outcome_record ?saturation ~query ~rev_path ~cost ~expanded ~stop
     ~(cstats0 : Cost.stats) ~(cstats1 : Cost.stats) ~seen_states ~intern_hits
     ~intern_misses () =
   let total = intern_hits + intern_misses in
   {
     best = { query; path = List.rev rev_path; cost };
     explored = expanded;
-    frontier_exhausted = exhausted;
+    stop;
+    frontier_exhausted = stop = Exhausted;
     cache_hits = cstats1.Cost.hits - cstats0.Cost.hits;
     cache_misses = cstats1.Cost.misses - cstats0.Cost.misses;
     cache_evictions = cstats1.Cost.evictions - cstats0.Cost.evictions;
@@ -237,9 +295,9 @@ let outcome_record ?saturation ~query ~rev_path ~cost ~expanded ~exhausted
   }
 
 let outcome_of ~cache ~(stats0 : Cost.stats) ~seen_states ~best ~expanded
-    ~exhausted =
+    ~stop =
   outcome_record ~query:best.iquery ~rev_path:best.rev_path ~cost:best.icost
-    ~expanded ~exhausted ~cstats0:stats0 ~cstats1:(Cost.cache_stats cache)
+    ~expanded ~stop ~cstats0:stats0 ~cstats1:(Cost.cache_stats cache)
     ~seen_states ~intern_hits:0 ~intern_misses:0 ()
 
 (* Bounded BFS with global dedup; returns the cheapest state seen.  The
@@ -251,24 +309,38 @@ let explore_seq ~config (q : Term.query) : outcome =
   let cache = cache_of config in
   let stats0 = Cost.cache_stats cache in
   let truncated = ref false in
+  let over = deadline_check config in
+  let hit_deadline = ref false in
   let start = { iquery = q; rev_path = []; icost = cost_of ~cache ~db q } in
   Term.Canonical.Table.replace seen (Term.Canonical.of_query q) ();
   let best = ref start in
   let expanded = ref 0 in
   let exhausted = ref true in
   let rec level states depth =
-    if depth >= config.max_depth || states = [] then ()
+    if depth >= config.max_depth || states = [] || !hit_deadline then ()
     else begin
+      if Telemetry.enabled () then
+        Telemetry.instant
+          ~args:
+            [
+              ("depth", string_of_int depth);
+              ("frontier", string_of_int (List.length states));
+            ]
+          "search.level";
       let next = ref [] in
       List.iter
         (fun st ->
-          if !expanded >= config.max_states then exhausted := false
+          if !hit_deadline then ()
+          else if over () then hit_deadline := true
+          else if !expanded >= config.max_states then exhausted := false
           else begin
             incr expanded;
             List.iter
               (fun (rule_name, q') ->
                 let key = Term.Canonical.of_query q' in
-                if not (Term.Canonical.Table.mem seen key) then begin
+                if Term.Canonical.Table.mem seen key then
+                  Telemetry.count "search.dedup_hit"
+                else begin
                   Term.Canonical.Table.replace seen key ();
                   let st' =
                     {
@@ -291,7 +363,8 @@ let explore_seq ~config (q : Term.query) : outcome =
   if !truncated then exhausted := false;
   outcome_of ~cache ~stats0
     ~seen_states:(Term.Canonical.Table.length seen)
-    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
+    ~best:!best ~expanded:!expanded
+    ~stop:(stop_of ~hit_deadline:!hit_deadline ~exhausted:!exhausted)
 
 (* ------------------------------------------------------------------ *)
 (* Level-synchronous parallel BFS.
@@ -337,6 +410,8 @@ let explore_par ~pool ~config (q : Term.query) : outcome =
   let cache = cache_of config in
   let stats0 = Cost.cache_stats cache in
   let truncated = ref false in
+  let over = deadline_check config in
+  let hit_deadline = ref false in
   let start = { iquery = q; rev_path = []; icost = cost_of ~cache ~db q } in
   Term.Canonical.Table.replace seen (Term.Canonical.of_query q) ();
   let best = ref start in
@@ -352,16 +427,31 @@ let explore_par ~pool ~config (q : Term.query) : outcome =
       List.filter_map
         (fun (rule_name, q') ->
           let key = Term.Canonical.of_query q' in
-          if Term.Canonical.Table.mem seen key then None
+          if Term.Canonical.Table.mem seen key then begin
+            Telemetry.count "search.dedup_hit";
+            None
+          end
           else Some (rule_name, q', key))
         succs
     in
     (fresh, !tr)
   in
+  (* The deadline is checked once per level, between the synchronous
+     phases: mid-level interruption would make the merged frontier depend
+     on timing, breaking the bit-identical-outcome contract across jobs
+     counts for everything except the deadline case itself. *)
   let rec level states depth =
     if depth >= config.max_depth || states = [] then ()
+    else if over () then hit_deadline := true
     else begin
       let n = List.length states in
+      if Telemetry.enabled () then
+        Telemetry.instant
+          ~args:
+            [
+              ("depth", string_of_int depth); ("frontier", string_of_int n);
+            ]
+          "search.level";
       let take = min (config.max_states - !expanded) n in
       if take < n then exhausted := false;
       if take > 0 then begin
@@ -377,7 +467,9 @@ let explore_par ~pool ~config (q : Term.query) : outcome =
             let parent = batch.(i) in
             List.iter
               (fun (rule_name, q', key) ->
-                if not (Term.Canonical.Table.mem seen key) then begin
+                if Term.Canonical.Table.mem seen key then
+                  Telemetry.count "search.dedup_hit"
+                else begin
                   Term.Canonical.Table.replace seen key ();
                   fresh := (parent, rule_name, q', key) :: !fresh
                 end)
@@ -411,7 +503,8 @@ let explore_par ~pool ~config (q : Term.query) : outcome =
   if !truncated then exhausted := false;
   outcome_of ~cache ~stats0
     ~seen_states:(Term.Canonical.Table.length seen)
-    ~best:!best ~expanded:!expanded ~exhausted:!exhausted
+    ~best:!best ~expanded:!expanded
+    ~stop:(stop_of ~hit_deadline:!hit_deadline ~exhausted:!exhausted)
 
 (* ------------------------------------------------------------------ *)
 (* Interned exploration: the same BFS on hash-consed nodes.
@@ -463,12 +556,18 @@ let successors_hc_report ?schema ~max_positions ~truncated ~indexed
   let from_query_rules =
     List.filter_map
       (fun r ->
-        Option.map
-          (fun hq' -> (r.Rewrite.Rule.name, hq'))
-          (Rewrite.Rule.apply_hquery ?schema r hq))
+        let res =
+          Option.map
+            (fun hq' -> (r.Rewrite.Rule.name, hq'))
+            (Rewrite.Rule.apply_hquery ?schema r hq)
+        in
+        note_rule_successors r.Rewrite.Rule.name
+          (if res = None then 0 else 1);
+        res)
       query_rules
   in
   let at_kth ~rmask r k =
+    Telemetry.count "search.positions";
     let remaining = ref k in
     let s tgt =
       match Rewrite.Strategy.H.of_rule ?schema r tgt with
@@ -494,7 +593,13 @@ let successors_hc_report ?schema ~max_positions ~truncated ~indexed
           let rmask = Rewrite.Index.rule_head_mask r in
           let rec collect k acc =
             if k >= max_positions then begin
-              if Option.is_some (at_kth ~rmask r k) then truncated := true;
+              if Option.is_some (at_kth ~rmask r k) then begin
+                truncated := true;
+                if Telemetry.enabled () then
+                  Telemetry.instant
+                    ~args:[ ("rule", r.Rewrite.Rule.name) ]
+                    "search.truncated"
+              end;
               List.rev acc
             end
             else
@@ -502,7 +607,9 @@ let successors_hc_report ?schema ~max_positions ~truncated ~indexed
               | Some hq' -> collect (k + 1) ((r.Rewrite.Rule.name, hq') :: acc)
               | None -> List.rev acc
           in
-          collect 0 [])
+          let found = collect 0 [] in
+          note_rule_successors r.Rewrite.Rule.name (List.length found);
+          found)
       fun_rules
   in
   from_query_rules @ from_fun_rules
@@ -513,12 +620,12 @@ let successors_hc ?schema ?(max_positions = 64) (rules : Rewrite.Rule.t list)
     ~indexed:true rules hq
 
 let outcome_of_hc ?saturation ~cache ~(stats0 : Cost.stats)
-    ~(istats0 : Kola.Hashcons.stats) ~seen_states ~best ~expanded ~exhausted
+    ~(istats0 : Kola.Hashcons.stats) ~seen_states ~best ~expanded ~stop
     () =
   let istats1 = Term.Hc.intern_counters () in
   outcome_record ?saturation ~query:(Term.Hc.to_query best.ihq)
     ~rev_path:best.hrev_path
-    ~cost:best.hcost ~expanded ~exhausted ~cstats0:stats0
+    ~cost:best.hcost ~expanded ~stop ~cstats0:stats0
     ~cstats1:(Cost.hc_cache_stats cache) ~seen_states
     ~intern_hits:(istats1.Kola.Hashcons.hits - istats0.Kola.Hashcons.hits)
     ~intern_misses:
@@ -532,6 +639,8 @@ let explore_hc_seq ~config (q : Term.query) : outcome =
   let istats0 = Term.Hc.intern_counters () in
   let stats0 = Cost.hc_cache_stats cache in
   let truncated = ref false in
+  let over = deadline_check config in
+  let hit_deadline = ref false in
   let hq0 = Term.Hc.of_query q in
   let start =
     { ihq = hq0; hrev_path = []; hcost = Cost.weighted_memo_hc cache ~db hq0 }
@@ -541,18 +650,30 @@ let explore_hc_seq ~config (q : Term.query) : outcome =
   let expanded = ref 0 in
   let exhausted = ref true in
   let rec level states depth =
-    if depth >= config.max_depth || states = [] then ()
+    if depth >= config.max_depth || states = [] || !hit_deadline then ()
     else begin
+      if Telemetry.enabled () then
+        Telemetry.instant
+          ~args:
+            [
+              ("depth", string_of_int depth);
+              ("frontier", string_of_int (List.length states));
+            ]
+          "search.level";
       let next = ref [] in
       List.iter
         (fun st ->
-          if !expanded >= config.max_states then exhausted := false
+          if !hit_deadline then ()
+          else if over () then hit_deadline := true
+          else if !expanded >= config.max_states then exhausted := false
           else begin
             incr expanded;
             List.iter
               (fun (rule_name, hq') ->
                 let key = Term.Hc.query_key hq' in
-                if not (Term.Hc.Qtable.mem seen key) then begin
+                if Term.Hc.Qtable.mem seen key then
+                  Telemetry.count "search.dedup_hit"
+                else begin
                   Term.Hc.Qtable.replace seen key ();
                   let st' =
                     {
@@ -575,7 +696,8 @@ let explore_hc_seq ~config (q : Term.query) : outcome =
   if !truncated then exhausted := false;
   outcome_of_hc ~cache ~stats0 ~istats0
     ~seen_states:(Term.Hc.Qtable.length seen)
-    ~best:!best ~expanded:!expanded ~exhausted:!exhausted ()
+    ~best:!best ~expanded:!expanded
+    ~stop:(stop_of ~hit_deadline:!hit_deadline ~exhausted:!exhausted) ()
 
 (* Parallel interned exploration: the same three phases as [explore_par].
    Phase 1 interns concurrently (the tables are striped) and probes [seen]
@@ -589,6 +711,8 @@ let explore_hc_par ~pool ~config (q : Term.query) : outcome =
   let istats0 = Term.Hc.intern_counters () in
   let stats0 = Cost.hc_cache_stats cache in
   let truncated = ref false in
+  let over = deadline_check config in
+  let hit_deadline = ref false in
   let hq0 = Term.Hc.of_query q in
   let start =
     { ihq = hq0; hrev_path = []; hcost = Cost.weighted_memo_hc cache ~db hq0 }
@@ -607,16 +731,28 @@ let explore_hc_par ~pool ~config (q : Term.query) : outcome =
       List.filter_map
         (fun (rule_name, hq') ->
           let key = Term.Hc.query_key hq' in
-          if Term.Hc.Qtable.mem seen key then None
+          if Term.Hc.Qtable.mem seen key then begin
+            Telemetry.count "search.dedup_hit";
+            None
+          end
           else Some (rule_name, hq', key))
         succs
     in
     (fresh, !tr)
   in
+  (* Deadline checked between levels only — see [explore_par]. *)
   let rec level states depth =
     if depth >= config.max_depth || states = [] then ()
+    else if over () then hit_deadline := true
     else begin
       let n = List.length states in
+      if Telemetry.enabled () then
+        Telemetry.instant
+          ~args:
+            [
+              ("depth", string_of_int depth); ("frontier", string_of_int n);
+            ]
+          "search.level";
       let take = min (config.max_states - !expanded) n in
       if take < n then exhausted := false;
       if take > 0 then begin
@@ -632,7 +768,9 @@ let explore_hc_par ~pool ~config (q : Term.query) : outcome =
             let parent = batch.(i) in
             List.iter
               (fun (rule_name, hq', key) ->
-                if not (Term.Hc.Qtable.mem seen key) then begin
+                if Term.Hc.Qtable.mem seen key then
+                  Telemetry.count "search.dedup_hit"
+                else begin
                   Term.Hc.Qtable.replace seen key ();
                   fresh := (parent, rule_name, hq', key) :: !fresh
                 end)
@@ -666,7 +804,8 @@ let explore_hc_par ~pool ~config (q : Term.query) : outcome =
   if !truncated then exhausted := false;
   outcome_of_hc ~cache ~stats0 ~istats0
     ~seen_states:(Term.Hc.Qtable.length seen)
-    ~best:!best ~expanded:!expanded ~exhausted:!exhausted ()
+    ~best:!best ~expanded:!expanded
+    ~stop:(stop_of ~hit_deadline:!hit_deadline ~exhausted:!exhausted) ()
 
 (* Equality-saturation engine: saturate the e-graph under the catalog
    within the configured budgets, then extract the cheapest spellings of
@@ -675,6 +814,25 @@ let explore_hc_par ~pool ~config (q : Term.query) : outcome =
    saturation plus a handful of evaluations.  The source is always a
    candidate, so the result is never worse than the input; the reported
    path is replayed out of the proof forest. *)
+(* A search deadline tightens the saturation wall-clock budget, so both
+   engines honour [config.deadline] through one knob. *)
+let egraph_budgets_of config =
+  match config.deadline with
+  | None -> config.egraph_budgets
+  | Some d ->
+    {
+      config.egraph_budgets with
+      Saturate.max_millis =
+        Float.min config.egraph_budgets.Saturate.max_millis (d *. 1000.);
+    }
+
+(* Report budget exhaustion uniformly across engines: a time-budget stop
+   is the deadline when one was configured, a plain budget otherwise. *)
+let stop_of_saturation config = function
+  | Saturate.Saturated | Saturate.Target_found -> Exhausted
+  | Saturate.Node_budget | Saturate.Iter_budget -> Budget
+  | Saturate.Time_budget -> if config.deadline <> None then Deadline else Budget
+
 let explore_egraph ~config (q : Term.query) : outcome =
   let db = config.sample_db in
   let cache = hc_cache_of config in
@@ -682,7 +840,8 @@ let explore_egraph ~config (q : Term.query) : outcome =
   let stats0 = Cost.hc_cache_stats cache in
   let hq0 = Term.Hc.of_query q in
   let sp =
-    Saturate.saturate ~rules:config.rules ~budgets:config.egraph_budgets hq0
+    Saturate.saturate ~rules:config.rules ~budgets:(egraph_budgets_of config)
+      hq0
   in
   (* k = 2: the extraction weights are a heuristic, so re-measure a small
      front with the real cost model rather than trusting the single
@@ -707,16 +866,29 @@ let explore_egraph ~config (q : Term.query) : outcome =
     ~seen_states:stats.Saturate.e_classes
     ~best:{ ihq = best_hq; hrev_path = rev_path; hcost = best_cost }
     ~expanded:stats.Saturate.e_nodes
-    ~exhausted:(stats.Saturate.stop = Saturate.Saturated)
+    ~stop:(stop_of_saturation config stats.Saturate.stop)
     ()
 
 let explore ?(config = default_config) (q : Term.query) : outcome =
-  match (config.engine, config.interned, resolved_jobs config) with
-  | Egraph, _, _ -> explore_egraph ~config q
-  | Bfs, true, 1 -> explore_hc_seq ~config q
-  | Bfs, true, jobs -> explore_hc_par ~pool:(pool_for jobs) ~config q
-  | Bfs, false, 1 -> explore_seq ~config q
-  | Bfs, false, jobs -> explore_par ~pool:(pool_for jobs) ~config q
+  Telemetry.span "search.explore" @@ fun () ->
+  let outcome =
+    match (config.engine, config.interned, resolved_jobs config) with
+    | Egraph, _, _ -> explore_egraph ~config q
+    | Bfs, true, 1 -> explore_hc_seq ~config q
+    | Bfs, true, jobs -> explore_hc_par ~pool:(pool_for jobs) ~config q
+    | Bfs, false, 1 -> explore_seq ~config q
+    | Bfs, false, jobs -> explore_par ~pool:(pool_for jobs) ~config q
+  in
+  if Telemetry.enabled () then
+    Telemetry.instant
+      ~args:
+        [
+          ("reason", stop_reason_label outcome.stop);
+          ("explored", string_of_int outcome.explored);
+          ("cost", Printf.sprintf "%.3f" outcome.best.cost);
+        ]
+      "search.stop";
+  outcome
 
 (* Was [target] reached (modulo associativity) within the budget? *)
 let reaches_seq ~config (q : Term.query) (target : Term.query) :
@@ -724,6 +896,7 @@ let reaches_seq ~config (q : Term.query) (target : Term.query) :
   let found = ref None in
   let seen = Term.Canonical.Table.create 256 in
   let truncated = ref false in
+  let over = deadline_check config in
   let target_key = Term.Canonical.of_query target in
   let start_key = Term.Canonical.of_query q in
   let expanded = ref 0 in
@@ -731,7 +904,8 @@ let reaches_seq ~config (q : Term.query) (target : Term.query) :
   if Term.Canonical.equal start_key target_key then Some []
   else begin
     let rec level states depth =
-      if depth >= config.max_depth || states = [] || !found <> None then ()
+      if depth >= config.max_depth || states = [] || !found <> None || over ()
+      then ()
       else begin
         let next = ref [] in
         List.iter
@@ -767,6 +941,7 @@ let reaches_par ~pool ~config (q : Term.query) (target : Term.query) :
     string list option =
   let found = ref None in
   let seen = Term.Canonical.Table.create 256 in
+  let over = deadline_check config in
   let target_key = Term.Canonical.of_query target in
   let start_key = Term.Canonical.of_query q in
   let expanded = ref 0 in
@@ -787,7 +962,9 @@ let reaches_par ~pool ~config (q : Term.query) (target : Term.query) :
         succs
     in
     let rec level states depth =
-      if depth >= config.max_depth || states = [] || !found <> None then ()
+      if
+        depth >= config.max_depth || states = [] || !found <> None || over ()
+      then ()
       else begin
         let n = List.length states in
         let take = min (config.max_states - !expanded) n in
@@ -831,6 +1008,7 @@ let reaches_hc_seq ~config (q : Term.query) (target : Term.query) :
   let found = ref None in
   let seen = Term.Hc.Qtable.create 256 in
   let truncated = ref false in
+  let over = deadline_check config in
   let target_key = Term.Hc.query_key (Term.Hc.of_query target) in
   let hq0 = Term.Hc.of_query q in
   let start_key = Term.Hc.query_key hq0 in
@@ -839,7 +1017,8 @@ let reaches_hc_seq ~config (q : Term.query) (target : Term.query) :
   if start_key = target_key then Some []
   else begin
     let rec level states depth =
-      if depth >= config.max_depth || states = [] || !found <> None then ()
+      if depth >= config.max_depth || states = [] || !found <> None || over ()
+      then ()
       else begin
         let next = ref [] in
         List.iter
@@ -871,6 +1050,7 @@ let reaches_hc_par ~pool ~config (q : Term.query) (target : Term.query) :
     string list option =
   let found = ref None in
   let seen = Term.Hc.Qtable.create 256 in
+  let over = deadline_check config in
   let target_key = Term.Hc.query_key (Term.Hc.of_query target) in
   let hq0 = Term.Hc.of_query q in
   let start_key = Term.Hc.query_key hq0 in
@@ -892,7 +1072,9 @@ let reaches_hc_par ~pool ~config (q : Term.query) (target : Term.query) :
         succs
     in
     let rec level states depth =
-      if depth >= config.max_depth || states = [] || !found <> None then ()
+      if
+        depth >= config.max_depth || states = [] || !found <> None || over ()
+      then ()
       else begin
         let n = List.length states in
         let take = min (config.max_states - !expanded) n in
@@ -935,13 +1117,14 @@ let reaches_egraph ~config (q : Term.query) (target : Term.query) :
     (string * Term.query) list option =
   let hq0 = Term.Hc.of_query q and ht = Term.Hc.of_query target in
   let sp =
-    Saturate.saturate ~rules:config.rules ~budgets:config.egraph_budgets
+    Saturate.saturate ~rules:config.rules ~budgets:(egraph_budgets_of config)
       ~target:ht hq0
   in
   Saturate.path sp
 
 let reaches ?(config = default_config) (q : Term.query)
     (target : Term.query) : string list option =
+  Telemetry.span "search.reaches" @@ fun () ->
   match (config.engine, config.interned, resolved_jobs config) with
   | Egraph, _, _ ->
     Option.map (List.map fst) (reaches_egraph ~config q target)

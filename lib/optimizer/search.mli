@@ -29,6 +29,17 @@
     same-class check with proof replay. *)
 type engine = Bfs | Egraph
 
+(** Why a search returned: the whole space within depth was covered
+    ([Exhausted]), a state/position/e-node/iteration budget tripped
+    ([Budget]), or the configured wall-clock deadline expired
+    ([Deadline]).  Both engines report through this one type, mirroring
+    {!Kola_egraph.Saturate.stop_reason}. *)
+type stop_reason = Exhausted | Budget | Deadline
+
+val stop_reason_label : stop_reason -> string
+(** ["exhausted"] / ["budget"] / ["deadline"] — for CLI and trace
+    output. *)
+
 type config = {
   engine : engine;  (** default [Bfs] *)
   egraph_budgets : Kola_egraph.Saturate.budgets;
@@ -56,6 +67,14 @@ type config = {
   jobs : int;
       (** domains exploring each BFS level (default 1 = the sequential
           engine; 0 = [Domain.recommended_domain_count ()]) *)
+  deadline : float option;
+      (** wall-clock budget in seconds on the monotonic clock (default
+          [None]).  When it expires, [explore] degrades gracefully: the
+          best state found so far is returned with [stop = Deadline] and
+          a path {!validate_path} accepts.  Sequential BFS checks before
+          each state expansion; parallel BFS between levels (so outcomes
+          stay deterministic up to the interrupted level); under
+          [Egraph] the deadline tightens the saturation time budget. *)
 }
 
 val default_config : config
@@ -89,9 +108,13 @@ type state = {
 type outcome = {
   best : state;
   explored : int;
+  stop : stop_reason;
+      (** why the search returned; [Deadline] outcomes still carry the
+          best state found before the clock expired *)
   frontier_exhausted : bool;
-      (** the whole space within depth was covered: neither the state
-          budget nor the position cap truncated anything *)
+      (** [stop = Exhausted], kept for existing callers: neither the
+          state budget, the position cap, nor a deadline truncated
+          anything *)
   cache_hits : int;   (** cost-cache hits during this call *)
   cache_misses : int;
   cache_evictions : int;

@@ -10,6 +10,8 @@
    others); the epoch protocol means helpers are spawned exactly once per
    pool, not per job. *)
 
+module Telemetry = Kola_telemetry.Telemetry
+
 type t = {
   size : int;  (* total domains per job, including the submitter *)
   mutable task : (int -> unit) option;
@@ -30,12 +32,23 @@ let resolve_jobs jobs =
 (* Claim and run chunks until the counter runs dry.  Tasks must not
    escape: a raising task would kill the helper's loop and hang every
    future job, so anything raised here is dropped — [map] catches user
-   exceptions itself and re-raises them in the submitter. *)
-let rec drain t task chunks =
+   exceptions itself and re-raises them in the submitter.  A chunk
+   claimed by a helper (rather than the submitter) counts as a steal:
+   work the submitter would otherwise have run itself. *)
+let rec drain ?(helper = false) t task chunks =
   let i = Atomic.fetch_and_add t.next 1 in
   if i < chunks then begin
-    (try task i with _ -> ());
-    drain t task chunks
+    if helper then Telemetry.count "pool.steal";
+    (try
+       Telemetry.span "pool.chunk" @@ fun () ->
+       if Telemetry.enabled () then begin
+         let t0 = Telemetry.now () in
+         task i;
+         Telemetry.observe "pool.chunk_ms" ((Telemetry.now () -. t0) *. 1000.)
+       end
+       else task i
+     with _ -> ());
+    drain ~helper t task chunks
   end
 
 let helper_loop t =
@@ -50,7 +63,7 @@ let helper_loop t =
       my_epoch := t.epoch;
       let task = Option.get t.task and chunks = t.chunks in
       Mutex.unlock t.mutex;
-      drain t task chunks;
+      drain ~helper:true t task chunks;
       Mutex.lock t.mutex;
       t.completed <- t.completed + 1;
       Condition.broadcast t.idle;
@@ -131,11 +144,19 @@ let map t f (xs : 'a array) : 'b array =
         let lo = c * chunk_size in
         let hi = min n (lo + chunk_size) - 1 in
         for i = lo to hi do
-          match f xs.(i) with
-          | y -> out.(i) <- Some y
-          | exception e -> ignore (Atomic.compare_and_set err None (Some e))
+          (* The first exception aborts the whole map: once [err] is set,
+             every domain skips its remaining items instead of running
+             them to completion — work past the failure is wasted (and,
+             under a deadline, actively harmful). *)
+          if Atomic.get err = None then
+            match f xs.(i) with
+            | y -> out.(i) <- Some y
+            | exception e -> ignore (Atomic.compare_and_set err None (Some e))
         done);
     (match Atomic.get err with Some e -> raise e | None -> ());
+    (* Unreachable by construction: an item is only ever skipped after
+       [err] was set, and a set [err] re-raised above — so reaching this
+       map means every slot was written. *)
     Array.map (function Some y -> y | None -> assert false) out
   end
 

@@ -11,6 +11,13 @@
 
 open Kola
 open Kola.Term
+module Telemetry = Kola_telemetry.Telemetry
+
+(* Per-rule attribution: one counter per rule name, built only when a
+   telemetry session is active so the disabled path allocates nothing. *)
+let note_attempt name fired =
+  if Telemetry.enabled () then
+    Telemetry.count ((if fired then "rule.fire." else "rule.miss.") ^ name)
 
 type step = {
   rule_name : string;
@@ -50,7 +57,11 @@ let step_with ?schema ~counter ~query_rules ~candidates (q : query) :
     List.find_map
       (fun r ->
         incr attempts;
-        Option.map (fun q' -> (r.Rule.name, q')) (Rule.apply_query ?schema r q))
+        let res =
+          Option.map (fun q' -> (r.Rule.name, q')) (Rule.apply_query ?schema r q)
+        in
+        note_attempt r.Rule.name (res <> None);
+        res)
       query_rules
   in
   match from_query_rules with
@@ -60,12 +71,17 @@ let step_with ?schema ~counter ~query_rules ~candidates (q : query) :
       List.find_map
         (fun r ->
           incr attempts;
-          Option.map (fun t -> (r.Rule.name, t))
-            (Strategy.of_rule ?schema r tgt))
+          let res =
+            Option.map (fun t -> (r.Rule.name, t))
+              (Strategy.of_rule ?schema r tgt)
+          in
+          note_attempt r.Rule.name (res <> None);
+          res)
         (candidates tgt)
     in
     let named = ref "" in
     let s tgt =
+      Telemetry.count "engine.positions";
       match strat tgt with
       | Some (name, t) ->
         named := name;
@@ -119,6 +135,7 @@ let step_once_indexed ?schema ?(counter = ref 0) (index : Index.t) (q : query)
    the naive baseline. *)
 let run ?schema ?(fuel = 10_000) ?(indexed = true) (rules : Rule.t list)
     (q : query) : outcome =
+  Telemetry.span "engine.run" @@ fun () ->
   let counter = ref 0 in
   let step =
     if indexed then
@@ -163,9 +180,13 @@ let step_with_hc ?schema ~counter ~query_rules ~candidates (hq : Hc.hquery) :
     List.find_map
       (fun r ->
         incr attempts;
-        Option.map
-          (fun hq' -> (r.Rule.name, hq'))
-          (Rule.apply_hquery ?schema r hq))
+        let res =
+          Option.map
+            (fun hq' -> (r.Rule.name, hq'))
+            (Rule.apply_hquery ?schema r hq)
+        in
+        note_attempt r.Rule.name (res <> None);
+        res)
       query_rules
   in
   match from_query_rules with
@@ -175,12 +196,17 @@ let step_with_hc ?schema ~counter ~query_rules ~candidates (hq : Hc.hquery) :
       List.find_map
         (fun r ->
           incr attempts;
-          Option.map (fun t -> (r.Rule.name, t))
-            (Strategy.H.of_rule ?schema r tgt))
+          let res =
+            Option.map (fun t -> (r.Rule.name, t))
+              (Strategy.H.of_rule ?schema r tgt)
+          in
+          note_attempt r.Rule.name (res <> None);
+          res)
         (candidates tgt)
     in
     let named = ref "" in
     let s tgt =
+      Telemetry.count "engine.positions";
       match strat tgt with
       | Some (name, t) ->
         named := name;
@@ -204,6 +230,7 @@ let step_once_hc ?schema ?(counter = ref 0) (index : Index.t) (hq : Hc.hquery)
    identical to [run ~indexed:true]. *)
 let run_hc ?schema ?(fuel = 10_000) (rules : Rule.t list) (q : query) : outcome
     =
+  Telemetry.span "engine.run_hc" @@ fun () ->
   let counter = ref 0 in
   let index = Index.build rules in
   let step = step_once_hc ?schema ~counter index in

@@ -1,0 +1,33 @@
+/* Monotonic clock for telemetry spans and search deadlines.
+
+   The OCaml stdlib only exposes wall-clock time (Unix.gettimeofday), which
+   jumps under NTP adjustment — useless for measuring spans or enforcing
+   deadlines.  This stub reads CLOCK_MONOTONIC where available and falls
+   back to gettimeofday elsewhere.  Seconds as a double: the monotonic
+   epoch is boot time, so the mantissa comfortably holds nanosecond
+   resolution for centuries of uptime. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+double kola_clock_monotonic_s(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (double)tv.tv_sec + (double)tv.tv_usec * 1e-6;
+  }
+}
+
+CAMLprim value kola_clock_monotonic_s_byte(value unit)
+{
+  return caml_copy_double(kola_clock_monotonic_s(unit));
+}

@@ -1,0 +1,383 @@
+(* Engine telemetry: monotonic-clock spans, counters and histograms.
+
+   The hot-path contract is that recording costs one atomic read when no
+   session is active, so instrumentation can live inside the rewrite
+   engine's innermost loops.  When a session is active, each domain
+   appends to its own buffer found through domain-local storage — no lock
+   is taken on the recording path (registration of a fresh buffer, once
+   per domain per session, is the only mutex acquisition).
+
+   Buffers are merged when the session stops: spans and marks are
+   concatenated and sorted by timestamp, counters and distributions are
+   summed/combined by name.  Sessions are identified by a generation
+   counter so a domain whose cached buffer belongs to an older session
+   (pool helpers persist across sessions) re-registers instead of writing
+   into a dead buffer. *)
+
+external now : unit -> (float[@unboxed])
+  = "kola_clock_monotonic_s_byte" "kola_clock_monotonic_s"
+[@@noalloc]
+
+type span_ev = {
+  tid : int;
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+}
+
+type mark = {
+  mtid : int;
+  mname : string;
+  mcat : string;
+  mts_us : float;
+  margs : (string * string) list;
+}
+
+type dist = { n : int; sum : float; mean : float; min_v : float; max_v : float }
+
+type trace = {
+  duration_us : float;
+  spans : span_ev list;
+  marks : mark list;
+  counters : (string * int) list;
+  dists : (string * dist) list;
+}
+
+(* Mutable per-name distribution accumulator (single-domain, unshared). *)
+type hstat = {
+  mutable hn : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type buf = {
+  btid : int;
+  mutable bspans : span_ev list;  (* newest first *)
+  mutable bmarks : mark list;
+  bcounters : (string, int ref) Hashtbl.t;
+  bhists : (string, hstat) Hashtbl.t;
+}
+
+type session = {
+  sid : int;  (* generation: stale DLS entries fail the comparison *)
+  st0 : float;  (* session start on the monotonic clock *)
+  smutex : Mutex.t;  (* guards [sbufs] registration only *)
+  mutable sbufs : buf list;
+}
+
+let current : session option Atomic.t = Atomic.make None
+let generation = Atomic.make 0
+
+let enabled () = Atomic.get current != None
+
+let start () =
+  let s =
+    {
+      sid = Atomic.fetch_and_add generation 1;
+      st0 = now ();
+      smutex = Mutex.create ();
+      sbufs = [];
+    }
+  in
+  Atomic.set current (Some s)
+
+(* The recording domain's buffer for [s], registering one on first use.
+   The DLS cell caches (session id, buffer); a mismatched id means the
+   cached buffer belongs to a finished session. *)
+let dls : (int * buf) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let buf_for (s : session) : buf =
+  let cell = Domain.DLS.get dls in
+  match !cell with
+  | Some (id, b) when id = s.sid -> b
+  | _ ->
+    let b =
+      {
+        btid = (Domain.self () :> int);
+        bspans = [];
+        bmarks = [];
+        bcounters = Hashtbl.create 32;
+        bhists = Hashtbl.create 16;
+      }
+    in
+    Mutex.lock s.smutex;
+    s.sbufs <- b :: s.sbufs;
+    Mutex.unlock s.smutex;
+    cell := Some (s.sid, b);
+    b
+
+let span ?(cat = "kola") name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some s ->
+    let t0 = now () in
+    let finish () =
+      let t1 = now () in
+      let b = buf_for s in
+      b.bspans <-
+        {
+          tid = b.btid;
+          name;
+          cat;
+          ts_us = (t0 -. s.st0) *. 1e6;
+          dur_us = (t1 -. t0) *. 1e6;
+        }
+        :: b.bspans
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let count ?(n = 1) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> (
+    let b = buf_for s in
+    match Hashtbl.find_opt b.bcounters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add b.bcounters name (ref n))
+
+let observe name v =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> (
+    let b = buf_for s in
+    match Hashtbl.find_opt b.bhists name with
+    | Some h ->
+      h.hn <- h.hn + 1;
+      h.hsum <- h.hsum +. v;
+      if v < h.hmin then h.hmin <- v;
+      if v > h.hmax then h.hmax <- v
+    | None -> Hashtbl.add b.bhists name { hn = 1; hsum = v; hmin = v; hmax = v })
+
+let instant ?(cat = "kola") ?(args = []) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    let b = buf_for s in
+    b.bmarks <-
+      {
+        mtid = b.btid;
+        mname = name;
+        mcat = cat;
+        mts_us = (now () -. s.st0) *. 1e6;
+        margs = args;
+      }
+      :: b.bmarks
+
+let empty_trace =
+  { duration_us = 0.; spans = []; marks = []; counters = []; dists = [] }
+
+let stop () =
+  match Atomic.get current with
+  | None -> empty_trace
+  | Some s ->
+    Atomic.set current None;
+    let duration_us = (now () -. s.st0) *. 1e6 in
+    let bufs = s.sbufs in
+    let spans =
+      List.sort
+        (fun a b -> compare a.ts_us b.ts_us)
+        (List.concat_map (fun b -> b.bspans) bufs)
+    in
+    let marks =
+      List.sort
+        (fun a b -> compare a.mts_us b.mts_us)
+        (List.concat_map (fun b -> b.bmarks) bufs)
+    in
+    let counters = Hashtbl.create 64 in
+    List.iter
+      (fun b ->
+        Hashtbl.iter
+          (fun k r ->
+            match Hashtbl.find_opt counters k with
+            | Some total -> Hashtbl.replace counters k (total + !r)
+            | None -> Hashtbl.add counters k !r)
+          b.bcounters)
+      bufs;
+    let dists = Hashtbl.create 32 in
+    List.iter
+      (fun b ->
+        Hashtbl.iter
+          (fun k (h : hstat) ->
+            match Hashtbl.find_opt dists k with
+            | Some d ->
+              Hashtbl.replace dists k
+                {
+                  n = d.n + h.hn;
+                  sum = d.sum +. h.hsum;
+                  mean = 0.;
+                  min_v = Float.min d.min_v h.hmin;
+                  max_v = Float.max d.max_v h.hmax;
+                }
+            | None ->
+              Hashtbl.add dists k
+                { n = h.hn; sum = h.hsum; mean = 0.; min_v = h.hmin; max_v = h.hmax })
+          b.bhists)
+      bufs;
+    let sorted tbl finish =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, finish v) :: acc) tbl [])
+    in
+    {
+      duration_us;
+      spans;
+      marks;
+      counters = sorted counters Fun.id;
+      dists =
+        sorted dists (fun d ->
+            { d with mean = (if d.n = 0 then 0. else d.sum /. float_of_int d.n) });
+    }
+
+let collecting f =
+  start ();
+  match f () with
+  | v -> (v, stop ())
+  | exception e ->
+    ignore (stop ());
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Exporters. *)
+
+(* Minimal JSON string escaping: quote, backslash, and control chars. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome (t : trace) : string =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let event fields =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf "  {";
+    Buffer.add_string buf (String.concat ", " fields);
+    Buffer.add_string buf "}"
+  in
+  let str k v = Printf.sprintf "\"%s\": \"%s\"" k (escape v) in
+  let num k v = Printf.sprintf "\"%s\": %.3f" k v in
+  let int k v = Printf.sprintf "\"%s\": %d" k v in
+  let args kvs =
+    Printf.sprintf "\"args\": {%s}"
+      (String.concat ", " (List.map (fun (k, v) -> str k v) kvs))
+  in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  (* thread metadata: one lane per recording domain *)
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun s -> s.tid) t.spans @ List.map (fun m -> m.mtid) t.marks)
+  in
+  List.iter
+    (fun tid ->
+      event
+        [
+          str "ph" "M"; int "pid" 1; int "tid" tid; str "name" "thread_name";
+          args [ ("name", Printf.sprintf "domain-%d" tid) ];
+        ])
+    tids;
+  List.iter
+    (fun (s : span_ev) ->
+      event
+        [
+          str "ph" "X"; int "pid" 1; int "tid" s.tid; str "name" s.name;
+          str "cat" s.cat; num "ts" s.ts_us; num "dur" s.dur_us;
+        ])
+    t.spans;
+  List.iter
+    (fun (m : mark) ->
+      event
+        ([
+           str "ph" "i"; int "pid" 1; int "tid" m.mtid; str "name" m.mname;
+           str "cat" m.mcat; num "ts" m.mts_us; str "s" "t";
+         ]
+        @ if m.margs = [] then [] else [ args m.margs ]))
+    t.marks;
+  (* counters: one C event at session end carrying the final total *)
+  List.iter
+    (fun (name, total) ->
+      event
+        [
+          str "ph" "C"; int "pid" 1; int "tid" 0; str "name" name;
+          str "cat" "counter"; num "ts" t.duration_us;
+          Printf.sprintf "\"args\": {\"value\": %d}" total;
+        ])
+    t.counters;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+let write_chrome file t =
+  let oc = open_out file in
+  output_string oc (to_chrome t);
+  close_out oc
+
+let span_totals (t : trace) : (string * int * float) list =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (s : span_ev) ->
+      match Hashtbl.find_opt tbl s.name with
+      | Some (calls, total) -> Hashtbl.replace tbl s.name (calls + 1, total +. s.dur_us)
+      | None -> Hashtbl.add tbl s.name (1, s.dur_us))
+    t.spans;
+  List.sort
+    (fun (_, _, a) (_, _, b) -> compare b a)
+    (Hashtbl.fold (fun name (calls, total) acc -> (name, calls, total) :: acc) tbl [])
+
+let pp_time ppf us =
+  if us >= 1e6 then Format.fprintf ppf "%.2f s" (us /. 1e6)
+  else if us >= 1e3 then Format.fprintf ppf "%.2f ms" (us /. 1e3)
+  else Format.fprintf ppf "%.1f us" us
+
+let pp_summary ppf (t : trace) =
+  Format.fprintf ppf "== telemetry summary (%a traced) ==@." pp_time
+    t.duration_us;
+  let totals = span_totals t in
+  if totals <> [] then begin
+    Format.fprintf ppf "spans (%d events):@." (List.length t.spans);
+    List.iter
+      (fun (name, calls, total) ->
+        Format.fprintf ppf "  %-42s %7d calls  %a@." name calls pp_time total)
+      totals
+  end;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, total) -> Format.fprintf ppf "  %-42s %10d@." name total)
+      t.counters
+  end;
+  if t.dists <> [] then begin
+    Format.fprintf ppf "distributions:@.";
+    List.iter
+      (fun (name, d) ->
+        Format.fprintf ppf "  %-42s n=%-6d mean=%.3f min=%.3f max=%.3f@." name
+          d.n d.mean d.min_v d.max_v)
+      t.dists
+  end;
+  if t.marks <> [] then begin
+    Format.fprintf ppf "marks:@.";
+    List.iter
+      (fun (m : mark) ->
+        Format.fprintf ppf "  %10.1f us  %-24s %s@." m.mts_us m.mname
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) m.margs)))
+      t.marks
+  end

@@ -37,4 +37,5 @@ let () =
       ("engine-parallel (domain pool)", Test_parallel.tests);
       ("engine-egraph (equality saturation)", Test_egraph.tests);
       ("company (second schema)", Test_company.tests);
+      ("telemetry (spans, counters, deadlines)", Test_telemetry.tests);
     ]

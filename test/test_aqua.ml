@@ -88,6 +88,33 @@ let tests =
           (Aqua.Eval.eval_closed (Bin (And, Const (Value.Bool false), boom)));
         Alcotest.check value "or" (Value.Bool true)
           (Aqua.Eval.eval_closed (Bin (Or, Const (Value.Bool true), boom))));
+    case "and/or nested under another binop (eval regression)" (fun () ->
+        (* And/Or as an *operand* of a comparison used to fall through the
+           evaluator's catch-all into assert false *)
+        let t = Const (Value.Bool true) and f = Const (Value.Bool false) in
+        Alcotest.check value "(true && false) = (false || false)"
+          (Value.Bool true)
+          (Aqua.Eval.eval_closed
+             (Bin (Eq, Bin (And, t, f), Bin (Or, f, f))));
+        (* and inside a selection predicate, over real rows *)
+        let old p = Bin (Gt, Path (Var p, "age"), Const (int 30)) in
+        let local p =
+          Bin (Eq, Path (Path (Var p, "addr"), "city"), Const (Value.Str "Boston"))
+        in
+        let both =
+          Sel (lam "p" (Bin (And, old "p", local "p")), Extent "P")
+        in
+        let either =
+          Sel (lam "p" (Bin (Or, old "p", local "p")), Extent "P")
+        in
+        let count e =
+          match Aqua.Eval.eval_closed ~db:tiny_db e with
+          | Value.Set xs -> List.length xs
+          | v -> Alcotest.failf "expected a set, got %a" Value.pp v
+        in
+        Alcotest.check Alcotest.bool "conjunction narrows the disjunction"
+          true
+          (count both <= count either && count either <= count (Extent "P")));
     case "size and nesting measures" (fun () ->
         Alcotest.check Alcotest.int "garage nesting" 2
           (max_nesting Aqua.Examples.garage);

@@ -97,4 +97,20 @@ let tests =
         Alcotest.check Alcotest.int "employees"
           C.default_params.C.employees
           (List.length a.C.employees));
+    case "a malformed employee row fails with a diagnosable message"
+      (fun () ->
+        (* the mentor-deepening pass goes through Store.obj_fields with the
+           company context; a corrupted extent names itself instead of
+           tripping assert false *)
+        match
+          Datagen.Store.obj_fields
+            ~context:"Datagen.Company.generate: employee row"
+            (Value.Str "not a row")
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument msg ->
+          Alcotest.check Alcotest.bool "names the pass" true
+            (contains msg "employee row");
+          Alcotest.check Alcotest.bool "shows the value" true
+            (contains msg "not a row"));
   ]

@@ -245,6 +245,37 @@ let tests =
         let ss = Cost.cache_stats seq_cache in
         Alcotest.(check int) "same misses" ss.Cost.misses sb.Cost.misses;
         Alcotest.(check int) "warm hits" (Array.length items) sb.Cost.hits);
+    case "a raising map aborts promptly and re-raises" (fun () ->
+        (* one poisoned item early in the array: the exception must come
+           back out of [map], and domains must stop starting new items
+           once it is raised instead of grinding through the whole input *)
+        let n = 64 in
+        let ran = Atomic.make 0 in
+        let xs = Array.init n Fun.id in
+        let f i =
+          if i = 3 then failwith "poisoned item"
+          else begin
+            ignore (Atomic.fetch_and_add ran 1);
+            Unix.sleepf 0.002;
+            i
+          end
+        in
+        Pool.with_pool ~jobs:2 (fun pool ->
+            (match Pool.map pool f xs with
+            | _ -> Alcotest.fail "expected the map to re-raise"
+            | exception Failure msg ->
+              Alcotest.(check string) "the item's exception" "poisoned item"
+                msg);
+            (* with 2 domains and 2ms per good item, finishing all 63
+               good items would take ~60ms; aborting after the poison
+               leaves most of them unstarted *)
+            Alcotest.(check bool) "most items never ran" true
+              (Atomic.get ran < n - 8);
+            (* the pool survives an aborted map *)
+            let ok = Pool.map pool (fun i -> i * 2) (Array.init 8 Fun.id) in
+            Alcotest.(check (array int)) "pool still works"
+              (Array.init 8 (fun i -> i * 2))
+              ok));
   ]
 
 let props =

@@ -60,4 +60,17 @@ let tests =
         let s = Datagen.Store.tiny () in
         Alcotest.check Alcotest.int "4 persons" 4 (List.length s.Datagen.Store.persons);
         Alcotest.check Alcotest.int "3 vehicles" 3 (List.length s.Datagen.Store.vehicles));
+    case "a malformed row fails with a diagnosable message" (fun () ->
+        (* row deepening used to die on [assert false]; now the error says
+           which pass choked and on what *)
+        match
+          Datagen.Store.obj_fields ~context:"Datagen.Store.generate: person row"
+            (Value.Int 42)
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument msg ->
+          Alcotest.check Alcotest.bool "names the pass" true
+            (contains msg "person row");
+          Alcotest.check Alcotest.bool "shows the value" true
+            (contains msg "42"));
   ]

@@ -42,6 +42,14 @@ let set = Value.set
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* Substring check for error-message assertions. *)
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
 (* Run the paper's tiny store through an AQUA expr and a KOLA query and
    compare. *)
 let check_translation ?(db = tiny_db) msg e =
