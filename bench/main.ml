@@ -720,12 +720,15 @@ module Saturate = Kola_egraph.Saturate
 type egraph_row = {
   gq : string;
   gbfs_cost : float;       (* BFS best, default_config depth, forward rules *)
-  geg_cost : float;        (* egraph best after extraction + re-measuring *)
+  geg_cost : float;        (* egraph best after extraction + re-measuring;
+                              the source is always a candidate, so never
+                              worse than doing nothing *)
   gbfs_full_ns : float;    (* symmetric closure at depth 5, state-capped *)
   gbfs_explored : int;
   gbfs_exhausted : bool;   (* whether capped BFS even covered depth 5 *)
   geg_ns : float;
   gspeedup : float;        (* gbfs_full_ns / geg_ns *)
+  gjobs : int;             (* domains the match phase fanned out over *)
   gstats : Saturate.stats;
 }
 
@@ -756,18 +759,15 @@ let egraph_rows () =
             }
           q
       in
-      let eg, eg_ns =
-        wall (fun () ->
-            Optimizer.Search.explore
-              ~config:
-                {
-                  Optimizer.Search.default_config with
-                  engine = Optimizer.Search.Egraph;
-                  egraph_budgets = budgets;
-                  hc_cost_cache = Some (Optimizer.Cost.hc_cache ());
-                }
-              q)
+      let eg_config =
+        {
+          Optimizer.Search.default_config with
+          engine = Optimizer.Search.Egraph;
+          egraph_budgets = budgets;
+          hc_cost_cache = Some (Optimizer.Cost.hc_cache ());
+        }
       in
+      let eg, eg_ns = wall (fun () -> Optimizer.Search.explore ~config:eg_config q) in
       let bfs_full, bfs_full_ns =
         wall (fun () ->
             Optimizer.Search.explore
@@ -790,6 +790,7 @@ let egraph_rows () =
         gbfs_exhausted = bfs_full.Optimizer.Search.frontier_exhausted;
         geg_ns = eg_ns;
         gspeedup = bfs_full_ns /. eg_ns;
+        gjobs = Optimizer.Search.resolved_jobs eg_config;
         gstats = Option.get eg.Optimizer.Search.saturation;
       })
     [
@@ -801,8 +802,9 @@ let egraph_rows () =
 
 let egraph_table rows =
   Fmt.pr "@.## egraph_saturation (extract-after-saturate vs bounded BFS)@.";
-  Fmt.pr "  %-11s %9s %9s %12s %12s %9s %s@." "query" "bfs-cost" "eg-cost"
-    "bfs-d5-wall" "eg-wall" "speedup" "saturation";
+  Fmt.pr "  %-11s %9s %9s %12s %12s %9s %5s %8s %9s %s@." "query" "bfs-cost"
+    "eg-cost" "bfs-d5-wall" "eg-wall" "speedup" "jobs" "skipped" "deferred"
+    "saturation";
   List.iter
     (fun r ->
       let pretty ns =
@@ -810,10 +812,11 @@ let egraph_table rows =
         else if ns > 1e6 then Fmt.str "%9.2f ms" (ns /. 1e6)
         else Fmt.str "%9.2f us" (ns /. 1e3)
       in
-      Fmt.pr "  %-11s %9.1f %9.1f %12s %12s %8.1fx %s@." r.gq r.gbfs_cost
-        r.geg_cost
+      Fmt.pr "  %-11s %9.1f %9.1f %12s %12s %8.1fx %5d %8d %9d %s@." r.gq
+        r.gbfs_cost r.geg_cost
         (pretty r.gbfs_full_ns)
-        (pretty r.geg_ns) r.gspeedup
+        (pretty r.geg_ns) r.gspeedup r.gjobs r.gstats.Saturate.matches_skipped
+        r.gstats.Saturate.rules_deferred
         (Fmt.str "%d nodes / %d classes / %d iters, stop: %s%s"
            r.gstats.Saturate.e_nodes r.gstats.Saturate.e_classes
            r.gstats.Saturate.iterations
@@ -829,14 +832,20 @@ let egraph_json rows =
       Buffer.add_string buf
         (Fmt.str
            "    {\"query\": %S, \"bfs_default_cost\": %.2f, \
-            \"egraph_cost\": %.2f, \"bfs_depth5_ns\": %.0f, \
+            \"egraph_cost\": %.2f, \"best_of_cost\": %.2f, \
+            \"bfs_depth5_ns\": %.0f, \
             \"bfs_depth5_explored\": %d, \"bfs_depth5_exhausted\": %b, \
             \"egraph_ns\": %.0f, \"speedup_vs_bfs_depth5\": %.2f, \
+            \"jobs\": %d, \"matches_skipped\": %d, \"rules_deferred\": %d, \
             \"e_nodes\": %d, \"e_classes\": %d, \"unions\": %d, \
-            \"iterations\": %d, \"rebuild_ms\": %.1f, \"total_ms\": %.1f, \
+            \"iterations\": %d, \"rebuild_ms\": %.3f, \"total_ms\": %.1f, \
             \"stop\": %S}%s\n"
-           r.gq r.gbfs_cost r.geg_cost r.gbfs_full_ns r.gbfs_explored
-           r.gbfs_exhausted r.geg_ns r.gspeedup r.gstats.Saturate.e_nodes
+           r.gq r.gbfs_cost r.geg_cost
+           (Float.min r.gbfs_cost r.geg_cost)
+           r.gbfs_full_ns r.gbfs_explored
+           r.gbfs_exhausted r.geg_ns r.gspeedup r.gjobs
+           r.gstats.Saturate.matches_skipped r.gstats.Saturate.rules_deferred
+           r.gstats.Saturate.e_nodes
            r.gstats.Saturate.e_classes r.gstats.Saturate.unions
            r.gstats.Saturate.iterations r.gstats.Saturate.rebuild_ms
            r.gstats.Saturate.total_ms

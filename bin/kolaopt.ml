@@ -277,6 +277,37 @@ let search_cmd =
              stops gracefully and reports the best plan found so far with \
              stop reason $(b,deadline).")
   in
+  (* E-graph budget overrides.  Validated at the cmdliner layer like
+     --jobs: a non-positive budget is a usage error, not an instantly
+     exhausted saturation. *)
+  let pos_int flag =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n > 0 -> Ok n
+      | Ok n -> Error (`Msg (Fmt.str "%s must be positive, got %d" flag n))
+      | Error _ as e -> e
+    in
+    Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)
+  in
+  let node_budget =
+    Arg.(
+      value
+      & opt (some (pos_int "--node-budget")) None
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:
+            "Maximum e-nodes the $(b,egraph) engine may create before \
+             stopping with reason $(b,node-budget) (default 20000).")
+  in
+  let iter_budget =
+    Arg.(
+      value
+      & opt (some (pos_int "--iter-budget")) None
+      & info [ "iter-budget" ] ~docv:"N"
+          ~doc:
+            "Maximum saturation iterations for the $(b,egraph) engine \
+             before stopping with reason $(b,iteration-budget) (default \
+             12).")
+  in
   let paper =
     (* Validated at the cmdliner layer like --engine: unknown names are a
        usage error listing the accepted queries. *)
@@ -313,7 +344,7 @@ let search_cmd =
       & info [] ~docv:"OQL" ~doc:"An OQL query over extents P, V, A.")
   in
   let run src store depth states naive jobs legacy_terms engine trace stats
-      deadline paper =
+      deadline node_budget iter_budget paper =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let q =
@@ -323,6 +354,18 @@ let search_cmd =
           | None, None ->
             Fmt.epr "search: expected an OQL query or --paper QUERY@.";
             exit 124
+        in
+        let egraph_budgets =
+          let b = Optimizer.Search.default_config.egraph_budgets in
+          {
+            b with
+            Kola_egraph.Saturate.max_enodes =
+              Option.value ~default:b.Kola_egraph.Saturate.max_enodes
+                node_budget;
+            max_iterations =
+              Option.value ~default:b.Kola_egraph.Saturate.max_iterations
+                iter_budget;
+          }
         in
         let config =
           {
@@ -335,6 +378,7 @@ let search_cmd =
             sample_db = db;
             jobs;
             deadline;
+            egraph_budgets;
           }
         in
         let collect = trace <> None || stats in
@@ -343,8 +387,9 @@ let search_cmd =
         let tr =
           if collect then Some (Kola_telemetry.Telemetry.stop ()) else None
         in
-        if engine = Optimizer.Search.Bfs then
-          Fmt.pr "domains: %d@." (Optimizer.Search.resolved_jobs config);
+        (* Both engines fan work out over --jobs domains now: BFS its
+           level expansion, the e-graph its match phase. *)
+        Fmt.pr "domains: %d@." (Optimizer.Search.resolved_jobs config);
         (match o.Optimizer.Search.saturation with
         | Some s -> Fmt.pr "saturation: %a@." Kola_egraph.Saturate.pp_stats s
         | None -> ());
@@ -387,7 +432,8 @@ let search_cmd =
        ~doc:"Optimize by bounded exploration of the rewrite space.")
     Term.(
       const run $ query_opt $ store_term $ depth $ states $ naive $ jobs
-      $ legacy_terms $ engine $ trace $ stats $ deadline $ paper)
+      $ legacy_terms $ engine $ trace $ stats $ deadline $ node_budget
+      $ iter_budget $ paper)
 
 let main =
   Cmd.group

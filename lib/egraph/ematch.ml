@@ -17,6 +17,7 @@ open Kola.Term
 open Lang
 
 type erule = {
+  eid : int;  (** position in the compiled catalog; scheduler index *)
   ename : string;
   esource : Rewrite.Rule.t;  (** for preconditions and replay *)
   elhs : wterm;
@@ -171,6 +172,7 @@ let compile_rule ?(internal = false) (r : Rewrite.Rule.t) : erule list =
   | Rewrite.Rule.HFun_rule (l, rhs) ->
     [
       {
+        eid = 0;
         ename = name;
         esource = r;
         elhs = Wf l;
@@ -182,6 +184,7 @@ let compile_rule ?(internal = false) (r : Rewrite.Rule.t) : erule list =
   | Rewrite.Rule.HPred_rule (l, rhs) ->
     [
       {
+        eid = 0;
         ename = name;
         esource = r;
         elhs = Wp l;
@@ -198,6 +201,7 @@ let compile_rule ?(internal = false) (r : Rewrite.Rule.t) : erule list =
     let ph = Hc.fhole prefix_hole in
     [
       {
+        eid = 0;
         ename = name;
         esource = r;
         elhs = Wq (lf, lv);
@@ -206,6 +210,7 @@ let compile_rule ?(internal = false) (r : Rewrite.Rule.t) : erule list =
         einternal = internal;
       };
       {
+        eid = 0;
         ename = name;
         esource = r;
         elhs = Wq (Hc.compose ph lf, lv);
@@ -232,6 +237,7 @@ let assoc_rules =
 let compile (rules : Rewrite.Rule.t list) : erule list =
   List.concat_map (compile_rule ~internal:false) rules
   @ List.concat_map (compile_rule ~internal:true) assoc_rules
+  |> List.mapi (fun i er -> { er with eid = i })
 
 (* ------------------------------------------------------------------ *)
 (* One matched instance, ready to apply. *)
@@ -242,35 +248,37 @@ type match_inst = {
   mrhs : wterm;
 }
 
+(* One rule against one class.  Reads only — safe from pool domains
+   between rebuilds (after {!Graph.canonicalize}); telemetry records into
+   the calling domain's own buffer. *)
+let matches_of_rule g schema (er : erule) (cls : int) : match_inst list =
+  let module Telemetry = Kola_telemetry.Telemetry in
+  if er.emask <> 0 && Graph.class_mask g cls land er.emask = 0 then []
+  else if Telemetry.enabled () then begin
+    (* Per-rule matcher time, aggregated as a distribution; the disabled
+       path below stays clock-free. *)
+    let t0 = Telemetry.now () in
+    let res =
+      match_wterm g Rewrite.Subst.H.empty er.elhs cls
+      |> List.filter_map (fun s ->
+             match check_preconditions g schema er s with
+             | None -> None
+             | Some s ->
+               Some { mrule = er; mlhs = inst s er.elhs; mrhs = inst s er.erhs })
+    in
+    Telemetry.observe
+      ("egraph.match_ms." ^ er.ename)
+      ((Telemetry.now () -. t0) *. 1000.);
+    res
+  end
+  else
+    match_wterm g Rewrite.Subst.H.empty er.elhs cls
+    |> List.filter_map (fun s ->
+           match check_preconditions g schema er s with
+           | None -> None
+           | Some s ->
+             Some { mrule = er; mlhs = inst s er.elhs; mrhs = inst s er.erhs })
+
 let matches_in_class g schema (erules : erule list) (cls : int) :
     match_inst list =
-  let module Telemetry = Kola_telemetry.Telemetry in
-  List.concat_map
-    (fun er ->
-      if er.emask <> 0 && Graph.class_mask g cls land er.emask = 0 then []
-      else if Telemetry.enabled () then begin
-        (* Per-rule matcher time, aggregated as a distribution; the
-           disabled path below stays clock-free. *)
-        let t0 = Telemetry.now () in
-        let res =
-          match_wterm g Rewrite.Subst.H.empty er.elhs cls
-          |> List.filter_map (fun s ->
-                 match check_preconditions g schema er s with
-                 | None -> None
-                 | Some s ->
-                   Some
-                     { mrule = er; mlhs = inst s er.elhs; mrhs = inst s er.erhs })
-        in
-        Telemetry.observe
-          ("egraph.match_ms." ^ er.ename)
-          ((Telemetry.now () -. t0) *. 1000.);
-        res
-      end
-      else
-        match_wterm g Rewrite.Subst.H.empty er.elhs cls
-        |> List.filter_map (fun s ->
-               match check_preconditions g schema er s with
-               | None -> None
-               | Some s ->
-                 Some { mrule = er; mlhs = inst s er.elhs; mrhs = inst s er.erhs }))
-    erules
+  List.concat_map (fun er -> matches_of_rule g schema er cls) erules

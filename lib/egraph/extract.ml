@@ -49,14 +49,17 @@ let node_candidates ~k g (tbl : table) (n : Graph.enode) : best list =
   if List.exists (fun l -> l = None) child_lists then []
   else
     let w0 = op_weight n.Graph.op in
-    let combos =
+    let _, combos =
       List.fold_left
-        (fun acc l ->
+        (fun (i, acc) l ->
           let l = Option.get l in
-          List.concat_map
-            (fun (w, cs) -> List.map (fun b -> (w +. b.bw, b.bt :: cs)) l)
-            acc)
-        [ (w0, []) ]
+          let f = op_child_factor n.Graph.op i in
+          ( i + 1,
+            List.concat_map
+              (fun (w, cs) ->
+                List.map (fun b -> (w +. (f *. b.bw), b.bt :: cs)) l)
+              acc ))
+        (0, [ (w0, []) ])
         child_lists
     in
     merge ~k
@@ -89,6 +92,110 @@ let k_best ?(k = 4) ?(max_passes = 30) (g : Graph.t) : table =
 
 let bests (tbl : table) g (cls : int) : best list =
   Option.value ~default:[] (Hashtbl.find_opt tbl (Graph.find g cls))
+
+(* Cheapest instantiation of one specific e-node — the per-member view a
+   class-level merge discards.  The class front keeps the k cheapest
+   terms *overall*, so members whose weight is unremarkable vanish even
+   when the executed cost model would prefer them; callers that
+   re-measure want one candidate per member instead. *)
+let node_best (tbl : table) g (n : Graph.enode) : best option =
+  match node_candidates ~k:1 g tbl n with b :: _ -> Some b | [] -> None
+
+let member_bests (tbl : table) g (cls : int) : best list =
+  merge ~k:max_int
+    (List.filter_map (node_best tbl g) (Graph.nodes g cls))
+    []
+
+(* One-point deviations of a class's best spelling: at every class in
+   the best spelling's derivation tree, substitute each alternative
+   member's own best instantiation while keeping everything else at its
+   best.  The result is a local neighborhood of the extraction optimum
+   inside the e-graph — every term is provably equivalent to the class —
+   sized linearly in (best-tree nodes × class width) rather than
+   exponentially.  This is what rescues spellings whose measured win is
+   below the weight model's resolution (a few percent from hoisting or
+   predicate reordering): they lose every weight-ranked merge but sit
+   one member-substitution away from the weight optimum, and the caller
+   re-measures the whole neighborhood with the executed cost model. *)
+let deviations ?(cap = 512) (tbl : table) g (cls : int) : wterm list =
+  let count = ref 0 in
+  let out = ref [] in
+  let emit w =
+    if !count < cap then begin
+      incr count;
+      out := w :: !out
+    end
+  in
+  let rec go cls =
+    if !count < cap then
+      match bests tbl g cls with
+      | [] -> ()
+      | b0 :: _ ->
+        let bkey = wkey b0.bt in
+        let best_member = ref None in
+        List.iter
+          (fun n ->
+            match node_best tbl g n with
+            | Some b when wkey b.bt = bkey ->
+              if !best_member = None then best_member := Some n
+            | Some b -> emit b.bt
+            | None -> ())
+          (Graph.nodes g cls);
+        (* Recurse into the member that realizes the best: a deviation of
+           child j, wrapped in this operator with the other children at
+           their best, is a deviation of this class. *)
+        match !best_member with
+        | None -> ()
+        | Some m ->
+          let arity = Array.length m.Graph.children in
+          let child_best j =
+            match
+              Hashtbl.find_opt tbl (Graph.find g m.Graph.children.(j))
+            with
+            | Some (b :: _) -> Some b.bt
+            | _ -> None
+          in
+          for j = 0 to arity - 1 do
+            let marker = !out and before = !count in
+            go (Graph.find g m.Graph.children.(j));
+            let rec fresh l = if l == marker then [] else
+              match l with [] -> [] | x :: r -> x :: fresh r
+            in
+            let child_devs = fresh !out in
+            (* Rebuild the fresh child-level deviations in this context;
+               replace them in [out] with the wrapped spellings. *)
+            if child_devs <> [] then begin
+              let ok = ref true in
+              let ctx =
+                List.init arity (fun i ->
+                    if i = j then None
+                    else
+                      match child_best i with
+                      | Some t -> Some t
+                      | None ->
+                        ok := false;
+                        None)
+              in
+              if !ok then
+                out :=
+                  List.map
+                    (fun d ->
+                      rebuild m.Graph.op
+                        (List.mapi
+                           (fun i c ->
+                             if i = j then d else Option.get c)
+                           ctx))
+                    child_devs
+                  @ marker
+              else begin
+                out := marker;
+                count := before
+              end
+            end
+          done
+  in
+  go (Graph.find g cls);
+  List.rev !out
 
 let best (tbl : table) g (cls : int) : best option =
   match bests tbl g cls with [] -> None | b :: _ -> Some b

@@ -1,0 +1,41 @@
+(** Bottom-up cost extraction: the k cheapest distinct terms of every
+    e-class under the per-operator weights of {!Lang.op_weight},
+    computed by fixpoint dynamic programming (merges introduce cycles,
+    but every operator weighs at least 0.1, so candidate tables
+    converge).
+
+    The weights only rank candidates — callers re-measure the extracted
+    front with the executed cost model, which is why extraction returns
+    k terms per class rather than one. *)
+
+open Lang
+
+type best = { bw : float; bt : wterm }
+
+type table = (int, best list) Hashtbl.t
+(** canonical class id → candidates, cheapest first, ≤ k, distinct terms *)
+
+val k_best : ?k:int -> ?max_passes:int -> Graph.t -> table
+(** Candidate tables for every class; [k] defaults to 4. *)
+
+val bests : table -> Graph.t -> int -> best list
+(** Candidates of a class, cheapest first ([[]] if none converged). *)
+
+val member_bests : table -> Graph.t -> int -> best list
+(** The cheapest instantiation of {e each} member e-node of a class,
+    cheapest first, distinct.  Unlike {!bests} this keeps one candidate
+    per member even when its weight is unremarkable — the front callers
+    re-measure with an executed cost model, which may disagree with the
+    weights about which member wins. *)
+
+val deviations : ?cap:int -> table -> Graph.t -> int -> wterm list
+(** One-point deviations of a class's best spelling: at every class in
+    the best spelling's derivation tree, each alternative member's best
+    instantiation substituted with everything else kept at its best.
+    Every result is provably equivalent to the class; at most [cap]
+    (default 512) are produced.  This is the local neighborhood of the
+    extraction optimum callers re-measure with the executed cost model —
+    it contains spellings whose measured win is below the weight model's
+    resolution. *)
+
+val best : table -> Graph.t -> int -> best option

@@ -11,8 +11,11 @@
    edges recursively, lifting child rewrites through the parent operator —
    yielding a step-by-step derivation replayable against the BFS engine.
 
-   Single-domain by design: the saturation loop is sequential (the
-   parallel story lives in the BFS engine); no field here is shared. *)
+   Mutation is single-domain: all writes (add_term, union, rebuild) come
+   from the controlling domain.  Between [canonicalize] and the next
+   mutation the structure is read-only — [find] is a bare array read —
+   so the saturation loop may fan match queries out over a domain pool
+   during that window. *)
 
 open Lang
 
@@ -70,6 +73,7 @@ type t = {
   proofs : (wkey, pnode) Hashtbl.t;
   term_class : (wkey, int) Hashtbl.t;  (** added term → class at insertion *)
   mutable dirty : int list;  (** classes whose parents need recanonicalizing *)
+  mutable touched : int list;  (** classes changed since last [take_touched] *)
   mutable n_nodes : int;
   mutable n_unions : int;
 }
@@ -82,6 +86,7 @@ let create () =
     proofs = Hashtbl.create 256;
     term_class = Hashtbl.create 256;
     dirty = [];
+    touched = [];
     n_nodes = 0;
     n_unions = 0;
   }
@@ -96,6 +101,23 @@ let class_mask t i = (eclass t i).cmask
 let class_sort t i = (eclass t i).csort
 let witness t i = (eclass t i).cwitness
 let iter_classes t f = Hashtbl.iter (fun root c -> f root c) t.classes
+let parents t i = (eclass t i).parents
+
+(* Live roots in ascending id order — a stable iteration order for the
+   match phase, independent of hash-table internals and of how the work
+   is later chunked across domains. *)
+let class_roots t =
+  List.sort compare (Hashtbl.fold (fun root _ acc -> root :: acc) t.classes [])
+
+(* Roots (canonical) of every class changed — created or merged into —
+   since the previous call; clears the accumulator.  Drives the
+   saturation loop's freshness stamps. *)
+let take_touched t =
+  let roots = List.sort_uniq compare (List.map (Uf.find t.uf) t.touched) in
+  t.touched <- [];
+  roots
+
+let canonicalize t = Uf.compress t.uf
 
 let canon_key t (n : enode) : Key.t =
   Array.iteri (fun i c -> n.children.(i) <- find t c) n.children;
@@ -140,6 +162,7 @@ let rec add_term t (w : wterm) : int =
       Ktbl.replace t.hashcons key n;
       Hashtbl.replace t.proofs k pn;
       Hashtbl.replace t.term_class k id;
+      t.touched <- id :: t.touched;
       t.n_nodes <- t.n_nodes + 1;
       (* Register as a parent of each distinct child class. *)
       let seen = ref [] in
@@ -196,6 +219,7 @@ let union t ~ja ~jb ~just a b : bool =
     Hashtbl.remove t.classes (if root = ra then rb else ra);
     Hashtbl.replace t.classes root cw;
     t.dirty <- root :: t.dirty;
+    t.touched <- root :: t.touched;
     t.n_unions <- t.n_unions + 1;
     true
   end

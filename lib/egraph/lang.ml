@@ -251,6 +251,16 @@ let op_weight = function
   | OVal _ | OQuery -> 0.0
   | _ -> 0.1
 
+(* How many times child [i] runs per execution of the operator: the
+   collection combinators apply their predicate and body once per input
+   element, so weight accumulated inside them multiplies by a nominal
+   collection size.  This is what makes extraction prefer hoisted
+   spellings — a loop-invariant subterm moved out of an [iter] body
+   sheds the factor, exactly as its measured per-tuple cost does, even
+   though the flat sum of op weights grows. *)
+let op_child_factor op (_i : int) =
+  match op with OIter | OIterate | OJoin -> 8.0 | _ -> 1.0
+
 let pp_wterm ppf = function
   | Wf f -> Pretty.pp_func ppf f.Hc.fterm
   | Wp p -> Pretty.pp_pred ppf p.Hc.pterm

@@ -833,6 +833,13 @@ let stop_of_saturation config = function
   | Saturate.Node_budget | Saturate.Iter_budget -> Budget
   | Saturate.Time_budget -> if config.deadline <> None then Deadline else Budget
 
+(* [jobs] threads into saturation as the e-matching pool; jobs = 1 stays
+   pool-free (the fan-out is a plain [Array.map]).  Saturation outcomes
+   are bit-identical at any jobs count — see the merge discipline in
+   {!Kola_egraph.Saturate}. *)
+let egraph_pool config =
+  match resolved_jobs config with 1 -> None | jobs -> Some (pool_for jobs)
+
 let explore_egraph ~config (q : Term.query) : outcome =
   let db = config.sample_db in
   let cache = hc_cache_of config in
@@ -841,20 +848,53 @@ let explore_egraph ~config (q : Term.query) : outcome =
   let hq0 = Term.Hc.of_query q in
   let sp =
     Saturate.saturate ~rules:config.rules ~budgets:(egraph_budgets_of config)
-      hq0
+      ?pool:(egraph_pool config) hq0
   in
-  (* k = 2: the extraction weights are a heuristic, so re-measure a small
-     front with the real cost model rather than trusting the single
-     winner — but keep it small, k-best DP cost grows as k² per node. *)
-  let front = Saturate.best_terms ~k:2 sp in
-  let cands = hq0 :: List.filter_map Saturate.hquery_of_wterm front in
-  let best_hq, best_cost =
+  (* The extraction weights are a heuristic, so re-measure a front with
+     the real cost model rather than trusting the single winner: the 2
+     cheapest spellings overall (k-best DP cost grows as k² per node)
+     plus both deviation neighborhoods (around the weight optimum and
+     around the source).  The source itself always stays a candidate —
+     extraction can therefore never be worse than doing nothing. *)
+  let measure_front best cands =
     List.fold_left
       (fun (bq, bc) hq ->
         let c = Cost.weighted_memo_hc cache ~db hq in
         if c < bc then (hq, c) else (bq, bc))
+      best cands
+  in
+  let front = Saturate.extraction_front ~k:2 sp in
+  let best0 =
+    measure_front
       (hq0, Cost.weighted_memo_hc cache ~db hq0)
-      cands
+      (List.filter_map Saturate.hquery_of_wterm front)
+  in
+  (* Measured-cost descent inside the e-graph: re-anchor the witness
+     deviations on each measured winner and keep going while the
+     measured cost improves.  Each round is a new one-substitution
+     neighborhood of a spelling the weights never ranked, so chains of
+     individually-unremarkable rewrites (hoist, then simplify the
+     hoisted residue) become reachable. *)
+  let rec descend (best_hq, best_cost) rounds =
+    if rounds = 0 then (best_hq, best_cost)
+    else
+      let devs =
+        Saturate.anchor_deviations sp (Saturate.wterm_of_query best_hq)
+      in
+      let (hq', c') =
+        measure_front (best_hq, best_cost)
+          (List.filter_map Saturate.hquery_of_wterm devs)
+      in
+      if c' < best_cost then descend (hq', c') (rounds - 1)
+      else (best_hq, best_cost)
+  in
+  (* When the source itself won the first round its neighborhood was
+     already in the front — re-anchoring there would measure the same
+     candidates again, pure overhead on the small saturated queries. *)
+  let best_hq, best_cost =
+    let wk = Kola_egraph.Lang.wkey (Saturate.wterm_of_query (fst best0)) in
+    if wk = Kola_egraph.Lang.wkey (Saturate.wterm_of_query hq0) then best0
+    else descend best0 3
   in
   let rev_path =
     match Saturate.path_to sp (Saturate.wterm_of_query best_hq) with
@@ -1118,7 +1158,7 @@ let reaches_egraph ~config (q : Term.query) (target : Term.query) :
   let hq0 = Term.Hc.of_query q and ht = Term.Hc.of_query target in
   let sp =
     Saturate.saturate ~rules:config.rules ~budgets:(egraph_budgets_of config)
-      ~target:ht hq0
+      ?pool:(egraph_pool config) ~target:ht hq0
   in
   Saturate.path sp
 

@@ -240,6 +240,81 @@ let tests =
           o.Search.best.Search.query;
         Alcotest.(check bool) "derivation replayed from the proof forest" true
           (o.Search.best.Search.path <> []));
+    (* ---------------- parallel determinism & scheduling ---------------- *)
+    case "saturation outcomes are bit-identical at jobs 1, 2 and 4" (fun () ->
+        (* Time never stops these runs (max_millis = 1e9), so every stat,
+           the stop reason and the extracted front must agree exactly
+           with the sequential baseline at any pool size. *)
+        let budgets =
+          { Saturate.max_enodes = 60_000; max_iterations = 5; max_millis = 1e9 }
+        in
+        let fingerprint sp =
+          let s = sp.Saturate.stats in
+          Fmt.str "it=%d nodes=%d classes=%d unions=%d skipped=%d deferred=%d stop=%s front=%s"
+            s.Saturate.iterations s.Saturate.e_nodes s.Saturate.e_classes
+            s.Saturate.unions s.Saturate.matches_skipped
+            s.Saturate.rules_deferred (stop_label sp)
+            (String.concat " ; "
+               (List.filter_map
+                  (fun w ->
+                    Option.map Kola.Pretty.query_to_string
+                      (Saturate.query_of_wterm w))
+                  (Saturate.best_terms ~k:3 sp)))
+        in
+        let run pool =
+          Saturate.saturate ?pool ~budgets ~rules:Rules.Catalog.all
+            (Term.Hc.of_query Paper.k4)
+        in
+        let base = run None in
+        Alcotest.(check bool) "incremental matching skipped stale pairs" true
+          (base.Saturate.stats.Saturate.matches_skipped > 0);
+        let expected = fingerprint base in
+        List.iter
+          (fun jobs ->
+            Kola_parallel.Pool.with_pool ~jobs (fun pool ->
+                Alcotest.(check string)
+                  (Fmt.str "jobs=%d matches the sequential run" jobs)
+                  expected
+                  (fingerprint (run (Some pool)))))
+          [ 2; 4 ]);
+    case "extraction regression pins: K4 and KG1 never lose to BFS" (fun () ->
+        (* K4's hoisted join is strictly cheaper than anything BFS finds
+           at default depth; KG1's best spelling is weight-blind (the
+           hoist is heavier under op_weight) and only survives through
+           the witness-deviation front, so this pins both. *)
+        let eg q = (Search.explore ~config:(ecfg ()) q).Search.best.Search.cost in
+        let bfs q = Search.(explore q).best.Search.cost in
+        let k4 = eg Paper.k4 in
+        Alcotest.(check bool)
+          (Fmt.str "K4 egraph cost %.2f <= 8.1" k4)
+          true
+          (k4 <= 8.1 +. 1e-6);
+        let kg1_bfs = bfs Paper.kg1 and kg1_eg = eg Paper.kg1 in
+        Alcotest.(check bool)
+          (Fmt.str "KG1 egraph %.2f <= bfs %.2f" kg1_eg kg1_bfs)
+          true
+          (kg1_eg <= kg1_bfs +. 1e-9));
+    case "extraction front spellings all land in the source's class" (fun () ->
+        (* Every candidate the optimizer re-measures — weight bests,
+           weight-optimum deviations, witness deviations around the
+           source — must be provably equivalent to the source: re-adding
+           its spelling to the graph finds the source's e-class. *)
+        let budgets =
+          { Saturate.max_enodes = 20_000; max_iterations = 4; max_millis = 1e9 }
+        in
+        let sp = saturate ~budgets ~rules:Rules.Catalog.all Paper.kg1 in
+        let g = sp.Saturate.graph in
+        let front = Saturate.extraction_front ~k:2 sp in
+        Alcotest.(check bool) "front holds more than the source" true
+          (List.length front > 1);
+        List.iter
+          (fun w ->
+            let c = Graph.add_term g w in
+            Graph.rebuild g;
+            Alcotest.(check int) "same class as the source"
+              (Graph.find g sp.Saturate.root)
+              (Graph.find g c))
+          front);
     (* ---------------- masked truncation regression ---------------- *)
     case "masked truncation: only viable positions clear the frontier flag"
       (fun () ->
