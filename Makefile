@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph baseline trace-demo clean
+.PHONY: all build test check serve-smoke bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph bench-serve baseline trace-demo clean
 
 all: build
 
@@ -9,6 +9,17 @@ build:
 
 test:
 	dune runtest
+
+# The default verify path: build, unit tests, the CI-sized bench slice,
+# and the serving smoke (daemon end-to-end: engines, malformed input,
+# overload rejection, telemetry, clean shutdown).
+check:
+	dune build && dune runtest && dune build @bench-smoke && $(MAKE) serve-smoke
+
+# In-process daemon smoke: one request per engine plus a malformed line
+# and a deterministic overload, asserting a clean shutdown.
+serve-smoke:
+	dune exec bin/kolaoptd.exe -- smoke
 
 # Full benchmark sweep (several minutes); writes BENCH_engine.json.
 bench:
@@ -35,6 +46,12 @@ bench-hashcons:
 # closure exploration; writes BENCH_egraph.json.
 bench-egraph:
 	dune exec bench/main.exe -- --egraph
+
+# Serving throughput/latency: an in-process kolaoptd driven over its
+# Unix-domain socket at concurrency 1/4/16/64, cold vs warm shared
+# caches, bfs vs egraph; writes BENCH_serve.json.
+bench-serve:
+	dune exec bench/main.exe -- --serve
 
 # Regenerate the committed engine baseline at the repo root.
 baseline:

@@ -15,6 +15,7 @@ let smoke = ref false
 let parallel_only = ref false
 let hashcons_only = ref false
 let egraph_only = ref false
+let serve_only = ref false
 let out_file = ref "BENCH_engine.json"
 let out_file_given = ref false
 
@@ -369,11 +370,11 @@ let search_table () =
   in
   let attempt name src target ~max_depth ~max_states =
     let config = { Optimizer.Search.default_config with rules; max_depth; max_states } in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Kola_telemetry.Telemetry.now () in
     let reached = Option.is_some (Optimizer.Search.reaches ~config src target) in
     Fmt.pr "  %-22s %-12s (%.2fs, depth<=%d, states<=%d)@." name
       (if reached then "discovered" else "NOT FOUND")
-      (Unix.gettimeofday () -. t0) max_depth max_states
+      (Kola_telemetry.Telemetry.now () -. t0) max_depth max_states
   in
   attempt "T1K (3 firings)" Paper.t1k_source Paper.t1k_target ~max_depth:6
     ~max_states:2_000;
@@ -428,11 +429,11 @@ let engine_tests =
 
 let time_per ~repeats f =
   ignore (f ());  (* warm up *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Kola_telemetry.Telemetry.now () in
   for _ = 1 to repeats do
     ignore (f ())
   done;
-  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int repeats
+  (Kola_telemetry.Telemetry.now () -. t0) *. 1e9 /. float_of_int repeats
 
 (* ------------------------------------------------------------------ *)
 (* parallel_scaling: the same exploration at 1/2/4/8 domains.  Each    *)
@@ -744,9 +745,9 @@ let egraph_rows () =
       { Saturate.max_enodes = 4_000; max_iterations = 10; max_millis = 600. }
   in
   let wall f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Kola_telemetry.Telemetry.now () in
     let r = f () in
-    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+    (r, (Kola_telemetry.Telemetry.now () -. t0) *. 1e9)
   in
   List.map
     (fun (name, q, states) ->
@@ -896,12 +897,12 @@ let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "")
   in
   let timed_explore indexed =
     let cache = Optimizer.Cost.cache () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Kola_telemetry.Telemetry.now () in
     let o =
       Optimizer.Search.explore ~config:(explore_cfg indexed cache)
         Paper.t1k_source
     in
-    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let ns = (Kola_telemetry.Telemetry.now () -. t0) *. 1e9 in
     (o, ns /. float_of_int (max 1 o.Optimizer.Search.explored))
   in
   let naive_o, naive_ns_state = timed_explore false in
@@ -986,6 +987,202 @@ let engine_report ?(parallel_rows = []) ?(hashcons_fragment = "")
   Fmt.pr "  wrote %s@." !out_file
 
 (* ------------------------------------------------------------------ *)
+(* serve: throughput and latency of the kolaoptd serving path.  An      *)
+(* in-process daemon (worker domains, shared caches, admission queue)   *)
+(* is driven by client threads over its Unix-domain socket — the full   *)
+(* wire path: connect, JSON request line, optimize, JSON response.      *)
+(*                                                                      *)
+(* Each (engine x concurrency) cell runs the same workload twice: a     *)
+(* cold phase over distinct parameterized queries (every request        *)
+(* translates and searches from scratch; caches were flushed) and a     *)
+(* warm phase replaying the identical queries (answered from the        *)
+(* shared outcome cache).  Clients open one connection per request, so  *)
+(* latency includes accept, admission queuing and worker scheduling.    *)
+
+module Serve_bench = struct
+  module Json = Kola_server.Json
+  module Daemon = Kola_server.Daemon
+
+  let now () = Kola_telemetry.Telemetry.now ()
+
+  type row = {
+    engine : string;
+    concurrency : int;
+    phase : string;  (* "cold" | "warm" *)
+    requests : int;
+    wall_s : float;
+    throughput_rps : float;
+    p50_ms : float;
+    p95_ms : float;
+    p99_ms : float;
+    rejected : int;
+    errors : int;
+  }
+
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else
+      let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+
+  (* Distinct canonical queries: the varying constant defeats the
+     outcome cache within the cold phase, so every cold request is a
+     real optimization. *)
+  let workload n =
+    Array.init n (fun i ->
+        Fmt.str "select p.age from p in P where p.age > %d" i)
+
+  let status j = Option.bind (Json.mem "status" j) Json.str
+
+  let run_phase ~socket ~engine ~clients ~(queries : string array) ~phase =
+    let m = Array.length queries in
+    let lat = Array.make m 0. in
+    let rejected = Atomic.make 0 in
+    let errors = Atomic.make 0 in
+    let t0 = now () in
+    let client c =
+      let i = ref c in
+      while !i < m do
+        let req =
+          Json.Obj
+            [
+              ("query", Json.Str queries.(!i)); ("engine", Json.Str engine);
+            ]
+        in
+        let rec attempt tries =
+          match
+            let conn = Daemon.Client.connect socket in
+            let r = Daemon.Client.request conn req in
+            Daemon.Client.close conn;
+            r
+          with
+          | r -> (
+            match status r with
+            | Some "ok" -> ()
+            | Some "rejected" when tries < 1000 ->
+              Atomic.incr rejected;
+              Thread.delay 0.002;
+              attempt (tries + 1)
+            | _ -> Atomic.incr errors)
+          | exception _ -> Atomic.incr errors
+        in
+        let s = now () in
+        attempt 0;
+        lat.(!i) <- (now () -. s) *. 1e3;
+        i := !i + clients
+      done
+    in
+    let threads = List.init clients (fun c -> Thread.create client c) in
+    List.iter Thread.join threads;
+    let wall = now () -. t0 in
+    let sorted = Array.copy lat in
+    Array.sort compare sorted;
+    {
+      engine;
+      concurrency = clients;
+      phase;
+      requests = m;
+      wall_s = wall;
+      throughput_rps = float_of_int m /. wall;
+      p50_ms = percentile sorted 50.;
+      p95_ms = percentile sorted 95.;
+      p99_ms = percentile sorted 99.;
+      rejected = Atomic.get rejected;
+      errors = Atomic.get errors;
+    }
+
+  let rows ~concurrency_list ~requests =
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "kolaoptd-bench-%d.sock" (Unix.getpid ()))
+    in
+    (* Enough workers to overlap the higher concurrency levels (capped:
+       past the core count extra domains only add scheduling noise) and
+       an admission queue deep enough that the bench measures latency,
+       not retry loops. *)
+    let workers = min 16 (Domain.recommended_domain_count ()) in
+    let params =
+      { Daemon.default_params with Daemon.workers; queue = 128 }
+    in
+    let t = Daemon.create ~params () in
+    let ready_lock = Mutex.create () in
+    let ready_cond = Condition.create () in
+    let ready_flag = ref false in
+    let server =
+      Domain.spawn (fun () ->
+          Daemon.serve
+            ~ready:(fun () ->
+              Mutex.protect ready_lock (fun () ->
+                  ready_flag := true;
+                  Condition.signal ready_cond))
+            ~socket t)
+    in
+    Mutex.protect ready_lock (fun () ->
+        while not !ready_flag do
+          Condition.wait ready_cond ready_lock
+        done);
+    let flush () =
+      let c = Daemon.Client.connect socket in
+      ignore (Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "flush") ]));
+      Daemon.Client.close c
+    in
+    let queries = workload requests in
+    let rows =
+      List.concat_map
+        (fun engine ->
+          List.concat_map
+            (fun clients ->
+              flush ();
+              let cold =
+                run_phase ~socket ~engine ~clients ~queries ~phase:"cold"
+              in
+              let warm =
+                run_phase ~socket ~engine ~clients ~queries ~phase:"warm"
+              in
+              [ cold; warm ])
+            concurrency_list)
+        [ "bfs"; "egraph" ]
+    in
+    let c = Daemon.Client.connect socket in
+    ignore (Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "shutdown") ]));
+    Daemon.Client.close c;
+    Domain.join server;
+    (rows, workers)
+
+  let table rows =
+    Fmt.pr "@.## serving (kolaoptd over a Unix-domain socket)@.";
+    Fmt.pr
+      "  %-7s %5s %-5s %5s %10s %9s %9s %9s %5s@."
+      "engine" "conc" "phase" "reqs" "thru(r/s)" "p50(ms)" "p95(ms)"
+      "p99(ms)" "rej";
+    List.iter
+      (fun r ->
+        Fmt.pr "  %-7s %5d %-5s %5d %10.1f %9.3f %9.3f %9.3f %5d@." r.engine
+          r.concurrency r.phase r.requests r.throughput_rps r.p50_ms r.p95_ms
+          r.p99_ms r.rejected)
+      rows
+
+  let json ~workers ~queue rows =
+    let row r =
+      Fmt.str
+        "    {\"engine\": \"%s\", \"concurrency\": %d, \"phase\": \"%s\", \
+         \"requests\": %d, \"wall_s\": %.4f, \"throughput_rps\": %.1f, \
+         \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \
+         \"rejected\": %d, \"errors\": %d}"
+        r.engine r.concurrency r.phase r.requests r.wall_s r.throughput_rps
+        r.p50_ms r.p95_ms r.p99_ms r.rejected r.errors
+    in
+    Fmt.str
+      "  \"host_cores\": %d,\n  \"workers\": %d,\n  \"queue_bound\": %d,\n\
+      \  \"rows\": [\n%s\n  ]"
+      (Domain.recommended_domain_count ())
+      workers queue
+      (String.concat ",\n" (List.map row rows))
+end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec parse = function
@@ -1004,6 +1201,9 @@ let () =
       parse rest
     | "--egraph" :: rest ->
       egraph_only := true;
+      parse rest
+    | "--serve" :: rest ->
+      serve_only := true;
       parse rest
     | "--out" :: file :: rest ->
       out_file := file;
@@ -1038,6 +1238,22 @@ let () =
     if not !out_file_given then out_file := "BENCH_egraph.json";
     let oc = open_out !out_file in
     output_string oc (Fmt.str "{\n%s\n}\n" (egraph_json rows));
+    close_out oc;
+    Fmt.pr "  wrote %s@." !out_file;
+    Fmt.pr "@.done.@."
+  end
+  else if !serve_only then begin
+    (* the serving group alone: `make bench-serve` *)
+    Fmt.pr "KOLA serving benchmark (kolaoptd)@.";
+    Fmt.pr "=================================@.";
+    let concurrency_list = if !fast then [ 1; 4 ] else [ 1; 4; 16; 64 ] in
+    let requests = if !fast then 24 else 96 in
+    let rows, workers = Serve_bench.rows ~concurrency_list ~requests in
+    Serve_bench.table rows;
+    if not !out_file_given then out_file := "BENCH_serve.json";
+    let oc = open_out !out_file in
+    output_string oc
+      (Fmt.str "{\n%s\n}\n" (Serve_bench.json ~workers ~queue:128 rows));
     close_out oc;
     Fmt.pr "  wrote %s@." !out_file;
     Fmt.pr "@.done.@."

@@ -181,14 +181,16 @@ let search_cmd =
   in
   let jobs =
     (* Validated at the cmdliner layer: negative counts are a usage error
-       rather than being silently resolved like 0 is. *)
+       rather than being silently resolved like 0 is.  The validator is
+       the daemon's (lib/server/protocol.ml), so CLI and wire requests
+       reject the same inputs with the same messages. *)
     let nonneg =
       let parse s =
         match Arg.conv_parser Arg.int s with
-        | Ok n when n >= 0 -> Ok n
         | Ok n ->
-          Error
-            (`Msg (Fmt.str "--jobs must be non-negative, got %d" n))
+          Result.map_error
+            (fun m -> `Msg m)
+            (Kola_server.Protocol.nonneg_int ~what:"--jobs" n)
         | Error _ as e -> e
       in
       Arg.conv ~docv:"JOBS" (parse, Arg.conv_printer Arg.int)
@@ -258,12 +260,15 @@ let search_cmd =
   in
   let deadline =
     (* Validated at the cmdliner layer: a non-positive deadline is a usage
-       error, not an instantly-expired search. *)
+       error, not an instantly-expired search.  Same validator as the
+       daemon's "deadline" request field. *)
     let pos_float =
       let parse s =
         match Arg.conv_parser Arg.float s with
-        | Ok d when d > 0. -> Ok d
-        | Ok d -> Error (`Msg (Fmt.str "--deadline must be positive, got %g" d))
+        | Ok d ->
+          Result.map_error
+            (fun m -> `Msg m)
+            (Kola_server.Protocol.positive_float ~what:"--deadline" d)
         | Error _ as e -> e
       in
       Arg.conv ~docv:"SECONDS" (parse, Arg.conv_printer Arg.float)
@@ -279,12 +284,15 @@ let search_cmd =
   in
   (* E-graph budget overrides.  Validated at the cmdliner layer like
      --jobs: a non-positive budget is a usage error, not an instantly
-     exhausted saturation. *)
+     exhausted saturation.  Same validator as the daemon's
+     "node_budget"/"iter_budget" request fields. *)
   let pos_int flag =
     let parse s =
       match Arg.conv_parser Arg.int s with
-      | Ok n when n > 0 -> Ok n
-      | Ok n -> Error (`Msg (Fmt.str "%s must be positive, got %d" flag n))
+      | Ok n ->
+        Result.map_error
+          (fun m -> `Msg m)
+          (Kola_server.Protocol.positive_int ~what:flag n)
       | Error _ as e -> e
     in
     Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)

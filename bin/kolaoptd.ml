@@ -1,0 +1,458 @@
+(* kolaoptd: the optimizer as a long-lived service.
+
+     kolaoptd serve --socket /tmp/kolaoptd.sock --workers 4 --queue 64
+     kolaoptd request --paper t1k --engine egraph
+     kolaoptd request "select p.age from p in P where p.age > 25"
+     kolaoptd request --cmd stats
+     kolaoptd smoke
+
+   One daemon process shares the hash-cons tables, the cost caches and
+   an outcome cache across every request; the wire protocol is
+   newline-delimited JSON over a Unix-domain socket (see
+   lib/server/protocol.mli). *)
+
+open Cmdliner
+module Json = Kola_server.Json
+module Protocol = Kola_server.Protocol
+module Daemon = Kola_server.Daemon
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "kolaoptd.sock"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+(* Cmdliner conversions over the daemon's own validators
+   (lib/server/protocol.ml), so the CLI and the wire protocol reject
+   the same inputs with the same messages. *)
+let validated ~docv base validate =
+  let parse s =
+    match Arg.conv_parser base s with
+    | Ok v -> (
+      match validate v with Ok v -> Ok v | Error msg -> Error (`Msg msg))
+    | Error _ as e -> e
+  in
+  Arg.conv ~docv (parse, Arg.conv_printer base)
+
+let pos_int what = validated ~docv:"N" Arg.int (Protocol.positive_int ~what)
+let pos_float what =
+  validated ~docv:"SECONDS" Arg.float (Protocol.positive_float ~what)
+let nonneg_int what =
+  validated ~docv:"N" Arg.int (Protocol.nonneg_int ~what)
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt (nonneg_int "--workers") 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains (0 = one per recommended core).")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (pos_int "--queue") Daemon.default_params.Daemon.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: connections queued beyond the busy workers \
+             before the daemon answers $(b,rejected) from the accept loop.")
+  in
+  let outcome_capacity =
+    Arg.(
+      value
+      & opt (pos_int "--outcome-capacity")
+          Daemon.default_params.Daemon.outcome_capacity
+      & info [ "outcome-capacity" ] ~docv:"N"
+          ~doc:"Resident entries in the whole-outcome cache.")
+  in
+  let people =
+    Arg.(value & opt int 40 & info [ "people" ] ~doc:"Number of persons in P.")
+  in
+  let vehicles =
+    Arg.(value & opt int 30 & info [ "vehicles" ] ~doc:"Number of vehicles in V.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let run socket workers queue outcome_capacity people vehicles seed =
+    let params =
+      { Daemon.workers; queue; people; vehicles; seed; outcome_capacity }
+    in
+    let t = Daemon.create ~params () in
+    let stop _ = Daemon.request_stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let ready () =
+      let s = Daemon.service_stats t in
+      Fmt.pr "kolaoptd: listening on %s (%d workers, queue %d)@." socket
+        s.Kola_parallel.Pool.Service.workers
+        s.Kola_parallel.Pool.Service.bound
+    in
+    Daemon.serve ~ready ~socket t;
+    Fmt.pr "kolaoptd: stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the optimizer daemon on a Unix-domain socket.")
+    Term.(
+      const run $ socket_arg $ workers $ queue $ outcome_capacity $ people
+      $ vehicles $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* request *)
+
+let request_cmd =
+  let query_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"OQL" ~doc:"An OQL query over extents P, V, A.")
+  in
+  let paper =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "paper" ] ~docv:"QUERY"
+          ~doc:"A paper query name (t1k, t2k, k4, kg1) instead of OQL.")
+  in
+  let cmd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cmd" ] ~docv:"CMD"
+          ~doc:"Send an admin command: ping, stats, flush or shutdown.")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"LINE"
+          ~doc:"Send this JSON request line verbatim (overrides other flags).")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"bfs or egraph.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some (pos_int "--depth")) None
+      & info [ "depth" ] ~doc:"Maximum derivation length.")
+  in
+  let states =
+    Arg.(
+      value
+      & opt (some (pos_int "--states")) None
+      & info [ "states" ] ~doc:"State budget.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some (nonneg_int "--jobs")) None
+      & info [ "jobs" ] ~docv:"JOBS"
+          ~doc:"Domains for intra-request parallelism (serializes requests).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some (pos_float "--deadline")) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+  in
+  let node_budget =
+    Arg.(
+      value
+      & opt (some (pos_int "--node-budget")) None
+      & info [ "node-budget" ] ~docv:"N" ~doc:"E-graph e-node budget.")
+  in
+  let iter_budget =
+    Arg.(
+      value
+      & opt (some (pos_int "--iter-budget")) None
+      & info [ "iter-budget" ] ~docv:"N" ~doc:"E-graph iteration budget.")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Ask the daemon to embed this request's telemetry spans.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Run the full pipeline (plan choice) instead of search.")
+  in
+  let run socket query paper cmd raw engine depth states jobs deadline
+      node_budget iter_budget telemetry explain =
+    let request_json =
+      match raw with
+      | Some line -> (
+        match Json.parse_result line with
+        | Ok j -> Ok j
+        | Error msg -> Error (Fmt.str "--json is not valid JSON: %s" msg))
+      | None -> (
+        match cmd with
+        | Some c -> Ok (Json.Obj [ ("cmd", Json.Str c) ])
+        | None ->
+          let source =
+            match (paper, query) with
+            | Some p, _ -> Ok ("paper", Json.Str p)
+            | None, Some q -> Ok ("query", Json.Str q)
+            | None, None ->
+              Error "request: expected an OQL query, --paper, --cmd or --json"
+          in
+          Result.map
+            (fun source ->
+              let num_opt name v =
+                Option.map (fun n -> (name, Json.Num (float_of_int n))) v
+              in
+              Json.Obj
+                (List.filter_map Fun.id
+                   [
+                     Some source;
+                     Option.map (fun e -> ("engine", Json.Str e)) engine;
+                     num_opt "depth" depth;
+                     num_opt "states" states;
+                     num_opt "jobs" jobs;
+                     Option.map (fun d -> ("deadline", Json.Num d)) deadline;
+                     num_opt "node_budget" node_budget;
+                     num_opt "iter_budget" iter_budget;
+                     (if telemetry then Some ("telemetry", Json.Bool true)
+                      else None);
+                     (if explain then Some ("explain", Json.Bool true) else None);
+                   ]))
+            source)
+    in
+    match request_json with
+    | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 124
+    | Ok j -> (
+      match Daemon.Client.connect socket with
+      | exception Unix.Unix_error (e, _, _) ->
+        Fmt.epr "request: cannot connect to %s: %s (is kolaoptd serving?)@."
+          socket (Unix.error_message e);
+        exit 1
+      | c ->
+        let resp = Daemon.Client.request c j in
+        Daemon.Client.close c;
+        Fmt.pr "%s@." (Json.to_string resp);
+        let failed =
+          match Option.bind (Json.mem "status" resp) Json.str with
+          | Some "ok" -> false
+          | _ -> true
+        in
+        if failed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running daemon and print the response.")
+    Term.(
+      const run $ socket_arg $ query_opt $ paper $ cmd $ raw $ engine $ depth
+      $ states $ jobs $ deadline $ node_budget $ iter_budget $ telemetry
+      $ explain)
+
+(* ------------------------------------------------------------------ *)
+(* smoke: an in-process end-to-end exercise of the serving path, small
+   enough for the default verify loop.  Covers one request per engine, a
+   malformed line that must not kill its worker, deterministic overload
+   via the sleep_ms debug lever, telemetry-on-demand, and a clean
+   shutdown. *)
+
+let smoke_cmd =
+  let run () =
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "kolaoptd-smoke-%d.sock" (Unix.getpid ()))
+    in
+    let params =
+      { Daemon.default_params with Daemon.workers = 2; queue = 2 }
+    in
+    let t = Daemon.create ~params () in
+    let ready_lock = Mutex.create () in
+    let ready_cond = Condition.create () in
+    let ready_flag = ref false in
+    let server =
+      Domain.spawn (fun () ->
+          Daemon.serve
+            ~ready:(fun () ->
+              Mutex.protect ready_lock (fun () ->
+                  ready_flag := true;
+                  Condition.signal ready_cond))
+            ~socket t)
+    in
+    Mutex.protect ready_lock (fun () ->
+        while not !ready_flag do
+          Condition.wait ready_cond ready_lock
+        done);
+    let failures = ref 0 in
+    let check name cond =
+      if cond then Fmt.pr "ok   %s@." name
+      else begin
+        incr failures;
+        Fmt.pr "FAIL %s@." name
+      end
+    in
+    let status j = Option.bind (Json.mem "status" j) Json.str in
+    let field j name = Json.mem name j in
+    (* Raw connection (bypasses the typed client) for malformed lines. *)
+    let raw_connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    in
+    let c = Daemon.Client.connect socket in
+    let r1 =
+      Daemon.Client.request c
+        (Json.Obj [ ("id", Json.Num 1.); ("paper", Json.Str "t1k") ])
+    in
+    check "t1k under bfs answers ok" (status r1 = Some "ok");
+    let r2 =
+      Daemon.Client.request c
+        (Json.Obj
+           [
+             ("id", Json.Num 2.);
+             ("paper", Json.Str "t1k");
+             ("engine", Json.Str "egraph");
+           ])
+    in
+    check "t1k under egraph answers ok" (status r2 = Some "ok");
+    let r3 =
+      Daemon.Client.request c
+        (Json.Obj [ ("id", Json.Num 3.); ("paper", Json.Str "t1k") ])
+    in
+    check "repeat request hits the outcome cache"
+      (Option.bind (field r3 "outcome_cache") Json.str = Some "hit");
+    (* Malformed input must produce a structured error — and the same
+       connection (same worker) must keep answering afterwards. *)
+    let fd, ic, oc = raw_connect () in
+    output_string oc "{this is not json\n";
+    flush oc;
+    let bad = Json.parse (input_line ic) in
+    check "malformed line answers a structured error"
+      (status bad = Some "error");
+    output_string oc "{\"id\": 4, \"paper\": \"k4\"}\n";
+    flush oc;
+    let after = Json.parse (input_line ic) in
+    check "worker survives malformed input" (status after = Some "ok");
+    let vr =
+      Daemon.Client.request c
+        (Json.Obj
+           [
+             ("id", Json.Num 5.);
+             ("paper", Json.Str "t1k");
+             ("deadline", Json.Num (-1.));
+           ])
+    in
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    check "non-positive deadline is rejected by validation"
+      (status vr = Some "error"
+      &&
+      match Option.bind (field vr "error") Json.str with
+      | Some m -> contains m "must be positive"
+      | None -> false);
+    (* Connections pin their worker for their whole lifetime, so close
+       the idle ones before the overload phase or the sleepers would
+       never be scheduled. *)
+    Daemon.Client.close c;
+    close_out_noerr oc;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Unix.sleepf 0.5;
+    (* Overload: two sleepers occupy both workers, two more connections
+       fill the admission queue, the next connection must be rejected
+       from the accept loop. *)
+    let sleeper id =
+      let conn = Daemon.Client.connect socket in
+      Daemon.Client.send conn
+        (Json.Obj
+           [
+             ("id", Json.Num (float_of_int id));
+             ("paper", Json.Str "t1k");
+             ("sleep_ms", Json.Num 1500.);
+           ]);
+      conn
+    in
+    let s1 = sleeper 10 and s2 = sleeper 11 in
+    Unix.sleepf 0.3;
+    (* workers now hold s1/s2 *)
+    let q1 = Daemon.Client.connect socket in
+    let q2 = Daemon.Client.connect socket in
+    let rejected = ref false in
+    let attempts = ref 0 in
+    while (not !rejected) && !attempts < 50 do
+      incr attempts;
+      let extra = Daemon.Client.connect socket in
+      (match Daemon.Client.recv extra with
+      | r -> if status r = Some "rejected" then rejected := true
+      | exception End_of_file -> ());
+      Daemon.Client.close extra;
+      if not !rejected then Unix.sleepf 0.02
+    done;
+    check "overload answers rejected with the queue full" !rejected;
+    let r10 = Daemon.Client.recv s1 and r11 = Daemon.Client.recv s2 in
+    check "sleepers still answer ok after overload"
+      (status r10 = Some "ok" && status r11 = Some "ok");
+    Daemon.Client.close s1;
+    Daemon.Client.close s2;
+    Daemon.Client.close q1;
+    Daemon.Client.close q2;
+    let c = Daemon.Client.connect socket in
+    let tr =
+      Daemon.Client.request c
+        (Json.Obj
+           [
+             ("id", Json.Num 6.);
+             ("paper", Json.Str "t2k");
+             ("telemetry", Json.Bool true);
+           ])
+    in
+    check "telemetry on demand embeds spans"
+      (status tr = Some "ok" && field tr "telemetry" <> None);
+    let stats =
+      Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "stats") ])
+    in
+    let rejected_count =
+      Option.bind (field stats "service") (fun s ->
+          Option.bind (Json.mem "rejected" s) Json.int)
+    in
+    check "stats reports the rejection"
+      (status stats = Some "ok"
+      && match rejected_count with Some n -> n >= 1 | None -> false);
+    let sd =
+      Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "shutdown") ])
+    in
+    check "shutdown answers ok" (status sd = Some "ok");
+    Daemon.Client.close c;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Domain.join server;
+    check "socket file removed on exit" (not (Sys.file_exists socket));
+    if !failures = 0 then Fmt.pr "smoke: all checks passed@."
+    else begin
+      Fmt.epr "smoke: %d check(s) failed@." !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "Start an in-process daemon and drive the serving path end to end \
+          (engines, malformed input, overload, telemetry, shutdown).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "kolaoptd" ~version:"1.0.0"
+       ~doc:"Optimizer-as-a-service daemon for the KOLA rewrite engines.")
+    [ serve_cmd; request_cmd; smoke_cmd ]
+
+let () = exit (Cmd.eval main)

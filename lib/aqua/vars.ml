@@ -24,12 +24,15 @@ let rec free_vars = function
 
 let is_free x e = S.mem x (free_vars e)
 
-let counter = ref 0
+(* Atomic so concurrent translations (the daemon translates OQL on
+   several worker domains at once) never mint the same fresh name from a
+   torn read-modify-write. *)
+let counter = Atomic.make 0
 
 let fresh ?(base = "v") avoid =
   let rec go () =
-    incr counter;
-    let name = Fmt.str "%s%d" base !counter in
+    let n = Atomic.fetch_and_add counter 1 + 1 in
+    let name = Fmt.str "%s%d" base n in
     if S.mem name avoid then go () else name
   in
   go ()

@@ -1,3 +1,21 @@
+(* Concurrency audit (serving daemon): the striped table below is the
+   one structure the daemon shares across worker domains *without* any
+   daemon-side locking, so its guarantees are spelled out here.
+
+   - [intern] is safe under arbitrary concurrency: the hit path probes
+     lock-free over immutable chains (soundness argument at the call
+     site below) and every mutation — insert, resize, count — happens
+     under the owning stripe's mutex.  Ids come from one atomic counter,
+     so two domains can never intern distinct nodes with one id.
+   - [counters] reads per-stripe fields without locks; sums can be
+     momentarily inconsistent and the lock-free [hits] bump can drop
+     increments under contention.  Sharing *statistics* are therefore
+     approximate under the daemon; the interning itself never is.
+   - Interned nodes are immutable after [N.build] and compare by [==],
+     so cross-request sharing needs no further synchronization: a term
+     interned while answering one request is reused verbatim by every
+     later request that spells the same subterm. *)
+
 type stats = {
   entries : int;
   hits : int;

@@ -80,15 +80,28 @@ type 'v entry = { w : 'v; mutable live : bool }
    instantiated three times: over canonical query keys (the legacy
    cache), over interned node-id pairs (the hash-consed cache), both
    storing weighted floats, and over (plan, backend, dedup) triples
-   storing full cost records (the pipeline's plan cache). *)
+   storing full cost records (the pipeline's plan cache).
+
+   Concurrency: the daemon (lib/server) shares one cache of each kind
+   across worker domains, so every table operation — probe, insert,
+   sweep, database flush — runs under the memo's mutex, and the
+   hit/miss/eviction counters are atomics so a concurrent stats reader
+   never observes a torn count.  The critical sections are a hashtable
+   probe or insert; the expensive part of a miss (evaluating the plan)
+   always happens outside the lock.  Two domains racing on the same
+   missing key may both evaluate it and insert twice — the evaluations
+   are deterministic, so the second insert is idempotent.  At one domain
+   (the CLI) the lock is uncontended and costs a few nanoseconds per
+   probe. *)
 module Memo (T : Hashtbl.S) = struct
   type 'v memo = {
-    table : 'v entry T.t;
+    table : 'v entry T.t;  (* mutated only under [lock] *)
     capacity : int;
-    mutable hits : int;
-    mutable misses : int;
-    mutable evictions : int;
-    mutable cached_db : (string * Value.t) list option;
+    lock : Mutex.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    evictions : int Atomic.t;
+    mutable cached_db : (string * Value.t) list option;  (* under [lock] *)
   }
 
   let create ?(size = 65_536) () =
@@ -96,27 +109,31 @@ module Memo (T : Hashtbl.S) = struct
     {
       table = T.create (min capacity 1_024);
       capacity;
-      hits = 0;
-      misses = 0;
-      evictions = 0;
+      lock = Mutex.create ();
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      evictions = Atomic.make 0;
       cached_db = None;
     }
 
   let stats c =
+    Mutex.protect c.lock @@ fun () ->
     {
-      hits = c.hits;
-      misses = c.misses;
-      evictions = c.evictions;
+      hits = Atomic.get c.hits;
+      misses = Atomic.get c.misses;
+      evictions = Atomic.get c.evictions;
       entries = T.length c.table;
       capacity = c.capacity;
     }
 
   let clear c =
+    Mutex.protect c.lock @@ fun () ->
     T.reset c.table;
     c.cached_db <- None
 
   (* Flush the table when costed against a different database. *)
   let prepare c ~db =
+    Mutex.protect c.lock @@ fun () ->
     match c.cached_db with
     | Some d when d == db -> ()
     | Some _ ->
@@ -126,14 +143,22 @@ module Memo (T : Hashtbl.S) = struct
 
   (* Hit: refresh the second-chance bit and count. *)
   let find_memo c key =
-    match T.find_opt c.table key with
-    | Some e ->
-      e.live <- true;
-      c.hits <- c.hits + 1;
-      Kola_telemetry.Telemetry.count "cost.cache_hit";
-      Some e.w
-    | None -> None
+    let found =
+      Mutex.protect c.lock @@ fun () ->
+      match T.find_opt c.table key with
+      | Some e ->
+        e.live <- true;
+        Some e.w
+      | None -> None
+    in
+    (match found with
+    | Some _ ->
+      Atomic.incr c.hits;
+      Kola_telemetry.Telemetry.count "cost.cache_hit"
+    | None -> ());
+    found
 
+  (* Caller holds [c.lock]. *)
   let sweep c =
     let doomed =
       T.fold
@@ -156,14 +181,15 @@ module Memo (T : Hashtbl.S) = struct
         List.iter (T.remove c.table) doomed;
         List.length doomed
     in
-    c.evictions <- c.evictions + evicted;
+    Atomic.fetch_and_add c.evictions evicted |> ignore;
     Kola_telemetry.Telemetry.count ~n:evicted "cost.cache_evict"
 
   (* Miss: count, make room, insert.  New entries start with the reference
      bit clear — only a hit earns the second chance. *)
   let insert_memo c key w =
-    c.misses <- c.misses + 1;
+    Atomic.incr c.misses;
     Kola_telemetry.Telemetry.count "cost.cache_miss";
+    Mutex.protect c.lock @@ fun () ->
     if T.length c.table >= c.capacity then sweep c;
     T.replace c.table key { w; live = false }
 end
@@ -205,7 +231,7 @@ let weighted_memo c ~db (q : Term.query) : float =
 (* Batch lookup for the parallel search: probe every key sequentially
    (counting hits), evaluate the misses through [map] — the only step a
    caller parallelizes — then insert the results sequentially in item
-   order.  The cache is therefore never mutated concurrently, and hit,
+   order.  The evaluations themselves never touch the cache, and hit,
    miss, and eviction accounting is the same as feeding the items to
    [weighted_memo] one by one. *)
 let weighted_memo_batch c ~db ?(map = Array.map)

@@ -41,7 +41,17 @@ val pp : t Fmt.t
     capacity), the whole cache is dropped rather than swept on every
     insert.  Evicted entries are counted in {!stats.evictions}; the
     sweep is O(capacity) but amortized O(1) per insert while a constant
-    fraction of entries stays cold between sweeps. *)
+    fraction of entries stays cold between sweeps.
+
+    {2 Concurrency}
+
+    Caches may be shared across domains (the serving daemon shares one of
+    each kind across its workers): every table operation runs under the
+    cache's mutex and the hit/miss/eviction counters are atomic, so
+    {!cache_stats} never observes a torn count.  Plan evaluation on a
+    miss happens outside the lock; two domains racing on one missing key
+    may evaluate it twice, which is harmless — the evaluations are
+    deterministic and the second insert idempotent. *)
 
 type cache
 
@@ -78,8 +88,8 @@ val weighted_memo_batch :
     served from the cache, the misses are evaluated through [map]
     (default [Array.map] — pass a parallel map to evaluate them across
     domains; the evaluations are pure), and the results are inserted
-    sequentially in item order.  The cache is never mutated inside
-    [map], so no lock is needed around it, and when the item keys are
+    sequentially in item order.  The evaluations never touch the cache,
+    and when the item keys are
     distinct the hit/miss/eviction accounting is identical to calling
     {!weighted_memo} on each item in order.  Duplicate keys in one batch
     are evaluated once per occurrence instead of hitting. *)

@@ -165,3 +165,154 @@ let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect (fun () -> f t) ~finally:(fun () -> shutdown t)
+
+(* ------------------------------------------------------------------ *)
+(* Service: long-lived worker domains draining a bounded task queue.
+
+   Where the pool above fans one job out and joins it (single submitter,
+   barrier semantics), a service accepts independent fire-and-forget
+   tasks from any domain and applies admission control: [submit] either
+   enqueues — workers pick tasks up in FIFO order — or rejects
+   immediately when the backlog has reached the bound, reporting the
+   depth the submitter can put in a 429-style response.  Overload
+   therefore degrades into predictable queueing latency plus fast
+   rejections instead of an unbounded backlog.
+
+   Tasks must not leak exceptions into the worker loop (a dead worker
+   would silently shrink the service), so anything a task raises is
+   swallowed and counted ([service.task_error]); user-level error
+   handling belongs inside the task. *)
+module Service = struct
+  type t = {
+    workers : int;
+    bound : int;
+    tasks : (unit -> unit) Queue.t;  (* under [lock] *)
+    lock : Mutex.t;
+    task_ready : Condition.t;  (* task enqueued, or shutdown *)
+    drained : Condition.t;     (* a worker went idle *)
+    mutable running : int;     (* tasks currently executing *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+    submitted : int Atomic.t;
+    rejected : int Atomic.t;
+    errors : int Atomic.t;
+  }
+
+  type stats = {
+    workers : int;
+    bound : int;
+    queued : int;
+    running : int;
+    submitted : int;
+    rejected : int;
+    errors : int;
+  }
+
+  let worker_loop t =
+    let rec loop () =
+      Mutex.lock t.lock;
+      while (not t.stop) && Queue.is_empty t.tasks do
+        Condition.wait t.task_ready t.lock
+      done;
+      if Queue.is_empty t.tasks then begin
+        (* stop requested and nothing left to drain *)
+        Mutex.unlock t.lock
+      end
+      else begin
+        let task = Queue.pop t.tasks in
+        t.running <- t.running + 1;
+        Mutex.unlock t.lock;
+        (try task ()
+         with _ ->
+           Atomic.incr t.errors;
+           Telemetry.count "service.task_error");
+        Mutex.lock t.lock;
+        t.running <- t.running - 1;
+        Condition.broadcast t.drained;
+        Mutex.unlock t.lock;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?(workers = 0) ?(queue = 64) () =
+    let workers = resolve_jobs workers in
+    let t =
+      {
+        workers;
+        bound = max 0 queue;
+        tasks = Queue.create ();
+        lock = Mutex.create ();
+        task_ready = Condition.create ();
+        drained = Condition.create ();
+        running = 0;
+        stop = false;
+        domains = [];
+        submitted = Atomic.make 0;
+        rejected = Atomic.make 0;
+        errors = Atomic.make 0;
+      }
+    in
+    t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  (* Queued tasks not yet started.  Racy by nature (the answer can be
+     stale the instant it returns); exact inside [submit]'s own lock. *)
+  let depth t = Mutex.protect t.lock (fun () -> Queue.length t.tasks)
+
+  let submit t task =
+    Mutex.lock t.lock;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.Service.submit: service is shut down"
+    end;
+    let depth = Queue.length t.tasks in
+    if depth >= t.bound then begin
+      Mutex.unlock t.lock;
+      Atomic.incr t.rejected;
+      Telemetry.count "service.rejected";
+      Error depth
+    end
+    else begin
+      Queue.push task t.tasks;
+      Condition.signal t.task_ready;
+      Mutex.unlock t.lock;
+      Atomic.incr t.submitted;
+      Telemetry.count "service.submitted";
+      Ok (depth + 1)
+    end
+
+  (* Block until no task is queued or running — the quiesce point
+     shutdown (and tests) use to assert a clean drain. *)
+  let drain t =
+    Mutex.lock t.lock;
+    while not (Queue.is_empty t.tasks && t.running = 0) do
+      Condition.wait t.drained t.lock
+    done;
+    Mutex.unlock t.lock
+
+  let stats t =
+    Mutex.lock t.lock;
+    let queued = Queue.length t.tasks and running = t.running in
+    Mutex.unlock t.lock;
+    {
+      workers = t.workers;
+      bound = t.bound;
+      queued;
+      running;
+      submitted = Atomic.get t.submitted;
+      rejected = Atomic.get t.rejected;
+      errors = Atomic.get t.errors;
+    }
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      t.stop <- true;
+      Condition.broadcast t.task_ready;
+      Mutex.unlock t.lock;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+end

@@ -54,3 +54,51 @@ val shutdown : t -> unit
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
     afterwards, whether [f] returns or raises. *)
+
+(** Long-lived worker domains draining a bounded FIFO task queue — the
+    serving daemon's execution substrate.  Where the pool fans one job
+    out and joins it (single submitter, barrier semantics), a service
+    accepts independent fire-and-forget tasks from any domain and
+    applies admission control: a submission either enqueues or is
+    rejected immediately once the backlog reaches the bound, so overload
+    degrades into predictable queueing latency plus fast rejections
+    instead of an unbounded backlog.  Tasks that raise are swallowed and
+    counted — a task can never kill its worker. *)
+module Service : sig
+  type t
+
+  type stats = {
+    workers : int;
+    bound : int;      (** queue capacity *)
+    queued : int;     (** tasks waiting (instantaneous) *)
+    running : int;    (** tasks executing (instantaneous) *)
+    submitted : int;  (** accepted since [create] *)
+    rejected : int;   (** refused at the admission gate since [create] *)
+    errors : int;     (** tasks that raised (and were contained) *)
+  }
+
+  val create : ?workers:int -> ?queue:int -> unit -> t
+  (** [create ~workers ~queue ()] spawns [workers] domains (default:
+      [Domain.recommended_domain_count ()]; [<= 0] likewise) parked on a
+      queue bounded at [queue] pending tasks (default 64). *)
+
+  val submit : t -> (unit -> unit) -> (int, int) result
+  (** [submit t task] enqueues [task] and returns [Ok depth] (the
+      backlog including it), or [Error depth] without enqueueing when
+      the backlog has already reached the bound — the fast-rejection
+      path; [depth] is what a 429-style response should report.  Safe to
+      call from any domain.  @raise Invalid_argument after {!shutdown}. *)
+
+  val depth : t -> int
+  (** Tasks queued and not yet started.  Instantaneous, may be stale by
+      the time it returns. *)
+
+  val drain : t -> unit
+  (** Block until no task is queued or running. *)
+
+  val stats : t -> stats
+
+  val shutdown : t -> unit
+  (** Stop accepting, let the workers drain everything already queued,
+      and join them.  Idempotent. *)
+end

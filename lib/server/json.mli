@@ -1,0 +1,44 @@
+(** A minimal JSON codec for the wire protocol — the repo takes no
+    external JSON dependency, and the daemon only needs flat-ish
+    objects of scalars and small arrays.
+
+    The parser accepts standard JSON (RFC 8259) with the usual
+    escapes; [\uXXXX] escapes outside ASCII are transcoded to UTF-8.
+    Numbers are represented as OCaml floats (fine for the protocol's
+    ids, budgets and latencies; not a general-purpose JSON library). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input, with a position-carrying
+    message — the daemon turns this into a structured error response,
+    never a dead worker. *)
+
+val parse_result : string -> (t, string) result
+(** {!parse} with the error as data. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one response per line is the
+    framing contract. *)
+
+(** {1 Accessors} — total, option-returning; the protocol layer turns
+    [None] into field-level error messages. *)
+
+val mem : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+(** [num] truncated; [None] when not a number or not integral. *)
+
+val bool : t -> bool option
+val arr : t -> t list option

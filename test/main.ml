@@ -38,4 +38,5 @@ let () =
       ("engine-egraph (equality saturation)", Test_egraph.tests);
       ("company (second schema)", Test_company.tests);
       ("telemetry (spans, counters, deadlines)", Test_telemetry.tests);
+      ("server (kolaoptd serving layer)", Test_server.tests);
     ]

@@ -154,4 +154,55 @@ let group_by_tests =
         | _ -> Alcotest.fail "expected an error");
   ]
 
-let tests = tests @ group_by_tests
+(* Error paths: malformed input must raise exactly Parser.Error or
+   Lexer.Error with a usable message — these are the exceptions the
+   serving daemon maps to structured error responses, so anything else
+   escaping here would kill a worker's request (the wire-level half of
+   this contract is covered in test_server.ml). *)
+let error_path_tests =
+  let expect_error ?(needle = "") src =
+    match parse src with
+    | exception Oql.Parser.Error msg | exception Oql.Lexer.Error msg ->
+      if msg = "" then Alcotest.failf "empty error message for %S" src;
+      if needle <> "" && not (Util.contains msg needle) then
+        Alcotest.failf "error %S for %S lacks %S" msg src needle
+    | exception e ->
+      Alcotest.failf "unexpected exception %s for %S" (Printexc.to_string e) src
+    | _ -> Alcotest.failf "accepted %S" src
+  in
+  [
+    case "lexer rejects stray characters" (fun () ->
+        expect_error "select p.age from p in P where p.age > @";
+        expect_error "select # from p in P";
+        expect_error "p.age ~ 3");
+    case "lexer rejects unterminated strings" (fun () ->
+        expect_error "select p from p in P where p.name = \"alice");
+    case "parser errors name the offending token" (fun () ->
+        expect_error ~needle:"where" "select p from p in P where where";
+        expect_error ~needle:"by" "select p from p in P group");
+    case "truncated clauses fail at every prefix" (fun () ->
+        List.iter
+          (fun src -> expect_error src)
+          [
+            "select";
+            "select p.age from";
+            "select p.age from p";
+            "select p.age from p in";
+            "select p.age from p in P where";
+            "select p.age from p in P group by";
+            "if 1 > 0 then 1";
+            "exists(";
+            "{1, 2";
+          ]);
+    case "empty and whitespace-only input is an error" (fun () ->
+        expect_error "";
+        expect_error "   \n\t ");
+    case "deep but well-formed nesting still parses" (fun () ->
+        (* the converse guard: error handling must not reject valid input *)
+        let src =
+          "select (select (select c.age from c in p.child) from p in P) from q in P"
+        in
+        ignore (parse src));
+  ]
+
+let tests = tests @ group_by_tests @ error_path_tests
