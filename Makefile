@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check serve-smoke bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph bench-serve baseline trace-demo clean
+.PHONY: all build test check serve-smoke bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph bench-serve bench-exec baseline trace-demo clean
 
 all: build
 
@@ -52,6 +52,13 @@ bench-egraph:
 # caches, bfs vs egraph; writes BENCH_serve.json.
 bench-serve:
 	dune exec bench/main.exe -- --serve
+
+# Compiled execution vs the hashed interpreter on the company workload at
+# 10^3/10^5/10^6 objects (several minutes; interpreted runs of the
+# structurally quadratic queries are skipped at 10^6); writes
+# BENCH_exec.json.  `--fast` after `--exec` stops at 10^5.
+bench-exec:
+	dune exec bench/main.exe -- --exec
 
 # Regenerate the committed engine baseline at the repo root.
 baseline:

@@ -16,6 +16,7 @@ let parallel_only = ref false
 let hashcons_only = ref false
 let egraph_only = ref false
 let serve_only = ref false
+let exec_only = ref false
 let out_file = ref "BENCH_engine.json"
 let out_file_given = ref false
 
@@ -1184,6 +1185,158 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* exec: compiled plan execution vs the interpreter on the company      *)
+(* workload.  Plans are chosen once against a small sample store (the   *)
+(* optimizer's normal costing path); each chosen plan then executes on  *)
+(* scaled stores through both backends.  Timings are best-of-N wall     *)
+(* clock, and every cell checks compiled ≡ interpreted (modulo set      *)
+(* ordering) before it is reported.                                     *)
+
+module Exec_bench = struct
+  module Exec = Kola_exec.Exec
+
+  let now () = Kola_telemetry.Telemetry.now ()
+
+  (* The third component marks queries whose interpreted run is
+     structurally super-linear (a closed membership subquery re-evaluated
+     per element, a nested-loop intersection): their interpreted
+     measurement is skipped at 10^6 objects, where it would take minutes,
+     and the row records the compiled time alone. *)
+  let queries =
+    [
+      ("dept_roster", Datagen.Company.dept_roster_oql, false);
+      ("mentor_pool", Datagen.Company.mentor_pool_oql, false);
+      ("city_salaries", Datagen.Company.city_salaries_oql, false);
+      ("rich_mentors", Datagen.Company.rich_mentors_oql, false);
+      ("local_staff", Datagen.Company.local_staff_oql, true);
+      ("mentor_elite", Datagen.Company.mentor_elite_oql, true);
+    ]
+
+  type row = {
+    query : string;
+    size : int;  (* employees in the scaled store *)
+    interp_ms : float option;
+        (* interp-hashed, the chosen plan's dedup; None when the
+           interpreted run was skipped as intractable at this size *)
+    compiled_ms : float;  (* compile + run wall clock *)
+    compile_us : float;
+    speedup : float option;
+    stages : int;
+    fell_back : bool;
+    agrees : bool option;  (* None when there was no interpreted run *)
+  }
+
+  let time_best ~trials f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to trials do
+      let t0 = now () in
+      let r = f () in
+      let dt = now () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+
+  let rows ~sizes =
+    let extents = [ "E"; "D" ] in
+    let sample = Datagen.Company.db (Datagen.Company.scaled ~seed:77 1_000) in
+    let reports =
+      List.map
+        (fun (name, src, quadratic) ->
+          (name, Optimizer.Pipeline.optimize_oql ~extents ~db:sample src, quadratic))
+        queries
+    in
+    List.concat_map
+      (fun size ->
+        let db = Datagen.Company.db (Datagen.Company.scaled ~seed:77 size) in
+        let trials =
+          if size <= 10_000 then 5 else if size <= 100_000 then 3 else 1
+        in
+        List.map
+          (fun (name, report, quadratic) ->
+            let interp =
+              if quadratic && size >= 1_000_000 then None
+              else
+                Some
+                  (time_best ~trials (fun () ->
+                       Optimizer.Pipeline.execute
+                         ~backend:(Exec.Interp Eval.Hashed) ~db report))
+            in
+            let (cv, st), compiled_s =
+              time_best ~trials (fun () ->
+                  Optimizer.Pipeline.execute ~backend:Exec.Compiled ~db report)
+            in
+            {
+              query = name;
+              size;
+              interp_ms = Option.map (fun (_, s) -> s *. 1e3) interp;
+              compiled_ms = compiled_s *. 1e3;
+              compile_us = st.Exec.compile_us;
+              speedup = Option.map (fun (_, s) -> s /. compiled_s) interp;
+              stages = st.Exec.stages;
+              fell_back = st.Exec.fell_back;
+              agrees =
+                Option.map (fun ((iv, _), _) -> Exec.agree ~db cv iv) interp;
+            })
+          reports)
+      sizes
+
+  let table rows =
+    Fmt.pr "@.## compiled_execution (interp-hashed vs fused loops)@.";
+    Fmt.pr "  %-14s %9s %12s %12s %9s %7s  %s@." "query" "size" "interp"
+      "compiled" "speedup" "stages" "check";
+    List.iter
+      (fun r ->
+        let interp =
+          match r.interp_ms with
+          | Some ms -> Fmt.str "%9.2f ms" ms
+          | None -> Fmt.str "%12s" "(skipped)"
+        in
+        let speedup =
+          match r.speedup with
+          | Some s -> Fmt.str "%8.1fx" s
+          | None -> Fmt.str "%9s" "-"
+        in
+        Fmt.pr "  %-14s %9d %s %9.2f ms %s %7d  %s@." r.query r.size interp
+          r.compiled_ms speedup r.stages
+          (match r.agrees with
+          | Some false -> "MISMATCH"
+          | _ when r.fell_back -> "fell-back"
+          | Some true -> "ok"
+          | None -> "-"))
+      rows
+
+  let json ~mode rows =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf (Fmt.str "  \"mode\": %S,\n" mode);
+    Buffer.add_string buf
+      (Fmt.str "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
+    Buffer.add_string buf "  \"rows\": [\n";
+    let fopt fmt = function None -> "null" | Some v -> Fmt.str fmt v in
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Fmt.str
+             "    {\"query\": %S, \"size\": %d, \"interp_ms\": %s, \
+              \"compiled_ms\": %.3f, \"compile_us\": %.1f, \"speedup\": \
+              %s, \"stages\": %d, \"fell_back\": %b, \"agrees\": %s}%s\n"
+             r.query r.size
+             (fopt "%.3f" r.interp_ms)
+             r.compiled_ms r.compile_us
+             (fopt "%.2f" r.speedup)
+             r.stages r.fell_back
+             (match r.agrees with
+             | None -> "null"
+             | Some b -> Bool.to_string b)
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    Buffer.contents buf
+end
+
 let () =
   let rec parse = function
     | [] -> ()
@@ -1204,6 +1357,9 @@ let () =
       parse rest
     | "--serve" :: rest ->
       serve_only := true;
+      parse rest
+    | "--exec" :: rest ->
+      exec_only := true;
       parse rest
     | "--out" :: file :: rest ->
       out_file := file;
@@ -1238,6 +1394,23 @@ let () =
     if not !out_file_given then out_file := "BENCH_egraph.json";
     let oc = open_out !out_file in
     output_string oc (Fmt.str "{\n%s\n}\n" (egraph_json rows));
+    close_out oc;
+    Fmt.pr "  wrote %s@." !out_file;
+    Fmt.pr "@.done.@."
+  end
+  else if !exec_only then begin
+    (* compiled execution vs the interpreter: `make bench-exec` *)
+    Fmt.pr "KOLA compiled-execution benchmark@.";
+    Fmt.pr "=================================@.";
+    let sizes =
+      if !fast then [ 1_000; 100_000 ] else [ 1_000; 100_000; 1_000_000 ]
+    in
+    let rows = Exec_bench.rows ~sizes in
+    Exec_bench.table rows;
+    if not !out_file_given then out_file := "BENCH_exec.json";
+    let oc = open_out !out_file in
+    output_string oc
+      (Exec_bench.json ~mode:(if !fast then "fast" else "full") rows);
     close_out oc;
     Fmt.pr "  wrote %s@." !out_file;
     Fmt.pr "@.done.@."
@@ -1280,6 +1453,19 @@ let () =
     Fmt.pr "KOLA engine-internals smoke benchmark@.";
     Fmt.pr "=====================================@.";
     benchmark_group "engine_internals" engine_tests;
+    (* compiled-exec sanity rows: chosen plans at 10^3, checked against
+       the interpreter — a disagreement or unexpected fallback fails the
+       smoke (and with it `make check`), not just the report *)
+    let exec_rows = Exec_bench.rows ~sizes:[ 1_000 ] in
+    Exec_bench.table exec_rows;
+    List.iter
+      (fun r ->
+        if r.Exec_bench.agrees = Some false then
+          Fmt.failwith "exec smoke: %s disagrees with the interpreter"
+            r.Exec_bench.query;
+        if r.Exec_bench.fell_back then
+          Fmt.failwith "exec smoke: %s unexpectedly fell back" r.Exec_bench.query)
+      exec_rows;
     let rows = parallel_scaling_rows ~jobs_list:[ 1; 2 ] ~repeats:2 in
     parallel_table rows;
     (* sanity slice of the interned core: tiny repeats, 1 and 2 domains *)

@@ -52,16 +52,69 @@ let explain_cmd =
     Term.(const run $ query_arg $ store_term)
 
 let run_cmd =
-  let run src store =
+  (* Validated at the cmdliner layer: an unknown backend is a usage error
+     listing the accepted names — the same parser the daemon's "execute"
+     request field uses. *)
+  let backend_conv =
+    let parse s =
+      Result.map_error (fun m -> `Msg m) (Kola_exec.Exec.backend_of_string s)
+    in
+    let print ppf b = Fmt.string ppf (Kola_exec.Exec.backend_name b) in
+    Arg.conv ~docv:"BACKEND" (parse, print)
+  in
+  let execute =
+    Arg.(
+      value
+      & opt (some backend_conv) None
+      & info [ "execute" ] ~docv:"BACKEND"
+          ~doc:
+            "Execution backend for the chosen plan: $(b,compiled) (fuse the \
+             plan into loop closures; unsupported plans fall back to the \
+             interpreter, reported in --stats), $(b,interp) (the hashed \
+             interpreter), or $(b,interp-naive).  Default: the interpreter \
+             backend the optimizer chose.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run the chosen plan on both the compiled backend and the \
+             interpreter and fail (exit 1) unless the results agree modulo \
+             set ordering.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print execution statistics (compile/run time, loop counters).")
+  in
+  let run src store execute verify stats =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let report = Optimizer.Pipeline.optimize_oql ~db src in
-        let result = Optimizer.Pipeline.run ~db report in
+        let result, st = Optimizer.Pipeline.execute ?backend:execute ~db report in
+        if stats then Fmt.pr "stats: %a@." Kola_exec.Exec.pp_stats st;
+        if verify then begin
+          let compiled, cst =
+            Optimizer.Pipeline.execute ~backend:Kola_exec.Exec.Compiled ~db
+              report
+          in
+          let interp = Optimizer.Pipeline.run ~db report in
+          if stats then Fmt.pr "stats: %a@." Kola_exec.Exec.pp_stats cst;
+          if not (Kola_exec.Exec.agree ~db compiled interp) then begin
+            Fmt.epr "verify: compiled and interpreted results disagree@.";
+            Fmt.epr "  compiled: %a@." Kola.Value.pp compiled;
+            Fmt.epr "  interp:   %a@." Kola.Value.pp interp;
+            exit 1
+          end;
+          Fmt.pr "verify: compiled ≡ interpreted@."
+        end;
         Fmt.pr "%a@." Kola.Value.pp result)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize and execute a query against a generated store.")
-    Term.(const run $ query_arg $ store_term)
+    Term.(const run $ query_arg $ store_term $ execute $ verify $ stats)
 
 let rules_cmd =
   let certify =

@@ -36,6 +36,22 @@ let as_int ctx v =
   | Value.Int i -> i
   | v -> error "expected an int, got %a" Value.pp v
 
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Membership tests hash the right operand once instead of scanning it per
+   element ([List.exists] made In/Inter/Diff quadratic in the set sizes);
+   filter order over the left operand is preserved, so results are
+   identical. *)
+let member_table ys =
+  let t = VH.create (2 * List.length ys + 1) in
+  List.iter (fun y -> VH.replace t y ()) ys;
+  t
+
 let rec eval ctx e : Value.t =
   match e with
   | Var x -> (
@@ -114,17 +130,16 @@ let rec eval ctx e : Value.t =
     | Lt -> Value.Bool (Value.compare va (Lazy.force vb) < 0)
     | Gt -> Value.Bool (Value.compare va (Lazy.force vb) > 0)
     | Geq -> Value.Bool (Value.compare va (Lazy.force vb) >= 0)
-    | In -> Value.Bool (List.exists (Value.equal va) (as_set ctx (Lazy.force vb)))
+    | In -> Value.Bool (VH.mem (member_table (as_set ctx (Lazy.force vb))) va)
     | Add -> Value.Int (as_int ctx va + as_int ctx (Lazy.force vb))
     | Sub -> Value.Int (as_int ctx va - as_int ctx (Lazy.force vb))
     | Mul -> Value.Int (as_int ctx va * as_int ctx (Lazy.force vb))
     | Union -> Value.set (as_set ctx va @ as_set ctx (Lazy.force vb))
     | Inter ->
-      let ys = as_set ctx (Lazy.force vb) in
-      Value.set (List.filter (fun x -> List.exists (Value.equal x) ys) (as_set ctx va))
+      let m = member_table (as_set ctx (Lazy.force vb)) in
+      Value.set (List.filter (fun x -> VH.mem m x) (as_set ctx va))
     | Diff ->
-      let ys = as_set ctx (Lazy.force vb) in
-      Value.set
-        (List.filter (fun x -> not (List.exists (Value.equal x) ys)) (as_set ctx va)))
+      let m = member_table (as_set ctx (Lazy.force vb)) in
+      Value.set (List.filter (fun x -> not (VH.mem m x)) (as_set ctx va)))
 
 let eval_closed ?db e = eval (ctx ?db ()) e

@@ -21,6 +21,14 @@ type t = {
 }
 
 val generate : params -> t
+
+val scaled : ?seed:int -> int -> t
+(** [scaled ~seed n] is a benchmark-scale store with [n] employees and
+    [max 8 (n/250)] departments, generated in O(n) with array-backed
+    sampling; deterministic in [seed] alone.
+    @raise Invalid_argument if [n] is zero, negative, or above
+    {!Store.max_scaled_size} (no silent truncation). *)
+
 val db : t -> (string * Kola.Value.t) list
 
 val dept_roster_oql : string
@@ -28,3 +36,18 @@ val dept_roster_oql : string
 
 val rich_mentors_oql : string
 (** A data-dependent nested query that must not bottom out. *)
+
+val mentor_pool_oql : string
+(** A second hidden join: mentors pooled per department. *)
+
+val city_salaries_oql : string
+(** A selective scan-filter-map chain with no join. *)
+
+val local_staff_oql : string
+(** A membership filter against a closed (loop-invariant) subquery:
+    per-element evaluation is O(|E| * |D|); hoisting plus a hashed probe
+    is O(|E| + |D|). *)
+
+val mentor_elite_oql : string
+(** An intersection of two derived name sets: nested-loop intersection
+    is O(n * m); hashing the smaller side is linear. *)

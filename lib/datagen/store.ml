@@ -26,6 +26,25 @@ let int r bound =
 
 let pick r xs = List.nth xs (int r (List.length xs))
 
+(* O(1) pick for the scaled generators: [List.nth] sampling is quadratic
+   over a whole extent, which is what caps the list-based [generate] at
+   toy sizes. *)
+let pick_arr r a =
+  if Array.length a = 0 then invalid_arg "Store.pick_arr: empty array";
+  Array.unsafe_get a (int r (Array.length a))
+
+(* [Array.init]'s application order is unspecified; generation must be
+   byte-identical across hosts, so tabulate in index order explicitly. *)
+let tabulate n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
 (* Row deepening rewrites an object's fields in place; anything else in
    the extent is a generator bug upstream — name the site and the value
    so the failure is diagnosable instead of an anonymous [assert false]. *)
@@ -67,11 +86,34 @@ type t = {
   db : (string * Value.t) list;  (** extents P, V, A *)
 }
 
+(* Hard cap for the scaled generators.  Above this the value-level store
+   (boxed objects, assoc-list fields) stops being the bottleneck worth
+   measuring; refuse loudly rather than truncate to some smaller store the
+   caller never asked for. *)
+let max_scaled_size = 2_000_000
+
+let validate ~fn ~what n =
+  if n < 0 then
+    invalid_arg (Fmt.str "%s: %s must be non-negative, got %d" fn what n);
+  if n > max_scaled_size then
+    invalid_arg
+      (Fmt.str
+         "%s: %s is %d, above the supported maximum %d — refusing to \
+          truncate the store silently; generate at most %d or shard the \
+          workload"
+         fn what n max_scaled_size max_scaled_size)
+
+let validate_params ~fn (p : params) =
+  validate ~fn ~what:"people" p.people;
+  validate ~fn ~what:"vehicles" p.vehicles;
+  validate ~fn ~what:"addresses" p.addresses
+
 (* People's [child] sets point at other generated people.  To keep values
    acyclic we embed children as objects with their scalar fields only (their
    own child/cars/grgs sets are empty); object equality is oid-based so joins
    and membership tests still behave as identity joins. *)
 let generate (p : params) : t =
+  validate_params ~fn:"Datagen.Store.generate" p;
   let r = rng p.seed in
   let addresses =
     List.init p.addresses (fun i ->
@@ -141,6 +183,85 @@ let generate (p : params) : t =
   }
 
 let db t = t.db
+
+(* Array-backed generation for benchmark-scale stores (10^5–10^6 people):
+   every sample is an O(1) array pick, object rows are tabulated in index
+   order, and the extent sets are built from already-oid-sorted rows, so
+   the whole store is O(n) work and deterministic in the seed alone —
+   byte-identical across hosts.  [size] counts people; vehicles and
+   addresses scale with the default 40/30/20 ratios. *)
+let scaled ?(seed = 42) (size : int) : t =
+  let fn = "Datagen.Store.scaled" in
+  if size = 0 then invalid_arg (Fmt.str "%s: size must be positive" fn);
+  validate ~fn ~what:"size" size;
+  let n_vehicles = max 1 (size * 3 / 4) in
+  let n_addresses = max 1 (size / 2) in
+  let cities_a = Array.of_list cities and makes_a = Array.of_list makes in
+  let r = rng seed in
+  let addresses =
+    tabulate n_addresses (fun i ->
+        Value.obj ~cls:"Address" ~oid:i
+          [
+            ("city", Value.str (pick_arr r cities_a));
+            ("street", Value.str (Fmt.str "%d Main St" (i + 1)));
+            ("zip", Value.int (10000 + int r 89999));
+          ])
+  in
+  let vehicles =
+    tabulate n_vehicles (fun i ->
+        Value.obj ~cls:"Vehicle" ~oid:i
+          [
+            ("make", Value.str (pick_arr r makes_a));
+            ("year", Value.int (1970 + int r 50));
+          ])
+  in
+  let shallow =
+    tabulate size (fun i ->
+        Value.obj ~cls:"Person" ~oid:i
+          [
+            ("name", Value.str (Fmt.str "person-%d" i));
+            ("age", Value.int (int r 80));
+            ("addr", pick_arr r addresses);
+            ("child", Value.set []);
+            ("cars", Value.set []);
+            ("grgs", Value.set []);
+          ])
+  in
+  let sample_set max pool =
+    if max = 0 || Array.length pool = 0 then Value.set []
+    else
+      let n = int r (max + 1) in
+      Value.set (List.init n (fun _ -> pick_arr r pool))
+  in
+  let persons =
+    tabulate size (fun i ->
+        let fields =
+          List.map
+            (fun (k, v) ->
+              match k with
+              | "child" -> (k, sample_set default_params.max_children shallow)
+              | "cars" -> (k, sample_set default_params.max_cars vehicles)
+              | "grgs" -> (k, sample_set default_params.max_garages addresses)
+              | _ -> (k, v))
+            (obj_fields ~context:"Datagen.Store.scaled: person row"
+               shallow.(i))
+        in
+        Value.obj ~cls:"Person" ~oid:i fields)
+  in
+  let persons = Array.to_list persons in
+  let vehicles = Array.to_list vehicles in
+  let addresses = Array.to_list addresses in
+  {
+    persons;
+    vehicles;
+    addresses;
+    db =
+      [
+        ("P", Value.set persons);
+        ("V", Value.set vehicles);
+        ("A", Value.set addresses);
+      ];
+  }
 
 (* A fixed, tiny, hand-auditable store used by unit tests. *)
 let tiny () =

@@ -11,6 +11,14 @@ val int : rng -> int -> int
 
 val pick : rng -> 'a list -> 'a
 
+val pick_arr : rng -> 'a array -> 'a
+(** O(1) uniform pick; the scaled generators use this where [pick]'s
+    [List.nth] would make generation quadratic. *)
+
+val tabulate : int -> (int -> 'a) -> 'a array
+(** [Array.init] with a guaranteed ascending application order, so
+    PRNG-driven generation is identical on every host. *)
+
 val obj_fields : context:string -> Kola.Value.t -> (string * Kola.Value.t) list
 (** The fields of an object row.  Raises [Invalid_argument] with
     [context] and the offending value on anything that is not an object —
@@ -42,8 +50,22 @@ type t = {
   db : (string * Kola.Value.t) list;
 }
 
+val max_scaled_size : int
+(** Hard cap (2,000,000) for {!generate} and {!scaled}; sizes above it
+    raise a descriptive [Invalid_argument] instead of truncating. *)
+
 val generate : params -> t
-(** Deterministic in [params.seed]. *)
+(** Deterministic in [params.seed].
+    @raise Invalid_argument on negative or over-{!max_scaled_size} sizes. *)
+
+val scaled : ?seed:int -> int -> t
+(** [scaled ~seed n] is a benchmark-scale store with [n] people (plus
+    vehicles and addresses in the default ratios), generated in O(n) with
+    array-backed sampling — usable up to {!max_scaled_size} where the
+    list-based {!generate} is quadratic.  Deterministic in [seed] alone;
+    byte-identical across hosts.
+    @raise Invalid_argument if [n] is zero, negative, or above
+    {!max_scaled_size} (no silent truncation). *)
 
 val db : t -> (string * Kola.Value.t) list
 (** The extents P, V, A. *)

@@ -1,0 +1,1036 @@
+(* Compiled plan execution.
+
+   [compile] lowers a chosen [Term.query] into pipelined producer/consumer
+   loops ("A Compiler for Operations on Relations with Bag Semantics",
+   PAPERS.md): a spine of Iterate/Flat/Unnest/Iter stages fuses into one
+   loop with no intermediate collections, while Join, Nest, the binary set
+   operations and aggregates are pipeline breakers that materialize a hash
+   table and stream their output.  Per-element work (attribute reads,
+   arithmetic, predicates) is closure-converted once at compile time, so
+   the run pays no per-node dispatch, no per-stage [Value.set] sort, and
+   no counter bookkeeping beyond three per-stage totals.
+
+   The interpreter ({!Eval.run}) is the oracle: for every supported plan
+   the compiled result equals the interpreted one modulo set ordering
+   (compare with {!agree}).  The correctness argument for running the
+   inside of a pipeline in bag discipline even under [Eager] dedup: every
+   stage except aggregation is duplicate-insensitive with respect to the
+   final canonical set, embedded collections are canonicalised exactly
+   where the interpreter canonicalises them, and Count/Sum insert a hash
+   dedup barrier under [Eager] so multiplicities are never observed.
+
+   Plans the compiler does not support (pattern holes anywhere) raise
+   {!Unsupported}; {!run} catches it, counts the fallback, and delegates
+   to the interpreter — explicitly slower, never wrong. *)
+
+open Kola
+module Telemetry = Kola_telemetry.Telemetry
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(* Runtime errors reuse [Eval.Error] with the interpreter's messages, so a
+   compiled plan fails exactly like an interpreted one. *)
+let error fmt = Fmt.kstr (fun s -> raise (Eval.Error s)) fmt
+
+type counters = {
+  mutable tuples : int;   (** elements flowing through pipeline stages *)
+  mutable probes : int;   (** hash-table lookups (joins, set ops) *)
+  mutable builds : int;   (** hash-table inserts (build sides, groups) *)
+}
+
+let fresh_counters () = { tuples = 0; probes = 0; builds = 0 }
+
+type rctx = {
+  db : (string * Value.t) list;
+  dedup : Eval.dedup;
+  pipes : Value.t array option array;  (** materialized shared pipelines *)
+  vals : Value.t option array;         (** memoized shared scalars *)
+  c : counters;
+}
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let value_gt a b = Value.compare a b > 0
+
+let rec resolve ctx v =
+  match v with
+  | Value.Named n -> (
+    match List.assoc_opt n ctx.db with
+    | Some v -> resolve ctx v
+    | None -> error "unbound database name %s" n)
+  | Value.Hole h -> error "evaluated a pattern hole ?%s" h
+  | v -> v
+
+let as_pair ctx v =
+  match resolve ctx v with
+  | Value.Pair (a, b) -> (a, b)
+  | v -> error "expected a pair, got %a" Value.pp v
+
+let as_set ctx v =
+  match resolve ctx v with
+  | Value.Set xs | Value.Bag xs | Value.List xs -> xs
+  | v -> error "expected a set, got %a" Value.pp v
+
+let as_int ctx v =
+  match resolve ctx v with
+  | Value.Int i -> i
+  | v -> error "expected an int, got %a" Value.pp v
+
+let collection ctx elems =
+  match ctx.dedup with
+  | Eval.Eager -> Value.set elems
+  | Eval.Deferred -> Value.Bag elems
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant analysis.  A func is input-independent when evaluating
+   it never consults its argument: a [Kf] constant, a composition whose
+   right leg is input-independent (the left leg then sees the same value
+   on every call), a pairing or conditional of input-independent parts,
+   or a [Cf] whose body ignores its argument.  Such subterms — most
+   importantly a closed subquery inside a membership predicate, which
+   the interpreter re-evaluates once per outer element — are computed
+   once per run by the compiled closures.  The analysis is conservative:
+   anything that pattern-matches on its argument ([Pi1], [Times], ...)
+   counts as dependent, so hoisting can never change error behaviour. *)
+
+let rec func_invariant : Term.func -> bool = function
+  | Term.Kf _ -> true
+  | Term.Compose (Term.Iter (p, f), Term.Pairf (g, x)) ->
+    (* Environment threading: the translator compiles a nested query as
+       [iter(p, f) ∘ ⟨id, X⟩], pairing every element of X with the outer
+       binding even when the body never mentions it.  The variable-free
+       algebra makes that deadness syntactic: if X is closed and neither
+       p nor f reads π1 of its argument, the whole subplan is closed.
+       The ⟨g, x⟩ legs must not introduce input-dependent failures
+       either, hence the [g = id] / invariant guard. *)
+    (g = Term.Id || func_invariant g)
+    && func_invariant x && pred_env_free p && func_env_free f
+  | Term.Compose (_, g) -> func_invariant g
+  | Term.Pairf (f, g) -> func_invariant f && func_invariant g
+  | Term.Con (p, f, g) ->
+    pred_invariant p && func_invariant f && func_invariant g
+  | Term.Cf (f, _) -> func_invariant f
+  | _ -> false
+
+and pred_invariant : Term.pred -> bool = function
+  | Term.Kp _ -> true
+  | Term.Oplus (_, f) -> func_invariant f
+  | Term.Andp (p, q) | Term.Orp (p, q) -> pred_invariant p && pred_invariant q
+  | Term.Inv p -> pred_invariant p
+  | Term.Cp (p, _) -> pred_invariant p
+  | _ -> false
+
+(* Applied to an [iter] element [Pair (env, y)]: does the result depend
+   only on [y]?  π2 discards the environment outright; pair-shaped
+   plumbing is env-free when all its legs are; anything invariant ignores
+   the whole argument, environment included. *)
+and func_env_free : Term.func -> bool = function
+  | Term.Pi2 -> true
+  | Term.Compose (_, g) -> func_env_free g
+  | Term.Pairf (f, g) -> func_env_free f && func_env_free g
+  | Term.Con (p, f, g) ->
+    pred_env_free p && func_env_free f && func_env_free g
+  | f -> func_invariant f
+
+and pred_env_free : Term.pred -> bool = function
+  | Term.Oplus (_, f) -> func_env_free f
+  | Term.Andp (p, q) | Term.Orp (p, q) -> pred_env_free p && pred_env_free q
+  | Term.Inv p -> pred_env_free p
+  | p -> pred_invariant p
+
+(* ------------------------------------------------------------------ *)
+(* Scalar closure compilation: per-element work is translated once into
+   nested closures mirroring [Eval.func]/[Eval.pred] case by case, so a
+   hot loop never touches the term again.  [fc] additionally hoists
+   loop-invariant subterms: the compiled closure memoizes its result on
+   the (db, dedup) pair it ran under, so a closed subquery used as a
+   filter operand costs one evaluation per run instead of one per
+   element. *)
+
+let rec fc (f : Term.func) : rctx -> Value.t -> Value.t =
+  match f with
+  | Term.Kf _ -> fc_node f (* already O(1); a memo would only add a branch *)
+  | _ when func_invariant f ->
+    let f' = fc_node f in
+    let memo = ref None in
+    fun ctx v ->
+      (match !memo with
+      | Some (db, dedup, r) when db == ctx.db && dedup = ctx.dedup -> r
+      | _ ->
+        let r = f' ctx v in
+        memo := Some (ctx.db, ctx.dedup, r);
+        r)
+  | _ -> fc_node f
+
+and fc_node (f : Term.func) : rctx -> Value.t -> Value.t =
+  match f with
+  | Term.Id -> fun ctx v -> resolve ctx v
+  | Term.Pi1 -> fun ctx v -> fst (as_pair ctx v)
+  | Term.Pi2 -> fun ctx v -> snd (as_pair ctx v)
+  | Term.Prim name ->
+    fun ctx v ->
+      (match resolve ctx v with
+      | Value.Obj _ as o -> (
+        match Value.field name o with
+        | Some x -> x
+        | None -> error "object %a has no attribute %s" Value.pp o name)
+      | v -> error "attribute %s applied to non-object %a" name Value.pp v)
+  | Term.Compose (f, g) ->
+    let f' = fc f and g' = fc g in
+    fun ctx v -> f' ctx (g' ctx v)
+  | Term.Pairf (f, g) ->
+    let f' = fc f and g' = fc g in
+    fun ctx v -> Value.Pair (f' ctx v, g' ctx v)
+  | Term.Times (f, g) ->
+    let f' = fc f and g' = fc g in
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      Value.Pair (f' ctx a, g' ctx b)
+  | Term.Kf c -> fun ctx _ -> resolve ctx c
+  | Term.Cf (f, c) ->
+    let f' = fc f in
+    fun ctx v -> f' ctx (Value.Pair (c, v))
+  | Term.Con (p, f, g) ->
+    let p' = pc p and f' = fc f and g' = fc g in
+    fun ctx v -> if p' ctx v then f' ctx v else g' ctx v
+  | Term.Arith op ->
+    let op = match op with Term.Add -> ( + ) | Term.Sub -> ( - ) | Term.Mul -> ( * ) in
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      Value.Int (op (as_int ctx a) (as_int ctx b))
+  | Term.Agg op -> fc_agg op
+  | Term.Setop op -> fc_setop op
+  | Term.Sng -> fun ctx v -> Value.set [ resolve ctx v ]
+  | Term.Flat ->
+    fun ctx v ->
+      let outer = as_set ctx v in
+      ctx.c.tuples <- ctx.c.tuples + List.length outer;
+      collection ctx (List.concat_map (fun s -> as_set ctx s) outer)
+  | Term.Iterate (p, f) ->
+    let p' = pc p and f' = fc f in
+    fun ctx v ->
+      let xs = as_set ctx v in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs;
+      collection ctx
+        (List.filter_map (fun x -> if p' ctx x then Some (f' ctx x) else None) xs)
+  | Term.Iter (p, f) ->
+    let p' = pc p and f' = fc f in
+    fun ctx v ->
+      let e, set = as_pair ctx v in
+      let ys = as_set ctx set in
+      ctx.c.tuples <- ctx.c.tuples + List.length ys;
+      collection ctx
+        (List.filter_map
+           (fun y ->
+             let pair = Value.Pair (e, y) in
+             if p' ctx pair then Some (f' ctx pair) else None)
+           ys)
+  | Term.Join (p, f) -> fc_join p f
+  | Term.Nest (f, g) -> fc_nest f g
+  | Term.Unnest (f, g) ->
+    let fk = fc f and fg = fc g in
+    fun ctx v ->
+      let xs = as_set ctx v in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs;
+      collection ctx
+        (List.concat_map
+           (fun x ->
+             let key = fk ctx x in
+             List.map (fun y -> Value.Pair (key, y)) (as_set ctx (fg ctx x)))
+           xs)
+  | Term.Fhole h -> unsupported "pattern hole ?%s" h
+
+and fc_agg op : rctx -> Value.t -> Value.t =
+  match op with
+  | Term.Count ->
+    fun ctx v ->
+      let xs = as_set ctx v in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs;
+      Value.Int (List.length xs)
+  | Term.Sum ->
+    fun ctx v ->
+      let xs = as_set ctx v in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs;
+      Value.Int (List.fold_left (fun acc x -> acc + as_int ctx x) 0 xs)
+  | Term.Max ->
+    fun ctx v ->
+      (match as_set ctx v with
+      | [] -> error "max of empty set"
+      | x :: rest ->
+        ctx.c.tuples <- ctx.c.tuples + 1 + List.length rest;
+        List.fold_left (fun m y -> if value_gt y m then y else m) x rest)
+  | Term.Min ->
+    fun ctx v ->
+      (match as_set ctx v with
+      | [] -> error "min of empty set"
+      | x :: rest ->
+        ctx.c.tuples <- ctx.c.tuples + 1 + List.length rest;
+        List.fold_left (fun m y -> if value_gt m y then y else m) x rest)
+
+(* Membership set ops over a hash set of the right operand — O(|xs|+|ys|)
+   where the interpreter is quadratic; same elements, same left-to-right
+   order, so the result value is identical. *)
+and fc_setop op : rctx -> Value.t -> Value.t =
+  let member ctx ys =
+    let t = VH.create (2 * List.length ys + 1) in
+    List.iter (fun y -> VH.replace t y ()) ys;
+    ignore ctx;
+    t
+  in
+  match op with
+  | Term.Union ->
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      let xs = as_set ctx a and ys = as_set ctx b in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs + List.length ys;
+      collection ctx (xs @ ys)
+  | Term.Inter ->
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      let xs = as_set ctx a and ys = as_set ctx b in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs + List.length ys;
+      let m = member ctx ys in
+      collection ctx (List.filter (fun x -> VH.mem m x) xs)
+  | Term.Diff ->
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      let xs = as_set ctx a and ys = as_set ctx b in
+      ctx.c.tuples <- ctx.c.tuples + List.length xs + List.length ys;
+      let m = member ctx ys in
+      collection ctx (List.filter (fun x -> not (VH.mem m x)) xs)
+
+(* Scalar join/nest mirror the [Hashed] interpreter backend (decomposition
+   done once at compile time), falling back to nested loops when the
+   predicate exposes no index. *)
+and fc_join p f : rctx -> Value.t -> Value.t =
+  let f' = fc f in
+  match Eval.hash_joinable p with
+  | Some (kind, g1, g2, residual) ->
+    let g1' = fc g1 and g2' = fc g2 in
+    let res' = Option.map pc residual in
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      let xs = as_set ctx a and ys = as_set ctx b in
+      let index : Value.t list VH.t = VH.create (2 * List.length ys + 1) in
+      let add key y =
+        let prev = Option.value ~default:[] (VH.find_opt index key) in
+        VH.replace index key (y :: prev)
+      in
+      List.iter
+        (fun y ->
+          ctx.c.builds <- ctx.c.builds + 1;
+          match kind with
+          | `Eq -> add (g2' ctx y) y
+          | `In -> List.iter (fun e -> add e y) (as_set ctx (g2' ctx y)))
+        ys;
+      collection ctx
+        (List.concat_map
+           (fun x ->
+             ctx.c.probes <- ctx.c.probes + 1;
+             let matches =
+               Option.value ~default:[] (VH.find_opt index (g1' ctx x))
+             in
+             List.filter_map
+               (fun y ->
+                 let pair = Value.Pair (x, y) in
+                 let keep =
+                   match res' with None -> true | Some r -> r ctx pair
+                 in
+                 if keep then Some (f' ctx pair) else None)
+               matches)
+           xs)
+  | None ->
+    let p' = pc p in
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      let xs = as_set ctx a and ys = as_set ctx b in
+      ctx.c.tuples <-
+        ctx.c.tuples + (List.length xs * (1 + List.length ys));
+      collection ctx
+        (List.concat_map
+           (fun x ->
+             List.filter_map
+               (fun y ->
+                 let pair = Value.Pair (x, y) in
+                 if p' ctx pair then Some (f' ctx pair) else None)
+               ys)
+           xs)
+
+and fc_nest f g : rctx -> Value.t -> Value.t =
+  let f' = fc f and g' = fc g in
+  fun ctx v ->
+    let a, b = as_pair ctx v in
+    let xs = as_set ctx a and ys = as_set ctx b in
+    let groups : Value.t list VH.t = VH.create (2 * List.length ys + 1) in
+    List.iter
+      (fun x ->
+        ctx.c.builds <- ctx.c.builds + 1;
+        let key = f' ctx x in
+        let prev = Option.value ~default:[] (VH.find_opt groups key) in
+        VH.replace groups key (g' ctx x :: prev))
+      xs;
+    collection ctx
+      (List.map
+         (fun y ->
+           ctx.c.probes <- ctx.c.probes + 1;
+           let group = Option.value ~default:[] (VH.find_opt groups y) in
+           Value.Pair (y, collection ctx group))
+         ys)
+
+and pc (p : Term.pred) : rctx -> Value.t -> bool =
+  match p with
+  | Term.Eq ->
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      Value.equal (resolve ctx a) (resolve ctx b)
+  | Term.Leq ->
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      Value.compare (resolve ctx a) (resolve ctx b) <= 0
+  | Term.Gt ->
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      value_gt (resolve ctx a) (resolve ctx b)
+  | Term.In ->
+    (* Membership hashes the right operand instead of scanning it per
+       probe.  The member table is memoized on the operand's physical
+       identity, so a loop-invariant right side — the common shape,
+       [x in Q] with [Q] closed over the loop, which [fc]'s hoisting
+       pins to one physical value per run — is hashed once and probed in
+       O(1); the interpreter's [List.exists] pays O(|Q|) per element.
+       Small or per-element sets keep the linear scan, where building a
+       table would cost more than it saves. *)
+    let memo = ref None in
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      let a = resolve ctx a in
+      let ys = as_set ctx b in
+      if List.compare_length_with ys 16 <= 0 then
+        List.exists (Value.equal a) ys
+      else begin
+        let t =
+          match !memo with
+          | Some (prev, t) when prev == ys -> t
+          | _ ->
+            let t = VH.create (2 * List.length ys + 1) in
+            List.iter (fun y -> VH.replace t y ()) ys;
+            ctx.c.builds <- ctx.c.builds + List.length ys;
+            memo := Some (ys, t);
+            t
+        in
+        ctx.c.probes <- ctx.c.probes + 1;
+        VH.mem t a
+      end
+  | Term.Primp name ->
+    fun ctx v ->
+      (match resolve ctx v with
+      | Value.Obj _ as o -> (
+        match Value.field name o with
+        | Some (Value.Bool b) -> b
+        | Some x ->
+          error "predicate attribute %s is not boolean: %a" name Value.pp x
+        | None -> error "object %a has no attribute %s" Value.pp o name)
+      | v -> error "predicate %s applied to non-object %a" name Value.pp v)
+  | Term.Oplus (p, f) ->
+    let p' = pc p and f' = fc f in
+    fun ctx v -> p' ctx (f' ctx v)
+  | Term.Andp (p, q) ->
+    let p' = pc p and q' = pc q in
+    fun ctx v -> p' ctx v && q' ctx v
+  | Term.Orp (p, q) ->
+    let p' = pc p and q' = pc q in
+    fun ctx v -> p' ctx v || q' ctx v
+  | Term.Inv p ->
+    let p' = pc p in
+    fun ctx v -> not (p' ctx v)
+  | Term.Conv p ->
+    let p' = pc p in
+    fun ctx v ->
+      let a, b = as_pair ctx v in
+      p' ctx (Value.Pair (b, a))
+  | Term.Kp b -> fun _ _ -> b
+  | Term.Cp (p, c) ->
+    let p' = pc p in
+    fun ctx v -> p' ctx (Value.Pair (c, v))
+  | Term.Phole h -> unsupported "pattern hole ?%s" h
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline lowering.  A compiled spine value is a collection (either a
+   stored whole or a streaming producer), a statically-known pair, or a
+   scalar thunk; the IR description is built alongside. *)
+
+type producer = rctx -> (Value.t -> unit) -> unit
+
+type coll = Whole of (rctx -> Value.t) | Pipe of producer
+
+type cv = { shape : shape; ir : Ir.node }
+and shape = Coll of coll | Duo of cv * cv | Sca of (rctx -> Value.t)
+
+type cstate = { mutable pipe_slots : int; mutable val_slots : int }
+
+let iter_coll ctx (c : coll) emit =
+  match c with
+  | Whole f -> List.iter emit (as_set ctx (f ctx))
+  | Pipe p -> p ctx emit
+
+let drain ctx (p : producer) =
+  let acc = ref [] in
+  p ctx (fun v -> acc := v :: !acc);
+  List.rev !acc
+
+let rec force ctx (v : cv) : Value.t =
+  match v.shape with
+  | Sca f -> f ctx
+  | Duo (a, b) -> Value.Pair (force ctx a, force ctx b)
+  | Coll (Whole f) -> f ctx
+  | Coll (Pipe p) -> collection ctx (drain ctx p)
+
+let as_coll (v : cv) : coll =
+  match v.shape with
+  | Coll c -> c
+  | Sca f -> Whole f
+  | Duo _ -> Whole (fun ctx -> force ctx v)
+
+(* Re-running a producer would recompute the whole upstream pipeline, so
+   any input consumed more than once (⟨f,g⟩, con, dynamic pair splits) is
+   materialized into a per-run slot the first time it is demanded. *)
+let rec share st (v : cv) : cv =
+  match v.shape with
+  | Coll (Pipe p) ->
+    let slot = st.pipe_slots in
+    st.pipe_slots <- st.pipe_slots + 1;
+    let materialize ctx =
+      match ctx.pipes.(slot) with
+      | Some arr -> arr
+      | None ->
+        let arr = Array.of_list (drain ctx p) in
+        ctx.pipes.(slot) <- Some arr;
+        arr
+    in
+    {
+      shape = Coll (Pipe (fun ctx emit -> Array.iter emit (materialize ctx)));
+      ir = Ir.Shared (slot, v.ir);
+    }
+  | Duo (a, b) ->
+    let a = share st a and b = share st b in
+    { shape = Duo (a, b); ir = Ir.PairNode (a.ir, b.ir) }
+  | Sca f ->
+    let slot = st.val_slots in
+    st.val_slots <- st.val_slots + 1;
+    {
+      shape =
+        Sca
+          (fun ctx ->
+            match ctx.vals.(slot) with
+            | Some v -> v
+            | None ->
+              let v = f ctx in
+              ctx.vals.(slot) <- Some v;
+              v);
+      ir = Ir.Shared (slot, v.ir);
+    }
+  | Coll (Whole _) -> v
+
+let as_duo st (v : cv) : cv * cv =
+  match v.shape with
+  | Duo (a, b) -> (a, b)
+  | _ ->
+    let v = share st v in
+    let f ctx = force ctx v in
+    ( { shape = Sca (fun ctx -> fst (as_pair ctx (f ctx))); ir = Ir.Scalar (Term.Pi1, v.ir) },
+      { shape = Sca (fun ctx -> snd (as_pair ctx (f ctx))); ir = Ir.Scalar (Term.Pi2, v.ir) } )
+
+let rec cv_of_value (v : Value.t) : cv =
+  match v with
+  | Value.Hole h -> unsupported "pattern hole ?%s in query argument" h
+  | Value.Pair (a, b) ->
+    let ca = cv_of_value a and cb = cv_of_value b in
+    { shape = Duo (ca, cb); ir = Ir.PairNode (ca.ir, cb.ir) }
+  | Value.Named _ | Value.Set _ | Value.Bag _ | Value.List _ ->
+    { shape = Coll (Whole (fun ctx -> resolve ctx v)); ir = Ir.Scan v }
+  | v -> { shape = Sca (fun ctx -> resolve ctx v); ir = Ir.Leaf v }
+
+let scalar_apply (f : Term.func) (input : cv) : cv =
+  let f' = fc f in
+  { shape = Sca (fun ctx -> f' ctx (force ctx input)); ir = Ir.Scalar (f, input.ir) }
+
+let pipe p ir = { shape = Coll (Pipe p); ir }
+
+let rec lower st (f : Term.func) (input : cv) : cv =
+  match f with
+  | Term.Compose (a, b) -> lower st a (lower st b input)
+  | Term.Id -> (
+    match input.shape with
+    | Sca f -> { input with shape = Sca (fun ctx -> resolve ctx (f ctx)) }
+    | Coll (Whole f) ->
+      { input with shape = Coll (Whole (fun ctx -> resolve ctx (f ctx))) }
+    | Coll (Pipe _) | Duo _ -> input)
+  | Term.Pi1 -> fst (as_duo st input)
+  | Term.Pi2 -> snd (as_duo st input)
+  | Term.Times (a, b) ->
+    let l, r = as_duo st input in
+    let la = lower st a l and lb = lower st b r in
+    { shape = Duo (la, lb); ir = Ir.PairNode (la.ir, lb.ir) }
+  | Term.Pairf (a, b) ->
+    let s = share st input in
+    let la = lower st a s and lb = lower st b s in
+    { shape = Duo (la, lb); ir = Ir.PairNode (la.ir, lb.ir) }
+  | Term.Kf c -> cv_of_value c
+  | Term.Cf (f, c) ->
+    let cc = cv_of_value c in
+    lower st f { shape = Duo (cc, input); ir = Ir.PairNode (cc.ir, input.ir) }
+  | Term.Con (p, a, b) ->
+    let s = share st input in
+    let p' = pc p in
+    let la = lower st a s and lb = lower st b s in
+    let ir = Ir.Branch (p, s.ir, la.ir, lb.ir) in
+    (match (la.shape, lb.shape) with
+    | Coll ca, Coll cb ->
+      pipe
+        (fun ctx emit ->
+          if p' ctx (force ctx s) then iter_coll ctx ca emit
+          else iter_coll ctx cb emit)
+        ir
+    | _ ->
+      {
+        shape =
+          Sca
+            (fun ctx ->
+              if p' ctx (force ctx s) then force ctx la else force ctx lb);
+        ir;
+      })
+  | Term.Sng ->
+    {
+      shape = Coll (Whole (fun ctx -> Value.set [ resolve ctx (force ctx input) ]));
+      ir = Ir.SngStage input.ir;
+    }
+  | Term.Flat ->
+    let c = as_coll input in
+    pipe
+      (fun ctx emit ->
+        iter_coll ctx c (fun s ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            List.iter emit (as_set ctx s)))
+      (Ir.Flatten input.ir)
+  | Term.Iterate (p, f) ->
+    let c = as_coll input in
+    let p' = pc p and f' = fc f in
+    let ir =
+      match (p, f) with
+      | Term.Kp true, g -> Ir.Map (g, input.ir)
+      | q, Term.Id -> Ir.Filter (q, input.ir)
+      | q, g -> Ir.Map (g, Ir.Filter (q, input.ir))
+    in
+    pipe
+      (fun ctx emit ->
+        iter_coll ctx c (fun x ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            if p' ctx x then emit (f' ctx x)))
+      ir
+  | Term.Iter (p, f) ->
+    let e_cv, b_cv = as_duo st input in
+    let c = as_coll b_cv in
+    let p' = pc p and f' = fc f in
+    pipe
+      (fun ctx emit ->
+        let e = force ctx e_cv in
+        iter_coll ctx c (fun y ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            let pair = Value.Pair (e, y) in
+            if p' ctx pair then emit (f' ctx pair)))
+      (Ir.IterEnv (p, f, e_cv.ir, b_cv.ir))
+  | Term.Join (p, f) -> lower_join st p f input
+  | Term.Nest (f, g) -> lower_nest st f g input
+  | Term.Unnest (f, g) ->
+    let c = as_coll input in
+    let fk = fc f and fg = fc g in
+    pipe
+      (fun ctx emit ->
+        iter_coll ctx c (fun x ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            let key = fk ctx x in
+            List.iter
+              (fun y -> emit (Value.Pair (key, y)))
+              (as_set ctx (fg ctx x))))
+      (Ir.UnnestStage (f, g, input.ir))
+  | Term.Setop op -> lower_setop st op input
+  | Term.Agg op -> lower_agg op input
+  | Term.Prim _ | Term.Arith _ -> scalar_apply f input
+  | Term.Fhole h -> unsupported "pattern hole ?%s" h
+
+and lower_join st p f input =
+  let a_cv, b_cv = as_duo st input in
+  let ca = as_coll a_cv and cb = as_coll b_cv in
+  let f' = fc f in
+  match Eval.hash_joinable p with
+  | Some (kind, g1, g2, residual) ->
+    let g1' = fc g1 and g2' = fc g2 in
+    let res' = Option.map pc residual in
+    let ir =
+      Ir.HashJoin
+        {
+          kind = (match kind with `Eq -> Ir.Eq | `In -> Ir.Membership);
+          probe_key = g1;
+          build_key = g2;
+          residual;
+          emit = f;
+          probe = a_cv.ir;
+          build = b_cv.ir;
+        }
+    in
+    pipe
+      (fun ctx emit ->
+        let index : Value.t list VH.t = VH.create 1024 in
+        let add key y =
+          let prev = Option.value ~default:[] (VH.find_opt index key) in
+          VH.replace index key (y :: prev)
+        in
+        iter_coll ctx cb (fun y ->
+            ctx.c.builds <- ctx.c.builds + 1;
+            match kind with
+            | `Eq -> add (g2' ctx y) y
+            | `In -> List.iter (fun e -> add e y) (as_set ctx (g2' ctx y)));
+        iter_coll ctx ca (fun x ->
+            ctx.c.probes <- ctx.c.probes + 1;
+            match VH.find_opt index (g1' ctx x) with
+            | None -> ()
+            | Some matches ->
+              List.iter
+                (fun y ->
+                  let pair = Value.Pair (x, y) in
+                  let keep =
+                    match res' with None -> true | Some r -> r ctx pair
+                  in
+                  if keep then (
+                    ctx.c.tuples <- ctx.c.tuples + 1;
+                    emit (f' ctx pair)))
+                matches))
+      ir
+  | None ->
+    let p' = pc p in
+    pipe
+      (fun ctx emit ->
+        let ys = ref [] in
+        iter_coll ctx cb (fun y -> ys := y :: !ys);
+        let ys = List.rev !ys in
+        iter_coll ctx ca (fun x ->
+            List.iter
+              (fun y ->
+                ctx.c.tuples <- ctx.c.tuples + 1;
+                let pair = Value.Pair (x, y) in
+                if p' ctx pair then emit (f' ctx pair))
+              ys))
+      (Ir.LoopJoin (p, f, a_cv.ir, b_cv.ir))
+
+and lower_nest st f g input =
+  let a_cv, b_cv = as_duo st input in
+  let ca = as_coll a_cv and cb = as_coll b_cv in
+  let f' = fc f and g' = fc g in
+  pipe
+    (fun ctx emit ->
+      let groups : Value.t list VH.t = VH.create 1024 in
+      iter_coll ctx ca (fun x ->
+          ctx.c.builds <- ctx.c.builds + 1;
+          let key = f' ctx x in
+          let prev = Option.value ~default:[] (VH.find_opt groups key) in
+          VH.replace groups key (g' ctx x :: prev));
+      iter_coll ctx cb (fun y ->
+          ctx.c.probes <- ctx.c.probes + 1;
+          let group = Option.value ~default:[] (VH.find_opt groups y) in
+          emit (Value.Pair (y, collection ctx group))))
+    (Ir.HashGroup { key = f; payload = g; src = a_cv.ir; groups = b_cv.ir })
+
+and lower_setop st op input =
+  let a_cv, b_cv = as_duo st input in
+  let ca = as_coll a_cv and cb = as_coll b_cv in
+  match op with
+  | Term.Union ->
+    pipe
+      (fun ctx emit ->
+        iter_coll ctx ca (fun x ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            emit x);
+        iter_coll ctx cb (fun y ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            emit y))
+      (Ir.Union (a_cv.ir, b_cv.ir))
+  | Term.Inter ->
+    pipe
+      (fun ctx emit ->
+        let m = VH.create 256 in
+        iter_coll ctx cb (fun y ->
+            ctx.c.builds <- ctx.c.builds + 1;
+            VH.replace m y ());
+        iter_coll ctx ca (fun x ->
+            ctx.c.probes <- ctx.c.probes + 1;
+            if VH.mem m x then emit x))
+      (Ir.Inter (a_cv.ir, b_cv.ir))
+  | Term.Diff ->
+    pipe
+      (fun ctx emit ->
+        let m = VH.create 256 in
+        iter_coll ctx cb (fun y ->
+            ctx.c.builds <- ctx.c.builds + 1;
+            VH.replace m y ());
+        iter_coll ctx ca (fun x ->
+            ctx.c.probes <- ctx.c.probes + 1;
+            if not (VH.mem m x) then emit x))
+      (Ir.Diff (a_cv.ir, b_cv.ir))
+
+(* Under [Eager] every interpreter intermediate is a set, so Count/Sum see
+   deduplicated inputs; the fused pipeline streams a bag, so those two get
+   a hash dedup barrier.  Max/Min and [Deferred] mode are
+   multiplicity-indifferent / multiplicity-faithful respectively. *)
+and lower_agg op input =
+  let c = as_coll input in
+  let ir = Ir.AggStage (op, input.ir) in
+  let thunk =
+    match op with
+    | Term.Count ->
+      fun ctx ->
+        (match ctx.dedup with
+        | Eval.Eager ->
+          let seen = VH.create 256 in
+          let n = ref 0 in
+          iter_coll ctx c (fun x ->
+              ctx.c.tuples <- ctx.c.tuples + 1;
+              (* replace + length delta: one hash per element, not two *)
+              let before = VH.length seen in
+              VH.replace seen x ();
+              if VH.length seen <> before then incr n);
+          Value.Int !n
+        | Eval.Deferred ->
+          let n = ref 0 in
+          iter_coll ctx c (fun _ ->
+              ctx.c.tuples <- ctx.c.tuples + 1;
+              incr n);
+          Value.Int !n)
+    | Term.Sum ->
+      fun ctx ->
+        (match ctx.dedup with
+        | Eval.Eager ->
+          let seen = VH.create 256 in
+          let n = ref 0 in
+          iter_coll ctx c (fun x ->
+              ctx.c.tuples <- ctx.c.tuples + 1;
+              let before = VH.length seen in
+              VH.replace seen x ();
+              if VH.length seen <> before then n := !n + as_int ctx x);
+          Value.Int !n
+        | Eval.Deferred ->
+          let n = ref 0 in
+          iter_coll ctx c (fun x ->
+              ctx.c.tuples <- ctx.c.tuples + 1;
+              n := !n + as_int ctx x);
+          Value.Int !n)
+    | Term.Max ->
+      fun ctx ->
+        let m = ref None in
+        iter_coll ctx c (fun x ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            match !m with
+            | None -> m := Some x
+            | Some cur -> if value_gt x cur then m := Some x);
+        (match !m with None -> error "max of empty set" | Some v -> v)
+    | Term.Min ->
+      fun ctx ->
+        let m = ref None in
+        iter_coll ctx c (fun x ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            match !m with
+            | None -> m := Some x
+            | Some cur -> if value_gt cur x then m := Some x);
+        (match !m with None -> error "min of empty set" | Some v -> v)
+  in
+  { shape = Sca thunk; ir }
+
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  query : Term.query;
+  plan : cv;
+  ir : Ir.node;
+  pipe_slots : int;
+  val_slots : int;
+}
+
+let ir c = c.ir
+let compiled_query c = c.query
+
+let compile (q : Term.query) : compiled =
+  Telemetry.span ~cat:"exec" "exec.compile" @@ fun () ->
+  let st = { pipe_slots = 0; val_slots = 0 } in
+  let plan = lower st q.Term.body (cv_of_value q.Term.arg) in
+  {
+    query = q;
+    plan;
+    ir = plan.ir;
+    pipe_slots = st.pipe_slots;
+    val_slots = st.val_slots;
+  }
+
+let compile_opt q =
+  match compile q with
+  | c -> Ok c
+  | exception Unsupported reason -> Error reason
+
+let execute ?(dedup = Eval.Eager) ~db (c : compiled) : Value.t * counters =
+  let ctx =
+    {
+      db;
+      dedup;
+      pipes = Array.make (max 1 c.pipe_slots) None;
+      vals = Array.make (max 1 c.val_slots) None;
+      c = fresh_counters ();
+    }
+  in
+  Telemetry.span ~cat:"exec" "exec.run" @@ fun () ->
+  let v =
+    match c.plan.shape with
+    | Coll (Pipe p) -> (
+      match dedup with
+      | Eval.Eager ->
+        (* Stream through a hash dedup so a duplicate-heavy stream sorts
+           only its distinct elements — the canonical set comes out
+           identical to the interpreter's either way.  On a mostly
+           distinct stream the table pays a hash per element and saves
+           nothing, so once a 4k-element prefix shows <25% duplicates
+           the table is dropped and the final [Value.set] sort-uniqs the
+           raw stream, which is exactly the interpreter's cost. *)
+        let seen = VH.create 1024 in
+        let deduping = ref true in
+        let inspected = ref 0 in
+        let acc = ref [] in
+        p ctx (fun x ->
+            if !deduping then begin
+              let before = VH.length seen in
+              VH.replace seen x ();
+              if VH.length seen <> before then acc := x :: !acc;
+              incr inspected;
+              if
+                !inspected land 4095 = 0
+                && 4 * VH.length seen > 3 * !inspected
+              then begin
+                deduping := false;
+                VH.reset seen
+              end
+            end
+            else acc := x :: !acc);
+        Value.set !acc
+      | Eval.Deferred -> Eval.finalize (Value.Bag (drain ctx p)))
+    | _ -> (
+      let v = force ctx c.plan in
+      match dedup with Eval.Eager -> v | Eval.Deferred -> Eval.finalize v)
+  in
+  if Telemetry.enabled () then (
+    Telemetry.count ~n:ctx.c.tuples "exec.tuples";
+    Telemetry.count ~n:ctx.c.probes "exec.probes";
+    Telemetry.count ~n:ctx.c.builds "exec.builds");
+  (v, ctx.c)
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection and the interpreter fallback. *)
+
+type backend = Interp of Eval.backend | Compiled
+
+let backend_name = function
+  | Interp Eval.Naive -> "interp-naive"
+  | Interp Eval.Hashed -> "interp"
+  | Compiled -> "compiled"
+
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "compiled" -> Ok Compiled
+  | "interp" | "interp-hashed" | "interpreted" -> Ok (Interp Eval.Hashed)
+  | "interp-naive" -> Ok (Interp Eval.Naive)
+  | s -> Error (Fmt.str "unknown execution backend %S (expected compiled|interp|interp-naive)" s)
+
+type stats = {
+  backend : backend;  (** the backend that actually ran *)
+  fell_back : bool;
+  fallback_reason : string option;
+  compile_us : float;
+  run_us : float;
+  tuples : int;
+  probes : int;
+  builds : int;
+  stages : int;
+  scalar_nodes : int;
+}
+
+let fallbacks = Atomic.make 0
+let fallback_count () = Atomic.get fallbacks
+
+let run_interp ~backend ~dedup ~db q =
+  let t0 = Telemetry.now () in
+  let ctx = Eval.ctx ~db ~backend ~dedup () in
+  let v = Eval.run ctx q in
+  let t1 = Telemetry.now () in
+  ( v,
+    {
+      backend = Interp backend;
+      fell_back = false;
+      fallback_reason = None;
+      compile_us = 0.;
+      run_us = (t1 -. t0) *. 1e6;
+      tuples = ctx.Eval.counters.Eval.tuples;
+      probes = 0;
+      builds = 0;
+      stages = 0;
+      scalar_nodes = 0;
+    } )
+
+let run ?(backend = Compiled) ?(dedup = Eval.Eager) ~db (q : Term.query) :
+    Value.t * stats =
+  match backend with
+  | Interp b -> run_interp ~backend:b ~dedup ~db q
+  | Compiled -> (
+    let t0 = Telemetry.now () in
+    match compile q with
+    | exception Unsupported reason ->
+      Atomic.incr fallbacks;
+      Telemetry.count "exec.fallback";
+      let v, s = run_interp ~backend:Eval.Hashed ~dedup ~db q in
+      (v, { s with fell_back = true; fallback_reason = Some reason })
+    | c ->
+      let t1 = Telemetry.now () in
+      let v, counters = execute ~dedup ~db c in
+      let t2 = Telemetry.now () in
+      ( v,
+        {
+          backend = Compiled;
+          fell_back = false;
+          fallback_reason = None;
+          compile_us = (t1 -. t0) *. 1e6;
+          run_us = (t2 -. t1) *. 1e6;
+          tuples = counters.tuples;
+          probes = counters.probes;
+          builds = counters.builds;
+          stages = Ir.stages c.ir;
+          scalar_nodes = Ir.scalar_nodes c.ir;
+        } ))
+
+(* Results are compared modulo set ordering, deferred bags, and Named
+   indirection — the oracle equivalence the differential tests pin. *)
+let agree ~db a b =
+  let ctx = Eval.ctx ~db () in
+  Value.equal
+    (Eval.finalize (Eval.deep_resolve ctx a))
+    (Eval.finalize (Eval.deep_resolve ctx b))
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "backend=%s%s compile=%.1fus run=%.1fus stages=%d scalar-nodes=%d \
+     tuples=%d probes=%d builds=%d"
+    (backend_name s.backend)
+    (match s.fallback_reason with
+    | Some r when s.fell_back -> Fmt.str " (fell back: %s)" r
+    | _ -> "")
+    s.compile_us s.run_us s.stages s.scalar_nodes s.tuples s.probes s.builds

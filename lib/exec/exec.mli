@@ -1,0 +1,79 @@
+(** Compiled plan execution: lower a chosen {!Kola.Term.query} into fused
+    producer/consumer loops and run it with no per-node dispatch and no
+    intermediate collections.  {!Kola.Eval.run} remains the oracle: for
+    every supported plan the compiled result equals the interpreted one
+    modulo set ordering (see {!agree}); unsupported plans fall back to the
+    interpreter explicitly — counted, never wrong. *)
+
+open Kola
+
+exception Unsupported of string
+(** Raised at compile time on plans the compiler cannot lower (pattern
+    holes anywhere in the spine or argument). *)
+
+type counters = {
+  mutable tuples : int;  (** elements flowing through pipeline stages *)
+  mutable probes : int;  (** hash-table lookups (joins, set ops, groups) *)
+  mutable builds : int;  (** hash-table inserts (build sides, groups) *)
+}
+
+(** {1 Compilation} *)
+
+type compiled
+
+val compile : Term.query -> compiled
+(** Lower a query into closures + an {!Ir.node} description.
+    @raise Unsupported on holes; never raises on ground plans. *)
+
+val compile_opt : Term.query -> (compiled, string) result
+
+val ir : compiled -> Ir.node
+val compiled_query : compiled -> Term.query
+
+val execute :
+  ?dedup:Eval.dedup -> db:(string * Value.t) list -> compiled ->
+  Value.t * counters
+(** Run a compiled plan.  Under [Eager] the final set is built by a
+    streaming hash dedup (only distinct elements are sorted); under
+    [Deferred] the raw stream is finalized exactly like {!Eval.run}.
+    @raise Eval.Error with the interpreter's messages on ill-typed data. *)
+
+(** {1 Backend selection} *)
+
+type backend = Interp of Eval.backend | Compiled
+
+val backend_name : backend -> string
+(** ["compiled"], ["interp"] (hashed) or ["interp-naive"]. *)
+
+val backend_of_string : string -> (backend, string) result
+
+type stats = {
+  backend : backend;  (** the backend that actually ran *)
+  fell_back : bool;   (** compilation failed; the interpreter ran instead *)
+  fallback_reason : string option;
+  compile_us : float;
+  run_us : float;
+  tuples : int;
+  probes : int;
+  builds : int;
+  stages : int;        (** pipeline stages in the compiled IR *)
+  scalar_nodes : int;  (** spine nodes compiled as scalar closures *)
+}
+
+val run :
+  ?backend:backend -> ?dedup:Eval.dedup -> db:(string * Value.t) list ->
+  Term.query -> Value.t * stats
+(** Execute a query under the chosen backend (default [Compiled]).  A
+    compiled run that raises {!Unsupported} is retried on the hashed
+    interpreter with [fell_back] set; the fallback is counted globally and
+    in telemetry ([exec.fallback]). *)
+
+val fallback_count : unit -> int
+(** Process-wide count of compiled runs that fell back to the
+    interpreter. *)
+
+val agree : db:(string * Value.t) list -> Value.t -> Value.t -> bool
+(** Result equality modulo set ordering, deferred bags, and [Named]
+    indirection — the oracle equivalence the differential tests pin. *)
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,129 @@
+(* The loop IR the plan compiler lowers KOLA spines into.
+
+   Each node describes one stage of the compiled pipeline; the compiler
+   builds this description tree alongside the closures so plans can be
+   explained, tested stage-by-stage, and counted.  Producer stages
+   (filter/map/flatten/unnest/iter) fuse into the loop of the stage below
+   them; [HashJoin], [HashGroup] and [Dedup] are pipeline breakers that
+   materialize a hash table but still stream their output. *)
+
+open Kola
+
+type join_kind = Eq | Membership
+
+type node =
+  | Scan of Value.t  (** iterate a stored collection (or extent name) *)
+  | Leaf of Value.t  (** a scalar constant / query argument *)
+  | Filter of Term.pred * node
+  | Map of Term.func * node
+  | Flatten of node
+  | UnnestStage of Term.func * Term.func * node
+  | IterEnv of Term.pred * Term.func * node * node
+      (** env scalar, inner collection *)
+  | HashJoin of {
+      kind : join_kind;
+      probe_key : Term.func;
+      build_key : Term.func;
+      residual : Term.pred option;
+      emit : Term.func;
+      probe : node;
+      build : node;
+    }
+  | LoopJoin of Term.pred * Term.func * node * node
+      (** predicate not hash-decomposable: build side materialized once,
+          probe side streamed *)
+  | HashGroup of { key : Term.func; payload : Term.func; src : node; groups : node }
+  | Union of node * node
+  | Inter of node * node  (** right side materialized into a hash set *)
+  | Diff of node * node
+  | AggStage of Term.agg * node
+  | SngStage of node
+  | PairNode of node * node
+  | Branch of Term.pred * node * node * node  (** con: input, then, else *)
+  | Scalar of Term.func * node
+      (** spine node compiled as a scalar closure over its forced input *)
+  | Shared of int * node  (** materialization slot reused by later stages *)
+
+let join_kind_name = function Eq -> "eq" | Membership -> "in"
+
+let rec pp ppf (n : node) =
+  let f = Pretty.pp_func and p = Pretty.pp_pred in
+  match n with
+  | Scan v -> Fmt.pf ppf "scan %a" Value.pp v
+  | Leaf v -> Fmt.pf ppf "leaf %a" Value.pp v
+  | Filter (q, s) -> Fmt.pf ppf "@[<v2>filter %a@ %a@]" p q pp s
+  | Map (g, s) -> Fmt.pf ppf "@[<v2>map %a@ %a@]" f g pp s
+  | Flatten s -> Fmt.pf ppf "@[<v2>flatten@ %a@]" pp s
+  | UnnestStage (k, g, s) ->
+    Fmt.pf ppf "@[<v2>unnest key=%a inner=%a@ %a@]" f k f g pp s
+  | IterEnv (q, g, e, s) ->
+    Fmt.pf ppf "@[<v2>iter %a emit=%a@ env: %a@ over: %a@]" p q f g pp e pp s
+  | HashJoin j ->
+    Fmt.pf ppf
+      "@[<v2>hash-join[%s] probe-key=%a build-key=%a%a emit=%a@ probe: %a@ \
+       build: %a@]"
+      (join_kind_name j.kind) f j.probe_key f j.build_key
+      (Fmt.option (fun ppf r -> Fmt.pf ppf " residual=%a" p r))
+      j.residual f j.emit pp j.probe pp j.build
+  | LoopJoin (q, g, a, b) ->
+    Fmt.pf ppf "@[<v2>loop-join %a emit=%a@ probe: %a@ build: %a@]" p q f g pp
+      a pp b
+  | HashGroup g ->
+    Fmt.pf ppf "@[<v2>hash-group key=%a payload=%a@ src: %a@ groups: %a@]" f
+      g.key f g.payload pp g.src pp g.groups
+  | Union (a, b) -> Fmt.pf ppf "@[<v2>union@ %a@ %a@]" pp a pp b
+  | Inter (a, b) -> Fmt.pf ppf "@[<v2>inter@ %a@ %a@]" pp a pp b
+  | Diff (a, b) -> Fmt.pf ppf "@[<v2>diff@ %a@ %a@]" pp a pp b
+  | AggStage (op, s) ->
+    Fmt.pf ppf "@[<v2>agg %s@ %a@]" (Pretty.agg_name op) pp s
+  | SngStage s -> Fmt.pf ppf "@[<v2>sng@ %a@]" pp s
+  | PairNode (a, b) -> Fmt.pf ppf "@[<v2>pair@ %a@ %a@]" pp a pp b
+  | Branch (q, i, a, b) ->
+    Fmt.pf ppf "@[<v2>branch %a@ on: %a@ then: %a@ else: %a@]" p q pp i pp a
+      pp b
+  | Scalar (g, s) -> Fmt.pf ppf "@[<v2>scalar %a@ %a@]" f g pp s
+  | Shared (slot, s) -> Fmt.pf ppf "@[<v2>shared#%d@ %a@]" slot pp s
+
+(* Pipeline stages: loops the runtime actually opens.  Filter/map and the
+   aggregate/sng folds fuse into the loop of the producer below them and
+   add nothing; scans, flatten/unnest (nested inner loops), joins, groups
+   and the set-op barriers each open one.  Leaves and pair glue are not
+   stages. *)
+let rec stages (n : node) : int =
+  match n with
+  | Scan _ -> 1
+  | Leaf _ -> 0
+  | Filter (_, s) | Map (_, s) | AggStage (_, s) | SngStage s -> stages s
+  | Flatten s | UnnestStage (_, _, s) -> 1 + stages s
+  | IterEnv (_, _, e, s) -> 1 + stages e + stages s
+  | HashJoin { probe; build; _ } -> 1 + stages probe + stages build
+  | LoopJoin (_, _, a, b)
+  | HashGroup { src = a; groups = b; _ }
+  | Inter (a, b)
+  | Diff (a, b) ->
+    1 + stages a + stages b
+  | Union (a, b) -> stages a + stages b
+  | PairNode (a, b) -> stages a + stages b
+  | Branch (_, i, a, b) -> stages i + stages a + stages b
+  | Scalar (_, s) -> stages s
+  | Shared (_, s) -> stages s
+
+let rec scalar_nodes (n : node) : int =
+  match n with
+  | Scan _ | Leaf _ -> 0
+  | Filter (_, s) | Map (_, s) | Flatten s | UnnestStage (_, _, s)
+  | AggStage (_, s) | SngStage s | Shared (_, s) ->
+    scalar_nodes s
+  | IterEnv (_, _, e, s) -> scalar_nodes e + scalar_nodes s
+  | HashJoin { probe; build; _ } -> scalar_nodes probe + scalar_nodes build
+  | LoopJoin (_, _, a, b)
+  | HashGroup { src = a; groups = b; _ }
+  | Union (a, b)
+  | Inter (a, b)
+  | Diff (a, b)
+  | PairNode (a, b) ->
+    scalar_nodes a + scalar_nodes b
+  | Branch (_, i, a, b) -> scalar_nodes i + scalar_nodes a + scalar_nodes b
+  | Scalar (_, s) -> 1 + scalar_nodes s
+
+let to_string n = Fmt.str "%a" pp n

@@ -1,0 +1,59 @@
+(** The loop IR the plan compiler lowers KOLA spines into.
+
+    A compiled plan carries one of these trees purely as a description:
+    the closures do the work, the IR says what they do.  Producer stages
+    (filter/map/flatten/unnest/iter) fuse into the loop below them;
+    [HashJoin], [HashGroup] and the set operations are pipeline breakers
+    that materialize a hash table but still stream their output. *)
+
+open Kola
+
+type join_kind = Eq | Membership
+
+type node =
+  | Scan of Value.t  (** iterate a stored collection (or extent name) *)
+  | Leaf of Value.t  (** a scalar constant / query argument *)
+  | Filter of Term.pred * node
+  | Map of Term.func * node
+  | Flatten of node
+  | UnnestStage of Term.func * Term.func * node
+  | IterEnv of Term.pred * Term.func * node * node
+  | HashJoin of {
+      kind : join_kind;
+      probe_key : Term.func;
+      build_key : Term.func;
+      residual : Term.pred option;
+      emit : Term.func;
+      probe : node;
+      build : node;
+    }
+  | LoopJoin of Term.pred * Term.func * node * node
+  | HashGroup of {
+      key : Term.func;
+      payload : Term.func;
+      src : node;
+      groups : node;
+    }
+  | Union of node * node
+  | Inter of node * node
+  | Diff of node * node
+  | AggStage of Term.agg * node
+  | SngStage of node
+  | PairNode of node * node
+  | Branch of Term.pred * node * node * node
+  | Scalar of Term.func * node
+      (** spine node compiled as a scalar closure over its forced input *)
+  | Shared of int * node  (** materialization slot shared by later stages *)
+
+val join_kind_name : join_kind -> string
+
+val stages : node -> int
+(** Pipeline stages (loops the runtime executes); leaves and pair glue do
+    not count. *)
+
+val scalar_nodes : node -> int
+(** Spine positions that fell back to a scalar closure instead of a fused
+    stage. *)
+
+val pp : node Fmt.t
+val to_string : node -> string

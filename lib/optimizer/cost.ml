@@ -39,6 +39,22 @@ let pp ppf t =
   Fmt.pf ppf "tuples=%d funcs=%d preds=%d (weighted %.1f)" t.tuples
     t.func_calls t.pred_calls t.weighted
 
+(* Compiled-backend costing.  The fused loops count tuples emitted and
+   hash builds/probes; builds and probes stand in for the interpreter's
+   dispatch counters in the weighted blend, so compiled and interpreted
+   costs stay on one scale. *)
+let of_exec_stats (s : Kola_exec.Exec.stats) =
+  let tuples = s.Kola_exec.Exec.tuples
+  and func_calls = s.Kola_exec.Exec.builds
+  and pred_calls = s.Kola_exec.Exec.probes in
+  { tuples; func_calls; pred_calls;
+    weighted = weighted ~tuples ~func_calls ~pred_calls }
+
+let measure_exec ?(backend = Kola_exec.Exec.Compiled) ?(dedup = Eval.Eager)
+    ~db (q : Term.query) : Value.t * t * Kola_exec.Exec.stats =
+  let v, s = Kola_exec.Exec.run ~backend ~dedup ~db q in
+  (v, of_exec_stats s, s)
+
 (* ------------------------------------------------------------------ *)
 (* Memoized costing.
 

@@ -21,6 +21,21 @@ val measure :
 
 val pp : t Fmt.t
 
+val of_exec_stats : Kola_exec.Exec.stats -> t
+(** Compiled-loop counters on the interpreter's cost scale: tuples map to
+    tuples; hash builds and probes stand in for func/pred dispatch. *)
+
+val measure_exec :
+  ?backend:Kola_exec.Exec.backend ->
+  ?dedup:Kola.Eval.dedup ->
+  db:(string * Kola.Value.t) list ->
+  Kola.Term.query ->
+  Kola.Value.t * t * Kola_exec.Exec.stats
+(** Like {!measure} through the execution backends of {!Kola_exec.Exec}:
+    [~backend:Compiled] (the default) runs the fused-loop closures,
+    falling back to the interpreter on unsupported plans (recorded in the
+    returned stats); [~backend:(Interp b)] is the interpreter itself. *)
+
 (** {1 Memoized costing}
 
     Executed costing dominates rewrite-space exploration, and the same

@@ -130,6 +130,19 @@ let run ~db (r : report) : Value.t =
   Eval.eval_query ~db ~backend:r.chosen.backend ~dedup:r.chosen.dedup
     r.chosen.query
 
+(* Execute the chosen plan through a [Kola_exec] backend.  The default is
+   the interpreter backend the optimizer chose; [~backend:Compiled] fuses
+   the plan into loop closures instead (falling back to the interpreter
+   on unsupported plans, recorded in the stats).  The dedup dimension
+   always follows the chosen plan — it is part of what was costed. *)
+let execute ?backend ~db (r : report) : Value.t * Kola_exec.Exec.stats =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Kola_exec.Exec.Interp r.chosen.backend
+  in
+  Kola_exec.Exec.run ~backend ~dedup:r.chosen.dedup ~db r.chosen.query
+
 let pp_report ppf (r : report) =
   Option.iter (fun s -> Fmt.pf ppf "OQL:        %s@." s) r.source;
   Fmt.pf ppf "AQUA:       @[%a@]@." Aqua.Pretty.pp r.aqua;

@@ -57,4 +57,15 @@ val optimize_oql :
 val run : db:(string * Kola.Value.t) list -> report -> Kola.Value.t
 (** Execute the chosen plan. *)
 
+val execute :
+  ?backend:Kola_exec.Exec.backend ->
+  db:(string * Kola.Value.t) list ->
+  report ->
+  Kola.Value.t * Kola_exec.Exec.stats
+(** Execute the chosen plan through a {!Kola_exec.Exec} backend.  The
+    default is the interpreter backend the optimizer chose;
+    [~backend:Compiled] runs the fused-loop closures instead, falling
+    back to the interpreter on unsupported plans (recorded in the
+    stats).  Dedup always follows the chosen plan. *)
+
 val pp_report : report Fmt.t

@@ -281,7 +281,14 @@ let explain_core t (r : Protocol.optimize) :
   | Protocol.Paper _ ->
     Error "explain requires an OQL \"query\" (the pipeline starts at OQL)"
   | Protocol.Oql text -> (
-    let key = "explain|" ^ text in
+    (* The execute mode is outcome-affecting (the response embeds which
+       backend ran and its loop counters), so it is part of the key. *)
+    let key =
+      Printf.sprintf "explain|%s|%s" text
+        (match r.Protocol.execute with
+        | None -> "-"
+        | Some b -> Kola_exec.Exec.backend_name b)
+    in
     match ocache_find t.outcomes key with
     | Some core -> Ok (core, `Hit)
     | None ->
@@ -289,6 +296,24 @@ let explain_core t (r : Protocol.optimize) :
         Optimizer.Pipeline.optimize_oql ~plan_cache:t.plan_cache ~db:t.db text
       in
       let chosen = report.Optimizer.Pipeline.chosen in
+      (* Deterministic execution facts only — which backend actually ran,
+         whether it fell back, and the loop counters.  Wall-clock timings
+         would go stale in the outcome cache; traced requests get the
+         exec.compile/exec.run spans instead. *)
+      let exec_fields =
+        match r.Protocol.execute with
+        | None -> []
+        | Some backend ->
+          let _, st = Optimizer.Pipeline.execute ~backend ~db:t.db report in
+          [
+            ("execute", jstr (Kola_exec.Exec.backend_name st.Kola_exec.Exec.backend));
+            ("fell_back", Json.Bool st.Kola_exec.Exec.fell_back);
+            ("exec_tuples", jint st.Kola_exec.Exec.tuples);
+            ("exec_probes", jint st.Kola_exec.Exec.probes);
+            ("exec_builds", jint st.Kola_exec.Exec.builds);
+            ("exec_stages", jint st.Kola_exec.Exec.stages);
+          ]
+      in
       let core =
         [
           ("status", jstr "ok");
@@ -315,6 +340,7 @@ let explain_core t (r : Protocol.optimize) :
                 ("misses", jint report.Optimizer.Pipeline.cost_cache_misses);
               ] );
         ]
+        @ exec_fields
       in
       ocache_insert t.outcomes key core;
       Ok (core, `Miss))

@@ -46,6 +46,7 @@ type optimize = {
   iter_budget : int option;
   telemetry : bool;
   explain : bool;
+  execute : Kola_exec.Exec.backend option;
   sleep_ms : int;
 }
 
@@ -136,6 +137,20 @@ let optimize_of_json json =
   let* iter_budget = budget "iter_budget" in
   let* telemetry = bool_field json "telemetry" in
   let* explain = bool_field json "explain" in
+  let* execute =
+    let* v = opt_field json "execute" Json.str "a string" in
+    match v with
+    | None -> Ok None
+    | Some s -> (
+      (* Same parser as kolaopt's --execute, so CLI and wire requests
+         reject the same names with the same message. *)
+      match Kola_exec.Exec.backend_of_string s with
+      | Ok b ->
+        if not explain then
+          Error "field \"execute\" requires \"explain\": true (execution runs the pipeline's chosen plan)"
+        else Ok (Some b)
+      | Error msg -> Error msg)
+  in
   let* sleep_ms =
     int_field json "sleep_ms" ~default:0 (nonneg_int ~what:"\"sleep_ms\"")
   in
@@ -153,6 +168,7 @@ let optimize_of_json json =
          iter_budget;
          telemetry;
          explain;
+         execute;
          sleep_ms;
        })
 

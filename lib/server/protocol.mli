@@ -54,6 +54,10 @@ type optimize = {
   explain : bool;
       (** run the full pipeline (normalize + untangle + plan choice over
           the shared plan cache) instead of rewrite-space search *)
+  execute : Kola_exec.Exec.backend option;
+      (** with [explain]: also execute the chosen plan through this
+          backend and report execution stats; [compiled] falls back to
+          the interpreter on unsupported plans (reported, never wrong) *)
   sleep_ms : int;
       (** debug lever: hold the worker for this long before answering —
           lets tests and the smoke drive the admission gate

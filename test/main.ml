@@ -39,4 +39,5 @@ let () =
       ("company (second schema)", Test_company.tests);
       ("telemetry (spans, counters, deadlines)", Test_telemetry.tests);
       ("server (kolaoptd serving layer)", Test_server.tests);
+      ("exec (compiled backend)", Test_exec.tests);
     ]

@@ -97,6 +97,36 @@ let tests =
         Alcotest.check Alcotest.int "employees"
           C.default_params.C.employees
           (List.length a.C.employees));
+    case "scaled company store is deterministic, sized, and optimizer-ready"
+      (fun () ->
+        let a = C.scaled ~seed:9 2_000 in
+        let b = C.scaled ~seed:9 2_000 in
+        Alcotest.check value "same E"
+          (List.assoc "E" (C.db a))
+          (List.assoc "E" (C.db b));
+        Alcotest.check Alcotest.int "employees" 2_000 (List.length a.C.employees);
+        Alcotest.check Alcotest.int "departments scale as n/250" 8
+          (List.length a.C.departments);
+        (* the scaled store feeds the optimizer like the small one does *)
+        let r =
+          Optimizer.Pipeline.optimize_oql ~extents ~db:(C.db a)
+            C.mentor_pool_oql
+        in
+        Alcotest.check Alcotest.bool "mentor pool untangles" true
+          (Option.is_some r.Optimizer.Pipeline.untangled));
+    case "scaled company store rejects bad sizes with descriptive errors"
+      (fun () ->
+        let expect size fragment =
+          match C.scaled size with
+          | _ -> Alcotest.failf "size %d: expected Invalid_argument" size
+          | exception Invalid_argument msg ->
+            Alcotest.check Alcotest.bool
+              (Fmt.str "size %d names the problem (%s)" size msg)
+              true (contains msg fragment)
+        in
+        expect 0 "positive";
+        expect (-1) "outside the supported range";
+        expect (Datagen.Store.max_scaled_size + 1) "refusing to truncate");
     case "a malformed employee row fails with a diagnosable message"
       (fun () ->
         (* the mentor-deepening pass goes through Store.obj_fields with the

@@ -272,6 +272,54 @@ let behaviour_tests =
         let again = handle_json req in
         Alcotest.(check (option string)) "memoized" (Some "hit")
           (str_field again "outcome_cache"));
+    case "explain + execute runs the chosen plan on the compiled backend"
+      (fun () ->
+        let req execute =
+          Json.Obj
+            [
+              ("query", Json.Str "select p.addr.city from p in P where p.age > 25");
+              ("explain", Json.Bool true);
+              ("execute", Json.Str execute);
+            ]
+        in
+        let r = handle_json (req "compiled") in
+        check_ok "compiled" r;
+        Alcotest.(check (option string)) "ran compiled" (Some "compiled")
+          (str_field r "execute");
+        (match Option.bind (Json.mem "fell_back" r) Json.bool with
+        | Some false -> ()
+        | other ->
+          Alcotest.failf "fell_back = %s"
+            (match other with
+            | Some b -> string_of_bool b
+            | None -> "missing"));
+        Alcotest.(check bool) "counted tuples" true
+          (match num_field r "exec_tuples" with
+          | Some n -> n > 0.
+          | None -> false);
+        (* interp and compiled are distinct outcome-cache entries *)
+        let r2 = handle_json (req "interp") in
+        check_ok "interp" r2;
+        Alcotest.(check (option string)) "distinct entry" (Some "miss")
+          (str_field r2 "outcome_cache");
+        Alcotest.(check (option string)) "ran interp" (Some "interp")
+          (str_field r2 "execute");
+        let r3 = handle_json (req "compiled") in
+        Alcotest.(check (option string)) "compiled memoized" (Some "hit")
+          (str_field r3 "outcome_cache"));
+    case "execute validates its backend and requires explain" (fun () ->
+        check_error "unknown backend" "unknown execution backend"
+          (handle_json
+             (Json.Obj
+                [
+                  ("query", Json.Str "count(P)");
+                  ("explain", Json.Bool true);
+                  ("execute", Json.Str "gpu");
+                ]));
+        check_error "execute without explain" "requires"
+          (handle_json
+             (Json.Obj
+                [ ("query", Json.Str "count(P)"); ("execute", Json.Str "compiled") ])));
     case "telemetry on demand embeds this request's spans" (fun () ->
         let r =
           handle_json

@@ -60,6 +60,27 @@ let tests =
         let s = Datagen.Store.tiny () in
         Alcotest.check Alcotest.int "4 persons" 4 (List.length s.Datagen.Store.persons);
         Alcotest.check Alcotest.int "3 vehicles" 3 (List.length s.Datagen.Store.vehicles));
+    case "scaled store is deterministic in the seed and fully sized"
+      (fun () ->
+        let a = Datagen.Store.scaled ~seed:5 3_000 in
+        let b = Datagen.Store.scaled ~seed:5 3_000 in
+        Alcotest.check value "same P"
+          (List.assoc "P" (Datagen.Store.db a))
+          (List.assoc "P" (Datagen.Store.db b));
+        Alcotest.check Alcotest.int "persons" 3_000
+          (List.length a.Datagen.Store.persons));
+    case "scaled store rejects bad sizes with descriptive errors" (fun () ->
+        let expect size fragment =
+          match Datagen.Store.scaled size with
+          | _ -> Alcotest.failf "size %d: expected Invalid_argument" size
+          | exception Invalid_argument msg ->
+            Alcotest.check Alcotest.bool
+              (Fmt.str "size %d names the problem (%s)" size msg)
+              true (contains msg fragment)
+        in
+        expect 0 "positive";
+        expect (-4) "non-negative";
+        expect (Datagen.Store.max_scaled_size + 1) "refusing to truncate");
     case "a malformed row fails with a diagnosable message" (fun () ->
         (* row deepening used to die on [assert false]; now the error says
            which pass choked and on what *)
