@@ -54,9 +54,11 @@ bench-serve:
 	dune exec bench/main.exe -- --serve
 
 # Compiled execution vs the hashed interpreter on the company workload at
-# 10^3/10^5/10^6 objects (several minutes; interpreted runs of the
-# structurally quadratic queries are skipped at 10^6); writes
-# BENCH_exec.json.  `--fast` after `--exec` stops at 10^5.
+# 10^3/10^5/10^6 objects, with a layout x jobs grid per cell (row/1,
+# columnar/1, columnar/4; several minutes; interpreted runs of the
+# structurally quadratic queries are skipped at 10^6 and replaced by a
+# 10^4 sampled agreement check); writes BENCH_exec.json.  `--fast`
+# after `--exec` stops at 10^5.
 bench-exec:
 	dune exec bench/main.exe -- --exec
 

@@ -1208,6 +1208,7 @@ module Exec_bench = struct
       ("dept_roster", Datagen.Company.dept_roster_oql, false);
       ("mentor_pool", Datagen.Company.mentor_pool_oql, false);
       ("city_salaries", Datagen.Company.city_salaries_oql, false);
+      ("payroll", Datagen.Company.payroll_oql, false);
       ("rich_mentors", Datagen.Company.rich_mentors_oql, false);
       ("local_staff", Datagen.Company.local_staff_oql, true);
       ("mentor_elite", Datagen.Company.mentor_elite_oql, true);
@@ -1216,6 +1217,8 @@ module Exec_bench = struct
   type row = {
     query : string;
     size : int;  (* employees in the scaled store *)
+    layout : string;  (* store layout the compiled cell ran under *)
+    jobs : int;  (* domains columnar kernels could fan out to *)
     interp_ms : float option;
         (* interp-hashed, the chosen plan's dedup; None when the
            interpreted run was skipped as intractable at this size *)
@@ -1223,8 +1226,15 @@ module Exec_bench = struct
     compile_us : float;
     speedup : float option;
     stages : int;
+    col_kernels : int;  (* operators lowered to column kernels *)
+    morsels : int;  (* chunks dispatched by columnar kernels *)
+    degrades : int;  (* columnar inputs kept on row closures *)
     fell_back : bool;
     agrees : bool option;  (* None when there was no interpreted run *)
+    agrees_sampled : bool option;
+        (* when the full-size interpreted run was skipped, the same plan
+           and backend checked against the interpreter on a deterministic
+           10^4-employee sample — every reported cell is agree-checked *)
   }
 
   let time_best ~trials f =
@@ -1239,7 +1249,15 @@ module Exec_bench = struct
     done;
     (Option.get !result, !best)
 
-  let rows ~sizes =
+  (* The deterministic sample store backing [agrees_sampled]: small
+     enough that even the structurally quadratic interpreted runs finish
+     in milliseconds, large enough to exercise multi-element groups. *)
+  let sample_size = 10_000
+
+  (* [configs] is the (layout × jobs) grid each compiled cell runs
+     under; the interpreted baseline is measured once per (query, size)
+     and shared across the grid. *)
+  let rows ~sizes ~configs =
     let extents = [ "E"; "D" ] in
     let sample = Datagen.Company.db (Datagen.Company.scaled ~seed:77 1_000) in
     let reports =
@@ -1248,13 +1266,18 @@ module Exec_bench = struct
           (name, Optimizer.Pipeline.optimize_oql ~extents ~db:sample src, quadratic))
         queries
     in
+    let check_store = Datagen.Company.scaled ~seed:77 sample_size in
+    let check_db = Datagen.Company.db check_store in
+    let check_coldb = lazy (Datagen.Company.columnar check_store) in
     List.concat_map
       (fun size ->
-        let db = Datagen.Company.db (Datagen.Company.scaled ~seed:77 size) in
+        let store = Datagen.Company.scaled ~seed:77 size in
+        let db = Datagen.Company.db store in
+        let coldb = lazy (Datagen.Company.columnar store) in
         let trials =
           if size <= 10_000 then 5 else if size <= 100_000 then 3 else 1
         in
-        List.map
+        List.concat_map
           (fun (name, report, quadratic) ->
             let interp =
               if quadratic && size >= 1_000_000 then None
@@ -1264,29 +1287,66 @@ module Exec_bench = struct
                        Optimizer.Pipeline.execute
                          ~backend:(Exec.Interp Eval.Hashed) ~db report))
             in
-            let (cv, st), compiled_s =
-              time_best ~trials (fun () ->
-                  Optimizer.Pipeline.execute ~backend:Exec.Compiled ~db report)
-            in
-            {
-              query = name;
-              size;
-              interp_ms = Option.map (fun (_, s) -> s *. 1e3) interp;
-              compiled_ms = compiled_s *. 1e3;
-              compile_us = st.Exec.compile_us;
-              speedup = Option.map (fun (_, s) -> s /. compiled_s) interp;
-              stages = st.Exec.stages;
-              fell_back = st.Exec.fell_back;
-              agrees =
-                Option.map (fun ((iv, _), _) -> Exec.agree ~db cv iv) interp;
-            })
+            List.map
+              (fun (layout, jobs) ->
+                let pick_coldb c =
+                  match layout with
+                  | Exec.Columnar -> Some (Lazy.force c)
+                  | Exec.Row -> None
+                in
+                let (cv, st), compiled_s =
+                  time_best ~trials (fun () ->
+                      Optimizer.Pipeline.execute ~backend:Exec.Compiled ~layout
+                        ~jobs ?coldb:(pick_coldb coldb) ~db report)
+                in
+                let agrees =
+                  Option.map (fun ((iv, _), _) -> Exec.agree ~db cv iv) interp
+                in
+                let agrees_sampled =
+                  match agrees with
+                  | Some _ -> None
+                  | None ->
+                    (* the skipped-interp cell is still agree-checked:
+                       same plan, same backend configuration, on the
+                       deterministic sample store *)
+                    let siv, _ =
+                      Optimizer.Pipeline.execute
+                        ~backend:(Exec.Interp Eval.Hashed) ~db:check_db report
+                    in
+                    let scv, _ =
+                      Optimizer.Pipeline.execute ~backend:Exec.Compiled ~layout
+                        ~jobs
+                        ?coldb:(pick_coldb check_coldb)
+                        ~db:check_db report
+                    in
+                    Some (Exec.agree ~db:check_db scv siv)
+                in
+                {
+                  query = name;
+                  size;
+                  layout = Exec.layout_name layout;
+                  jobs = st.Exec.jobs;
+                  interp_ms = Option.map (fun (_, s) -> s *. 1e3) interp;
+                  compiled_ms = compiled_s *. 1e3;
+                  compile_us = st.Exec.compile_us;
+                  speedup = Option.map (fun (_, s) -> s /. compiled_s) interp;
+                  stages = st.Exec.stages;
+                  col_kernels = st.Exec.col_kernels;
+                  morsels = st.Exec.morsels;
+                  degrades = List.length st.Exec.col_degrades;
+                  fell_back = st.Exec.fell_back;
+                  agrees;
+                  agrees_sampled;
+                })
+              configs)
           reports)
       sizes
 
   let table rows =
     Fmt.pr "@.## compiled_execution (interp-hashed vs fused loops)@.";
-    Fmt.pr "  %-14s %9s %12s %12s %9s %7s  %s@." "query" "size" "interp"
-      "compiled" "speedup" "stages" "check";
+    Fmt.pr "  %-14s %9s %-8s %4s %12s %12s %9s %7s %7s  %s@." "query" "size"
+      "layout" "jobs" "interp" "compiled" "speedup" "kernels" "morsels"
+      "check";
     List.iter
       (fun r ->
         let interp =
@@ -1299,13 +1359,57 @@ module Exec_bench = struct
           | Some s -> Fmt.str "%8.1fx" s
           | None -> Fmt.str "%9s" "-"
         in
-        Fmt.pr "  %-14s %9d %s %9.2f ms %s %7d  %s@." r.query r.size interp
-          r.compiled_ms speedup r.stages
-          (match r.agrees with
-          | Some false -> "MISMATCH"
+        Fmt.pr "  %-14s %9d %-8s %4d %s %9.2f ms %s %7d %7d  %s@." r.query
+          r.size r.layout r.jobs interp r.compiled_ms speedup r.col_kernels
+          r.morsels
+          (match (r.agrees, r.agrees_sampled) with
+          | Some false, _ -> "MISMATCH"
+          | _, Some false -> "MISMATCH-SAMPLED"
           | _ when r.fell_back -> "fell-back"
-          | Some true -> "ok"
-          | None -> "-"))
+          | Some true, _ -> "ok"
+          | None, Some true -> "ok-sampled"
+          | None, None -> "UNCHECKED"))
+      rows
+
+  (* Hard pins over a finished row set.  [strict] additionally fails on
+     any fallback (the smoke slice: every chosen company plan must stay
+     compiled).  Always fails on a disagreement and on a cell nothing
+     checked — a skipped interpreted run must leave a sampled check
+     behind. *)
+  let check_rows ~strict rows =
+    List.iter
+      (fun r ->
+        let cell =
+          Fmt.str "%s at %d (%s, jobs %d)" r.query r.size r.layout r.jobs
+        in
+        (match (r.agrees, r.agrees_sampled) with
+        | Some false, _ -> Fmt.failwith "exec bench: %s disagrees with the interpreter" cell
+        | _, Some false ->
+          Fmt.failwith
+            "exec bench: %s disagrees with the interpreter on the %d-employee sample"
+            cell sample_size
+        | None, None ->
+          Fmt.failwith "exec bench: %s was reported without any agree check" cell
+        | _ -> ());
+        if strict && r.fell_back then
+          Fmt.failwith "exec bench: %s unexpectedly fell back" cell)
+      rows;
+    (* The PR-9 regression pin: rich_mentors compiled must not run
+       slower than the interpreter at benchmark scale (it regressed to
+       0.84-0.91x before the dedup checks went geometric and the
+       translator's dead env-threading got peepholed). *)
+    List.iter
+      (fun r ->
+        if
+          r.query = "rich_mentors" && r.layout = "row" && r.size >= 100_000
+        then
+          match r.speedup with
+          | Some s when s < 1.0 ->
+            Fmt.failwith
+              "exec bench: rich_mentors compiled regressed below the \
+               interpreter at %d (%.2fx)"
+              r.size s
+          | _ -> ())
       rows
 
   let json ~mode rows =
@@ -1316,21 +1420,22 @@ module Exec_bench = struct
       (Fmt.str "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
     Buffer.add_string buf "  \"rows\": [\n";
     let fopt fmt = function None -> "null" | Some v -> Fmt.str fmt v in
+    let bopt = function None -> "null" | Some b -> Bool.to_string b in
     List.iteri
       (fun i r ->
         Buffer.add_string buf
           (Fmt.str
-             "    {\"query\": %S, \"size\": %d, \"interp_ms\": %s, \
-              \"compiled_ms\": %.3f, \"compile_us\": %.1f, \"speedup\": \
-              %s, \"stages\": %d, \"fell_back\": %b, \"agrees\": %s}%s\n"
-             r.query r.size
+             "    {\"query\": %S, \"size\": %d, \"layout\": %S, \"jobs\": \
+              %d, \"interp_ms\": %s, \"compiled_ms\": %.3f, \"compile_us\": \
+              %.1f, \"speedup\": %s, \"stages\": %d, \"col_kernels\": %d, \
+              \"morsels\": %d, \"degrades\": %d, \"fell_back\": %b, \
+              \"agrees\": %s, \"agrees_sampled\": %s}%s\n"
+             r.query r.size r.layout r.jobs
              (fopt "%.3f" r.interp_ms)
              r.compiled_ms r.compile_us
              (fopt "%.2f" r.speedup)
-             r.stages r.fell_back
-             (match r.agrees with
-             | None -> "null"
-             | Some b -> Bool.to_string b)
+             r.stages r.col_kernels r.morsels r.degrades r.fell_back
+             (bopt r.agrees) (bopt r.agrees_sampled)
              (if i = List.length rows - 1 then "" else ",")))
       rows;
     Buffer.add_string buf "  ]\n}\n";
@@ -1405,8 +1510,19 @@ let () =
     let sizes =
       if !fast then [ 1_000; 100_000 ] else [ 1_000; 100_000; 1_000_000 ]
     in
-    let rows = Exec_bench.rows ~sizes in
+    (* The layout × jobs grid: the row baseline, sequential columnar, and
+       columnar fanned out over 4 domains (morsel boundaries and merge
+       order are jobs-independent, so every cell must agree). *)
+    let configs =
+      [
+        (Kola_exec.Exec.Row, 1);
+        (Kola_exec.Exec.Columnar, 1);
+        (Kola_exec.Exec.Columnar, 4);
+      ]
+    in
+    let rows = Exec_bench.rows ~sizes ~configs in
     Exec_bench.table rows;
+    Exec_bench.check_rows ~strict:false rows;
     if not !out_file_given then out_file := "BENCH_exec.json";
     let oc = open_out !out_file in
     output_string oc
@@ -1453,19 +1569,21 @@ let () =
     Fmt.pr "KOLA engine-internals smoke benchmark@.";
     Fmt.pr "=====================================@.";
     benchmark_group "engine_internals" engine_tests;
-    (* compiled-exec sanity rows: chosen plans at 10^3, checked against
-       the interpreter — a disagreement or unexpected fallback fails the
-       smoke (and with it `make check`), not just the report *)
-    let exec_rows = Exec_bench.rows ~sizes:[ 1_000 ] in
+    (* compiled-exec sanity rows: chosen plans at 10^3 under both
+       layouts and jobs 1/2, checked against the interpreter — a
+       disagreement, an unchecked cell, or an unexpected fallback fails
+       the smoke (and with it `make check`), not just the report *)
+    let exec_rows =
+      Exec_bench.rows ~sizes:[ 1_000 ]
+        ~configs:
+          [
+            (Kola_exec.Exec.Row, 1);
+            (Kola_exec.Exec.Columnar, 1);
+            (Kola_exec.Exec.Columnar, 2);
+          ]
+    in
     Exec_bench.table exec_rows;
-    List.iter
-      (fun r ->
-        if r.Exec_bench.agrees = Some false then
-          Fmt.failwith "exec smoke: %s disagrees with the interpreter"
-            r.Exec_bench.query;
-        if r.Exec_bench.fell_back then
-          Fmt.failwith "exec smoke: %s unexpectedly fell back" r.Exec_bench.query)
-      exec_rows;
+    Exec_bench.check_rows ~strict:true exec_rows;
     let rows = parallel_scaling_rows ~jobs_list:[ 1; 2 ] ~repeats:2 in
     parallel_table rows;
     (* sanity slice of the interned core: tiny repeats, 1 and 2 domains *)

@@ -89,16 +89,80 @@ let run_cmd =
       & info [ "stats" ]
           ~doc:"Print execution statistics (compile/run time, loop counters).")
   in
-  let run src store execute verify stats =
+  let exec_stats =
+    Arg.(
+      value & flag
+      & info [ "exec-stats" ]
+          ~doc:
+            "Print execution statistics including the columnar counters \
+             (layout, jobs, column kernels, morsels, degrade reasons).  \
+             Synonym of --stats; both print the same line.")
+  in
+  (* Validated at the cmdliner layer like --execute: an unknown layout is
+     a usage error listing the accepted names — the same parser the
+     daemon's "layout" request field uses. *)
+  let layout_conv =
+    let parse s =
+      Result.map_error (fun m -> `Msg m) (Kola_exec.Exec.layout_of_string s)
+    in
+    let print ppf l = Fmt.string ppf (Kola_exec.Exec.layout_name l) in
+    Arg.conv ~docv:"LAYOUT" (parse, print)
+  in
+  let layout =
+    Arg.(
+      value
+      & opt (some layout_conv) None
+      & info [ "layout" ] ~docv:"LAYOUT"
+          ~doc:
+            "Store layout for the $(b,compiled) backend: $(b,row) (the \
+             default: boxed values, fused row closures) or $(b,columnar) \
+             (typed column vectors; eligible operators run as vectorised \
+             column kernels, the rest keep the row closures — counted in \
+             the stats).  Results are identical across layouts.")
+  in
+  let jobs =
+    (* Validated at the cmdliner layer: negative counts are a usage error
+       rather than being silently resolved like 0 is.  Same validator as
+       the daemon's "jobs" request field. *)
+    let nonneg =
+      let parse s =
+        match Arg.conv_parser Arg.int s with
+        | Ok n ->
+          Result.map_error
+            (fun m -> `Msg m)
+            (Kola_server.Protocol.nonneg_int ~what:"--jobs" n)
+        | Error _ as e -> e
+      in
+      Arg.conv ~docv:"JOBS" (parse, Arg.conv_printer Arg.int)
+    in
+    Arg.(
+      value & opt nonneg 1
+      & info [ "jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Domains the columnar layout may fan pure kernels out to over \
+             fixed-size morsels (1 = sequential; 0 = one per recommended \
+             core).  Morsel boundaries and merge order never depend on the \
+             setting, so results are bit-identical at every value.")
+  in
+  let run src store execute verify stats exec_stats layout jobs =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
+        let stats = stats || exec_stats in
+        let coldb =
+          match layout with
+          | Some Kola_exec.Exec.Columnar -> Some (Datagen.Store.columnar store)
+          | Some Kola_exec.Exec.Row | None -> None
+        in
         let report = Optimizer.Pipeline.optimize_oql ~db src in
-        let result, st = Optimizer.Pipeline.execute ?backend:execute ~db report in
+        let result, st =
+          Optimizer.Pipeline.execute ?backend:execute ?layout ~jobs ?coldb ~db
+            report
+        in
         if stats then Fmt.pr "stats: %a@." Kola_exec.Exec.pp_stats st;
         if verify then begin
           let compiled, cst =
-            Optimizer.Pipeline.execute ~backend:Kola_exec.Exec.Compiled ~db
-              report
+            Optimizer.Pipeline.execute ~backend:Kola_exec.Exec.Compiled ?layout
+              ~jobs ?coldb ~db report
           in
           let interp = Optimizer.Pipeline.run ~db report in
           if stats then Fmt.pr "stats: %a@." Kola_exec.Exec.pp_stats cst;
@@ -114,7 +178,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize and execute a query against a generated store.")
-    Term.(const run $ query_arg $ store_term $ execute $ verify $ stats)
+    Term.(
+      const run $ query_arg $ store_term $ execute $ verify $ stats
+      $ exec_stats $ layout $ jobs)
 
 let rules_cmd =
   let certify =

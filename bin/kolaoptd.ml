@@ -187,8 +187,26 @@ let request_cmd =
       & info [ "explain" ]
           ~doc:"Run the full pipeline (plan choice) instead of search.")
   in
+  let execute =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "execute" ] ~docv:"BACKEND"
+          ~doc:
+            "With --explain: execute the chosen plan through this backend \
+             (compiled, interp, interp-naive) and embed execution stats.")
+  in
+  let layout =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "layout" ] ~docv:"LAYOUT"
+          ~doc:
+            "With --execute: store layout (row or columnar); columnar binds \
+             the plan to the daemon's preloaded column store.")
+  in
   let run socket query paper cmd raw engine depth states jobs deadline
-      node_budget iter_budget telemetry explain =
+      node_budget iter_budget telemetry explain execute layout =
     let request_json =
       match raw with
       | Some line -> (
@@ -225,6 +243,8 @@ let request_cmd =
                      (if telemetry then Some ("telemetry", Json.Bool true)
                       else None);
                      (if explain then Some ("explain", Json.Bool true) else None);
+                     Option.map (fun b -> ("execute", Json.Str b)) execute;
+                     Option.map (fun l -> ("layout", Json.Str l)) layout;
                    ]))
             source)
     in
@@ -255,7 +275,7 @@ let request_cmd =
     Term.(
       const run $ socket_arg $ query_opt $ paper $ cmd $ raw $ engine $ depth
       $ states $ jobs $ deadline $ node_budget $ iter_budget $ telemetry
-      $ explain)
+      $ explain $ execute $ layout)
 
 (* ------------------------------------------------------------------ *)
 (* smoke: an in-process end-to-end exercise of the serving path, small
@@ -418,6 +438,55 @@ let smoke_cmd =
     in
     check "telemetry on demand embeds spans"
       (status tr = Some "ok" && field tr "telemetry" <> None);
+    (* Columnar execution over the daemon's preloaded column store: the
+       compiled backend must not fall back, at least one operator must
+       lower to a column kernel, and row/columnar runs of the same query
+       must agree field-for-field on the deterministic counters. *)
+    let exec_req id layout jobs =
+      Daemon.Client.request c
+        (Json.Obj
+           ([
+              ("id", Json.Num (float_of_int id));
+              ( "query",
+                Json.Str "select p.age from p in P where p.age > 25" );
+              ("explain", Json.Bool true);
+              ("execute", Json.Str "compiled");
+              ("layout", Json.Str layout);
+            ]
+           @ if jobs = 1 then [] else [ ("jobs", Json.Num (float_of_int jobs)) ]
+           ))
+    in
+    let er = exec_req 7 "row" 1 in
+    let ec = exec_req 8 "columnar" 1 in
+    let ec2 = exec_req 9 "columnar" 2 in
+    check "columnar execute answers ok without falling back"
+      (status ec = Some "ok"
+      && Option.bind (field ec "fell_back") Json.bool = Some false
+      && Option.bind (field ec "layout") Json.str = Some "columnar"
+      &&
+      match Option.bind (field ec "col_kernels") Json.int with
+      | Some k -> k > 0
+      | None -> false);
+    check "row and columnar runs report the same plan"
+      (status er = Some "ok"
+      && Option.bind (field er "plan") Json.str
+         = Option.bind (field ec "plan") Json.str);
+    check "columnar execute at jobs 2 answers ok"
+      (status ec2 = Some "ok"
+      && Option.bind (field ec2 "col_kernels") Json.int
+         = Option.bind (field ec "col_kernels") Json.int);
+    let bad_layout =
+      Daemon.Client.request c
+        (Json.Obj
+           [
+             ("id", Json.Num 12.);
+             ("query", Json.Str "select p from p in P");
+             ("explain", Json.Bool true);
+             ("layout", Json.Str "columnar");
+           ])
+    in
+    check "layout without execute is rejected by validation"
+      (status bad_layout = Some "error");
     let stats =
       Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "stats") ])
     in

@@ -1,0 +1,266 @@
+(* Columnar materialization of a database of object extents.
+
+   A relation is the struct-of-arrays view of one extent: the boxed rows
+   (in canonical set order, so row index is a stable identity) plus one
+   typed column per attribute that is uniformly typed across every row.
+   Scalar attributes become unboxed [int array] / [string array] /
+   [bool array]; object-valued attributes whose targets all live in
+   another extent of the same class are dictionary-encoded as row
+   indexes into that extent ([Refs]); anything else (set-valued fields,
+   mixed types, missing fields in some rows) keeps a [Boxed] column of
+   the original values.
+
+   Two soundness flags matter for the execution layer:
+
+   - [total]: every ref resolved to a target row.  Object equality is
+     (cls, oid) identity, and oid -> row index is injective within a
+     relation, so two *total* ref columns into the same target can be
+     compared by index alone.  A [-1] (unresolved) entry can never match
+     a probe-side row index, which is exactly the hash-join miss the
+     boxed path produces — so joins may use non-total refs, equality
+     between two ref columns may not.
+   - [exact]: additionally, every embedded object is structurally equal
+     to the target row it resolves to.  Only then may a projection
+     *through* the ref (e.g. [dcity ∘ dept]) read the target's columns:
+     with [exact] false the embedded copy could carry different fields
+     than the extent row, and field access must stay on the boxed
+     value. *)
+
+module Column = struct
+  type t =
+    | Ints of int array
+    | Strs of string array
+    | Bools of bool array
+    | Refs of {
+        target : string;  (** extent name the indexes point into *)
+        idx : int array;  (** row index in target, [-1] = unresolved *)
+        total : bool;     (** no [-1] entries *)
+        exact : bool;     (** embedded values structurally equal target rows *)
+      }
+    | Boxed of Value.t array
+
+  let kind_name = function
+    | Ints _ -> "int"
+    | Strs _ -> "str"
+    | Bools _ -> "bool"
+    | Refs _ -> "ref"
+    | Boxed _ -> "boxed"
+
+  let length = function
+    | Ints a -> Array.length a
+    | Strs a -> Array.length a
+    | Bools a -> Array.length a
+    | Refs { idx; _ } -> Array.length idx
+    | Boxed a -> Array.length a
+end
+
+type relation = {
+  name : string;  (** the extent name this relation materializes *)
+  cls : string;
+  rows : Value.t array;  (** boxed rows in canonical set order *)
+  cols : (string * Column.t) list;
+}
+
+type db = {
+  source : (string * Value.t) list;
+  rels : (string * relation) list;
+}
+
+let source t = t.source
+let relations t = t.rels
+let relation t name = List.assoc_opt name t.rels
+let column (r : relation) name = List.assoc_opt name r.cols
+
+(* ------------------------------------------------------------------ *)
+(* Materialization. *)
+
+(* An extent materializes when it is a set whose rows are all objects of
+   one class.  (Canonical sets cannot hold two objects with the same
+   (cls, oid) — object comparison is identity — so the row oids are
+   unique and oid -> index is well-defined.) *)
+let extent_rows (v : Value.t) : (string * Value.t array) option =
+  match v with
+  | Value.Set ((Value.Obj { cls; _ } :: _) as rows)
+    when List.for_all
+           (function Value.Obj o -> String.equal o.Value.cls cls | _ -> false)
+           rows ->
+    Some (cls, Array.of_list rows)
+  | _ -> None
+
+let oid_of_row (v : Value.t) =
+  match v with Value.Obj o -> o.Value.oid | _ -> assert false
+
+type field_class =
+  | FInt
+  | FStr
+  | FBool
+  | FObj of string  (** all objects of this class *)
+  | FOther
+
+exception Missing_field
+
+let classify_field (rows : Value.t array) (field : string) : field_class option =
+  (* [None] = field missing in some row: no column at all (accessors fall
+     back to boxed row reads, which return the same absence the
+     interpreter sees). *)
+  let kind_of = function
+    | Value.Int _ -> FInt
+    | Value.Str _ -> FStr
+    | Value.Bool _ -> FBool
+    | Value.Obj o -> FObj o.Value.cls
+    | _ -> FOther
+  in
+  try
+    let acc = ref None in
+    Array.iter
+      (fun r ->
+        match Value.field field r with
+        | None -> raise Missing_field
+        | Some v ->
+          let k = kind_of v in
+          acc :=
+            (match !acc with
+            | None -> Some k
+            | Some a when a = k -> Some a
+            | Some _ -> Some FOther))
+      rows;
+    !acc
+  with Missing_field -> None
+
+let get_field ~rel ~field row =
+  match Value.field field row with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Fmt.str "Colstore: field %s vanished from relation %s" field rel)
+
+let of_db (source : (string * Value.t) list) : db =
+  (* Pass 1: which extents materialize, and an oid -> row-index table per
+     extent for ref encoding.  A class maps to the first extent (in db
+     order) that holds it, mirroring how the generators lay stores out. *)
+  let rels_raw =
+    List.filter_map
+      (fun (name, v) ->
+        Option.map (fun (cls, rows) -> (name, cls, rows)) (extent_rows v))
+      source
+  in
+  let target_of_cls cls =
+    List.find_opt (fun (_, c, _) -> String.equal c cls) rels_raw
+  in
+  let oid_index =
+    List.map
+      (fun (name, _, rows) ->
+        let t = Hashtbl.create (2 * Array.length rows + 1) in
+        Array.iteri (fun i row -> Hashtbl.replace t (oid_of_row row) i) rows;
+        (name, t))
+      rels_raw
+  in
+  let materialize (name, cls, rows) =
+    let n = Array.length rows in
+    let fields =
+      if n = 0 then []
+      else
+        match rows.(0) with
+        | Value.Obj o -> List.map fst o.Value.fields
+        | _ -> []
+    in
+    let cols =
+      List.filter_map
+        (fun field ->
+          match classify_field rows field with
+          | None -> None
+          | Some FInt ->
+            let a =
+              Array.map
+                (fun r ->
+                  match get_field ~rel:name ~field r with
+                  | Value.Int i -> i
+                  | _ -> assert false)
+                rows
+            in
+            Some (field, Column.Ints a)
+          | Some FStr ->
+            let a =
+              Array.map
+                (fun r ->
+                  match get_field ~rel:name ~field r with
+                  | Value.Str s -> s
+                  | _ -> assert false)
+                rows
+            in
+            Some (field, Column.Strs a)
+          | Some FBool ->
+            let a =
+              Array.map
+                (fun r ->
+                  match get_field ~rel:name ~field r with
+                  | Value.Bool b -> b
+                  | _ -> assert false)
+                rows
+            in
+            Some (field, Column.Bools a)
+          | Some (FObj target_cls) -> (
+            match target_of_cls target_cls with
+            | None ->
+              Some
+                (field, Column.Boxed (Array.map (get_field ~rel:name ~field) rows))
+            | Some (tname, _, trows) ->
+              let tindex = List.assoc tname oid_index in
+              let total = ref true and exact = ref true in
+              let idx =
+                Array.map
+                  (fun r ->
+                    let v = get_field ~rel:name ~field r in
+                    match Hashtbl.find_opt tindex (oid_of_row v) with
+                    | Some i ->
+                      if not (v == trows.(i) || Value.equal v trows.(i)) then
+                        exact := false;
+                      i
+                    | None ->
+                      total := false;
+                      exact := false;
+                      -1)
+                  rows
+              in
+              Some
+                ( field,
+                  Column.Refs
+                    { target = tname; idx; total = !total; exact = !exact } ))
+          | Some FOther ->
+            Some (field, Column.Boxed (Array.map (get_field ~rel:name ~field) rows)))
+        fields
+    in
+    (name, { name; cls; rows; cols })
+  in
+  { source; rels = List.map materialize rels_raw }
+
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  relations : int;
+  rows : int;
+  typed_cols : int;  (** Ints/Strs/Bools/Refs columns *)
+  boxed_cols : int;
+}
+
+let stats (t : db) : stats =
+  List.fold_left
+    (fun acc (_, r) ->
+      let typed, boxed =
+        List.fold_left
+          (fun (t, b) (_, c) ->
+            match c with Column.Boxed _ -> (t, b + 1) | _ -> (t + 1, b))
+          (0, 0) r.cols
+      in
+      {
+        relations = acc.relations + 1;
+        rows = acc.rows + Array.length r.rows;
+        typed_cols = acc.typed_cols + typed;
+        boxed_cols = acc.boxed_cols + boxed;
+      })
+    { relations = 0; rows = 0; typed_cols = 0; boxed_cols = 0 }
+    t.rels
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "%d relations, %d rows, %d typed + %d boxed columns" s.relations
+    s.rows s.typed_cols s.boxed_cols

@@ -85,6 +85,10 @@ let generate (p : params) : t =
 
 let db t = t.db
 
+(* The columnar view: E with unboxed [salary] ints, [ename] strings and
+   [dept] dictionary-encoded into D; [mentors] stays a boxed column. *)
+let columnar t = Kola.Colstore.of_db t.db
+
 (* Benchmark-scale company store: array-backed O(1) sampling (the
    list-based [generate] picks mentors with [List.nth], which is quadratic
    in the employee count), tabulated in index order so the data is
@@ -176,3 +180,9 @@ let local_staff_oql =
 let mentor_elite_oql =
   "(select m.ename from e in E, m in e.mentors) inter \
    (select h.ename from h in E where h.salary > 145000)"
+
+(* A filter + aggregate over one unboxed column: selective scan on
+   salary, then sum.  (Aggregates run under eager dedup, so this sums
+   the *distinct* salaries over the threshold — the columnar backend
+   must reproduce exactly that.) *)
+let payroll_oql = "sum(select e.salary from e in E where e.salary > 120000)"

@@ -31,6 +31,10 @@ val scaled : ?seed:int -> int -> t
 
 val db : t -> (string * Kola.Value.t) list
 
+val columnar : t -> Kola.Colstore.db
+(** The columnar view of {!db}: E with unboxed salary/ename columns and
+    dept dictionary-encoded into D; rows shared with the boxed store. *)
+
 val dept_roster_oql : string
 (** A hidden join over this schema (the Garage Query's shape). *)
 
@@ -51,3 +55,7 @@ val local_staff_oql : string
 val mentor_elite_oql : string
 (** An intersection of two derived name sets: nested-loop intersection
     is O(n * m); hashing the smaller side is linear. *)
+
+val payroll_oql : string
+(** A filter + sum over one unboxed int column (salary); under eager
+    dedup this sums the distinct over-threshold salaries. *)

@@ -184,6 +184,11 @@ let generate (p : params) : t =
 
 let db t = t.db
 
+(* The columnar view of the same store: P/V/A as typed column vectors
+   with [addr] dictionary-encoded into A.  Rows are shared physically
+   with [db t], so materialization costs the column arrays alone. *)
+let columnar t = Kola.Colstore.of_db t.db
+
 (* Array-backed generation for benchmark-scale stores (10^5–10^6 people):
    every sample is an O(1) array pick, object rows are tabulated in index
    order, and the extent sets are built from already-oid-sorted rows, so

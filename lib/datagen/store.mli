@@ -70,5 +70,9 @@ val scaled : ?seed:int -> int -> t
 val db : t -> (string * Kola.Value.t) list
 (** The extents P, V, A. *)
 
+val columnar : t -> Kola.Colstore.db
+(** The columnar view of {!db}: typed column vectors per extent, rows
+    shared physically with the boxed store. *)
+
 val tiny : unit -> t
 (** A fixed, hand-auditable four-person store used by unit tests. *)

@@ -25,6 +25,8 @@
 
 open Kola
 module Telemetry = Kola_telemetry.Telemetry
+module C = Colstore
+module Pool = Kola_parallel.Pool
 
 exception Unsupported of string
 
@@ -38,15 +40,17 @@ type counters = {
   mutable tuples : int;   (** elements flowing through pipeline stages *)
   mutable probes : int;   (** hash-table lookups (joins, set ops) *)
   mutable builds : int;   (** hash-table inserts (build sides, groups) *)
+  mutable morsels : int;  (** chunks dispatched by columnar kernels *)
 }
 
-let fresh_counters () = { tuples = 0; probes = 0; builds = 0 }
+let fresh_counters () = { tuples = 0; probes = 0; builds = 0; morsels = 0 }
 
 type rctx = {
   db : (string * Value.t) list;
   dedup : Eval.dedup;
   pipes : Value.t array option array;  (** materialized shared pipelines *)
   vals : Value.t option array;         (** memoized shared scalars *)
+  pool : Pool.t option;                (** morsel fan-out for pure kernels *)
   c : counters;
 }
 
@@ -182,6 +186,18 @@ and fc_node (f : Term.func) : rctx -> Value.t -> Value.t =
         | Some x -> x
         | None -> error "object %a has no attribute %s" Value.pp o name)
       | v -> error "attribute %s applied to non-object %a" name Value.pp v)
+  | Term.Compose (Term.Iter (Term.Kp true, Term.Pi2), Term.Pairf (g, x)) ->
+    (* The translator threads the environment through every nested query
+       as [iter(true, π2) ∘ ⟨g, X⟩] even when the body ignores it; the
+       loop only repackages X.  Evaluate both legs (so errors surface
+       exactly as before) but skip the pair and per-element pair/closure
+       work: the result is X's elements under the ambient discipline. *)
+    let g' = fc g and x' = fc x in
+    fun ctx v ->
+      ignore (g' ctx v);
+      let ys = as_set ctx (x' ctx v) in
+      ctx.c.tuples <- ctx.c.tuples + List.length ys;
+      collection ctx ys
   | Term.Compose (f, g) ->
     let f' = fc f and g' = fc g in
     fun ctx v -> f' ctx (g' ctx v)
@@ -220,6 +236,14 @@ and fc_node (f : Term.func) : rctx -> Value.t -> Value.t =
       ctx.c.tuples <- ctx.c.tuples + List.length xs;
       collection ctx
         (List.filter_map (fun x -> if p' ctx x then Some (f' ctx x) else None) xs)
+  | Term.Iter (Term.Kp true, Term.Pi2) ->
+    (* Degenerate environment loop: keep everything, project the element —
+       no per-element pair needs building. *)
+    fun ctx v ->
+      let _, set = as_pair ctx v in
+      let ys = as_set ctx set in
+      ctx.c.tuples <- ctx.c.tuples + List.length ys;
+      collection ctx ys
   | Term.Iter (p, f) ->
     let p' = pc p and f' = fc f in
     fun ctx v ->
@@ -462,23 +486,315 @@ and pc (p : Term.pred) : rctx -> Value.t -> bool =
   | Term.Phole h -> unsupported "pattern hole ?%s" h
 
 (* ------------------------------------------------------------------ *)
+(* Columnar kernels.  Under [layout = Columnar] the compiler binds extent
+   scans to a {!Colstore} relation: a [vec] is a base relation plus a
+   composed pure selection predicate (chained filters fuse into one
+   conjunction tested in a single pass) and a per-run prologue that forces
+   whatever the row path would have forced (environment values), so error
+   behaviour is unchanged.  [cproj]/[cpred] compile attribute paths and
+   comparisons against the typed columns; they refuse — and the operator
+   keeps its row closures, counted as a degrade — whenever the columns
+   cannot prove the row semantics are reproduced (missing or non-uniform
+   column, non-exact ref traversal, anything needing the runtime
+   context). *)
+
+type layout = Row | Columnar
+
+let layout_name = function Row -> "row" | Columnar -> "columnar"
+
+let layout_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "row" -> Ok Row
+  | "columnar" | "col" -> Ok Columnar
+  | s -> Error (Fmt.str "unknown layout %S (expected row|columnar)" s)
+
+type vec = {
+  rel : C.relation;
+  vp : (int -> bool) option;     (** composed selection predicate (pure) *)
+  pre : (rctx -> unit) option;   (** forced once per scan, before rows *)
+}
+
+(* An unboxed int projection over a selection — the feed for aggregate
+   fast paths. *)
+type icol = { src : vec; iget : int -> int }
+
+let vec_pre ctx v = match v.pre with Some f -> f ctx | None -> ()
+
+let vec_conj v p =
+  match v.vp with
+  | None -> { v with vp = Some p }
+  | Some q -> { v with vp = Some (fun i -> q i && p i) }
+
+let vec_add_pre v f =
+  match v.pre with
+  | None -> { v with pre = Some f }
+  | Some g ->
+    { v with pre = Some (fun ctx -> g ctx; f ctx) }
+
+let vec_iter ctx v k =
+  vec_pre ctx v;
+  let n = Array.length v.rel.C.rows in
+  match v.vp with
+  | None -> for i = 0 to n - 1 do k i done
+  | Some p -> for i = 0 to n - 1 do if p i then k i done
+
+(* Selected rows, in row order.  Rows are stored in canonical set order
+   and a selection preserves it, so under [Eager] the result is already a
+   canonical set — no sort needed. *)
+let vec_rows ctx v =
+  vec_pre ctx v;
+  let rows = v.rel.C.rows in
+  let acc = ref [] in
+  (match v.vp with
+  | None -> for i = Array.length rows - 1 downto 0 do acc := rows.(i) :: !acc done
+  | Some p ->
+    for i = Array.length rows - 1 downto 0 do
+      if p i then acc := rows.(i) :: !acc
+    done);
+  !acc
+
+(* Order-preserving morsel fan-out: split [0, n) into fixed-size morsels
+   (boundaries depend only on [n], never on the worker count), compute
+   [f lo hi] per morsel — [f] must be pure — and return the chunk results
+   in morsel order.  Results are therefore bit-identical at any [--jobs]:
+   only scheduling, never splitting or merge order, sees the pool. *)
+let morsel_rows = 65_536
+
+let morsel_fold ctx ~n (f : int -> int -> 'a) : 'a list =
+  if n <= 0 then []
+  else
+    match ctx.pool with
+    | Some pool when n > morsel_rows && Pool.size pool > 1 ->
+      let k = (n + morsel_rows - 1) / morsel_rows in
+      ctx.c.morsels <- ctx.c.morsels + k;
+      let bounds =
+        Array.init k (fun i -> (i * morsel_rows, min n ((i + 1) * morsel_rows)))
+      in
+      Array.to_list (Pool.map pool (fun (lo, hi) -> f lo hi) bounds)
+    | _ ->
+      ctx.c.morsels <- ctx.c.morsels + 1;
+      [ f 0 n ]
+
+(* Typed projection closures over a base row index. *)
+type proj =
+  | PInt of (int -> int)
+  | PStr of (int -> string)
+  | PBool of (int -> bool)
+  | PRow of C.relation * (int -> int)  (** a row of another relation *)
+  | PVal of (int -> Value.t)           (** boxed column read (pure) *)
+
+let rec aproj coldb (f : Term.func) (p : proj) : proj option =
+  match (f, p) with
+  | Term.Id, p -> Some p
+  | Term.Compose (a, b), p -> (
+    match aproj coldb b p with
+    | Some q -> aproj coldb a q
+    | None -> None)
+  | Term.Kf (Value.Int k), _ -> Some (PInt (fun _ -> k))
+  | Term.Kf (Value.Str s), _ -> Some (PStr (fun _ -> s))
+  | Term.Kf (Value.Bool b), _ -> Some (PBool (fun _ -> b))
+  | Term.Prim a, PRow (rel, ix) -> (
+    match C.column rel a with
+    | Some (C.Column.Ints arr) -> Some (PInt (fun i -> arr.(ix i)))
+    | Some (C.Column.Strs arr) -> Some (PStr (fun i -> arr.(ix i)))
+    | Some (C.Column.Bools arr) -> Some (PBool (fun i -> arr.(ix i)))
+    | Some (C.Column.Refs { target; idx; exact = true; _ }) -> (
+      (* Exact refs only: the embedded value IS the target row, so reading
+         on through its columns is sound. *)
+      match C.relation coldb target with
+      | Some t -> Some (PRow (t, fun i -> idx.(ix i)))
+      | None -> None)
+    | Some (C.Column.Boxed arr) -> Some (PVal (fun i -> arr.(ix i)))
+    | Some (C.Column.Refs _) | None -> None)
+  | _ -> None
+
+let proj_of_row coldb f rel = aproj coldb f (PRow (rel, fun i -> i))
+
+(* The raw value a projection denotes — exactly what the row path's
+   attribute closure returns (field values are not resolved). *)
+let proj_emit (p : proj) : int -> Value.t =
+  match p with
+  | PInt g -> fun i -> Value.Int (g i)
+  | PStr g -> fun i -> Value.Str (g i)
+  | PBool g -> fun i -> Value.Bool (g i)
+  | PRow (rel, ix) -> fun i -> rel.C.rows.(ix i)
+  | PVal g -> g
+
+(* Comparator compilation.  Same-kind typed comparisons only: rows of one
+   relation are stored in canonical ([Value.compare]) order with distinct
+   oids, so index order is value order and all three comparisons agree
+   with the row path.  Mixed-type or boxed comparisons keep the row
+   closures. *)
+let ccmp (cmp : [ `Eq | `Leq | `Gt ]) (a : proj) (b : proj) :
+    (int -> bool) option =
+  match (a, b) with
+  | PInt x, PInt y ->
+    Some
+      (match cmp with
+      | `Eq -> fun i -> x i = y i
+      | `Leq -> fun i -> x i <= y i
+      | `Gt -> fun i -> x i > y i)
+  | PStr x, PStr y ->
+    Some
+      (match cmp with
+      | `Eq -> fun i -> String.equal (x i) (y i)
+      | `Leq -> fun i -> String.compare (x i) (y i) <= 0
+      | `Gt -> fun i -> String.compare (x i) (y i) > 0)
+  | PBool x, PBool y ->
+    Some
+      (match cmp with
+      | `Eq -> fun i -> x i = y i
+      | `Leq -> fun i -> Stdlib.compare (x i) (y i) <= 0
+      | `Gt -> fun i -> Stdlib.compare (x i) (y i) > 0)
+  | PRow (r1, ix1), PRow (r2, ix2) when String.equal r1.C.name r2.C.name ->
+    Some
+      (match cmp with
+      | `Eq -> fun i -> ix1 i = ix2 i
+      | `Leq -> fun i -> ix1 i <= ix2 i
+      | `Gt -> fun i -> ix1 i > ix2 i)
+  | _ -> None
+
+let rec cpred coldb (p : Term.pred) (input : proj) : (int -> bool) option =
+  match p with
+  | Term.Kp b -> Some (fun _ -> b)
+  | Term.Andp (p, q) -> (
+    match (cpred coldb p input, cpred coldb q input) with
+    | Some a, Some b -> Some (fun i -> a i && b i)
+    | _ -> None)
+  | Term.Orp (p, q) -> (
+    match (cpred coldb p input, cpred coldb q input) with
+    | Some a, Some b -> Some (fun i -> a i || b i)
+    | _ -> None)
+  | Term.Inv p ->
+    Option.map (fun a i -> not (a i)) (cpred coldb p input)
+  | Term.Primp a -> (
+    match input with
+    | PRow (rel, ix) -> (
+      match C.column rel a with
+      | Some (C.Column.Bools arr) -> Some (fun i -> arr.(ix i))
+      | _ -> None)
+    | _ -> None)
+  | Term.Oplus (((Term.Eq | Term.Leq | Term.Gt) as cmp), Term.Pairf (a, b))
+    -> (
+    match (aproj coldb a input, aproj coldb b input) with
+    | Some pa, Some pb ->
+      ccmp
+        (match cmp with
+        | Term.Eq -> `Eq
+        | Term.Leq -> `Leq
+        | _ -> `Gt)
+        pa pb
+    | _ -> None)
+  | Term.Oplus (q, f) -> (
+    match aproj coldb f input with
+    | Some j -> cpred coldb q j
+    | None -> None)
+  | _ -> None
+
+(* Rebase a func/pred applied to an [iter] element [Pair (env, row)] onto
+   the row alone: π2 becomes the identity, constants pass through, and
+   anything touching the environment refuses (the row closures keep it
+   correct). *)
+let rec func_reroot : Term.func -> Term.func option = function
+  | Term.Pi2 -> Some Term.Id
+  | Term.Kf _ as f -> Some f
+  | Term.Compose (a, b) -> (
+    match func_reroot b with
+    | Some Term.Id -> Some a
+    | Some b' -> Some (Term.Compose (a, b'))
+    | None -> None)
+  | Term.Pairf (a, b) -> (
+    match (func_reroot a, func_reroot b) with
+    | Some a', Some b' -> Some (Term.Pairf (a', b'))
+    | _ -> None)
+  | _ -> None
+
+let rec pred_reroot : Term.pred -> Term.pred option = function
+  | Term.Kp b -> Some (Term.Kp b)
+  | Term.Andp (p, q) -> (
+    match (pred_reroot p, pred_reroot q) with
+    | Some p', Some q' -> Some (Term.Andp (p', q'))
+    | _ -> None)
+  | Term.Orp (p, q) -> (
+    match (pred_reroot p, pred_reroot q) with
+    | Some p', Some q' -> Some (Term.Orp (p', q'))
+    | _ -> None)
+  | Term.Inv p -> Option.map (fun p' -> Term.Inv p') (pred_reroot p)
+  | Term.Oplus (q, f) ->
+    (* [q] applies to [f]'s output, which no longer sees the pair. *)
+    Option.map (fun f' -> Term.Oplus (q, f')) (func_reroot f)
+  | _ -> None
+
+(* Join-key compilation: the spaces two compiled keys may be matched in.
+   [KRow] keys are row indexes into a named relation; [-1] marks a ref
+   that resolved to no extent row.  A [-1] key can never equal an
+   in-extent key (oid lookup failed, and extent rows carry in-extent
+   oids), so joins may treat it as a guaranteed miss — provided at most
+   one side can produce [-1], which the callers enforce via [total]. *)
+type ckey =
+  | KInt of (int -> int)
+  | KStr of (int -> string)
+  | KRow of string * (int -> int) * bool  (** target, index, total *)
+
+let ckey_of coldb (g : Term.func) (rel : C.relation) : ckey option =
+  match proj_of_row coldb g rel with
+  | Some (PInt get) -> Some (KInt get)
+  | Some (PStr get) -> Some (KStr get)
+  | Some (PRow (t, ix)) -> Some (KRow (t.C.name, ix, true))
+  | Some (PBool _) | Some (PVal _) -> None
+  | None -> (
+    (* Allow one final ref step that is total-or-not and inexact: identity
+       joins only need the (cls, oid) index, not field equality. *)
+    let split =
+      match g with
+      | Term.Prim a -> Some (a, Term.Id)
+      | Term.Compose (Term.Prim a, rest) -> Some (a, rest)
+      | _ -> None
+    in
+    match split with
+    | Some (a, rest) -> (
+      match proj_of_row coldb rest rel with
+      | Some (PRow (r, ix)) -> (
+        match C.column r a with
+        | Some (C.Column.Refs { target; idx; total; _ }) ->
+          Some (KRow (target, (fun i -> idx.(ix i)), total))
+        | _ -> None)
+      | _ -> None)
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Pipeline lowering.  A compiled spine value is a collection (either a
-   stored whole or a streaming producer), a statically-known pair, or a
-   scalar thunk; the IR description is built alongside. *)
+   stored whole, a streaming producer, or a columnar scan), a
+   statically-known pair, or a scalar thunk; the IR description is built
+   alongside. *)
 
 type producer = rctx -> (Value.t -> unit) -> unit
 
-type coll = Whole of (rctx -> Value.t) | Pipe of producer
+type coll =
+  | Whole of (rctx -> Value.t)
+  | Pipe of producer
+  | Cols of vec   (** columnar scan: selected rows of one relation *)
+  | ICol of icol  (** columnar scan projected to unboxed ints *)
 
 type cv = { shape : shape; ir : Ir.node }
 and shape = Coll of coll | Duo of cv * cv | Sca of (rctx -> Value.t)
 
-type cstate = { mutable pipe_slots : int; mutable val_slots : int }
+type cstate = {
+  mutable pipe_slots : int;
+  mutable val_slots : int;
+  coldb : C.db option;
+  mutable kernels : int;          (** operators lowered to column kernels *)
+  mutable degrades : string list; (** columnar inputs kept on row closures *)
+}
+
+let degrade st reason = st.degrades <- reason :: st.degrades
 
 let iter_coll ctx (c : coll) emit =
   match c with
   | Whole f -> List.iter emit (as_set ctx (f ctx))
   | Pipe p -> p ctx emit
+  | Cols v -> vec_iter ctx v (fun i -> emit v.rel.C.rows.(i))
+  | ICol { src; iget } -> vec_iter ctx src (fun i -> emit (Value.Int (iget i)))
 
 let drain ctx (p : producer) =
   let acc = ref [] in
@@ -491,6 +807,15 @@ let rec force ctx (v : cv) : Value.t =
   | Duo (a, b) -> Value.Pair (force ctx a, force ctx b)
   | Coll (Whole f) -> f ctx
   | Coll (Pipe p) -> collection ctx (drain ctx p)
+  | Coll (Cols v) -> (
+    (* selection preserves canonical row order, so [Eager] needs no sort *)
+    match ctx.dedup with
+    | Eval.Eager -> Value.Set (vec_rows ctx v)
+    | Eval.Deferred -> Value.Bag (vec_rows ctx v))
+  | Coll (ICol { src; iget }) ->
+    let acc = ref [] in
+    vec_iter ctx src (fun i -> acc := Value.Int (iget i) :: !acc);
+    collection ctx (List.rev !acc)
 
 let as_coll (v : cv) : coll =
   match v.shape with
@@ -536,7 +861,9 @@ let rec share st (v : cv) : cv =
               v);
       ir = Ir.Shared (slot, v.ir);
     }
-  | Coll (Whole _) -> v
+  (* Columnar scans re-run their (pure) selection per consumption — cheaper
+     than materializing, and [pre] effects are memoized via value slots. *)
+  | Coll (Whole _) | Coll (Cols _) | Coll (ICol _) -> v
 
 let as_duo st (v : cv) : cv * cv =
   match v.shape with
@@ -547,12 +874,19 @@ let as_duo st (v : cv) : cv * cv =
     ( { shape = Sca (fun ctx -> fst (as_pair ctx (f ctx))); ir = Ir.Scalar (Term.Pi1, v.ir) },
       { shape = Sca (fun ctx -> snd (as_pair ctx (f ctx))); ir = Ir.Scalar (Term.Pi2, v.ir) } )
 
-let rec cv_of_value (v : Value.t) : cv =
+let rec cv_of_value st (v : Value.t) : cv =
   match v with
   | Value.Hole h -> unsupported "pattern hole ?%s in query argument" h
   | Value.Pair (a, b) ->
-    let ca = cv_of_value a and cb = cv_of_value b in
+    let ca = cv_of_value st a and cb = cv_of_value st b in
     { shape = Duo (ca, cb); ir = Ir.PairNode (ca.ir, cb.ir) }
+  | Value.Named n
+    when Option.is_some
+           (Option.bind st.coldb (fun cd -> C.relation cd n)) ->
+    let rel =
+      Option.get (Option.bind st.coldb (fun cd -> C.relation cd n))
+    in
+    { shape = Coll (Cols { rel; vp = None; pre = None }); ir = Ir.Scan v }
   | Value.Named _ | Value.Set _ | Value.Bag _ | Value.List _ ->
     { shape = Coll (Whole (fun ctx -> resolve ctx v)); ir = Ir.Scan v }
   | v -> { shape = Sca (fun ctx -> resolve ctx v); ir = Ir.Leaf v }
@@ -563,15 +897,49 @@ let scalar_apply (f : Term.func) (input : cv) : cv =
 
 let pipe p ir = { shape = Coll (Pipe p); ir }
 
+(* The compose spine, outermost first. *)
+let rec compose_spine f acc =
+  match f with
+  | Term.Compose (a, b) -> compose_spine a (compose_spine b acc)
+  | f -> f :: acc
+
+(* Locate the untangled hidden-join triple — group-by over an unnested
+   hash join — anywhere on an outermost-first compose spine. *)
+let rec split_group_join acc = function
+  | (Term.Nest (Term.Pi1, Term.Pi2) as n)
+    :: (Term.Times (Term.Unnest (Term.Pi1, Term.Pi2), Term.Id) as t)
+    :: (Term.Pairf (Term.Join (p, Term.Times (Term.Id, g)), Term.Pi1) as pf)
+    :: inner ->
+    Some (List.rev acc, (p, g, n, t, pf), inner)
+  | x :: rest -> split_group_join (x :: acc) rest
+  | [] -> None
+
 let rec lower st (f : Term.func) (input : cv) : cv =
   match f with
+  | Term.Compose (a, b) when st.coldb <> None -> (
+    (* Flatten the spine so compose associativity cannot hide the fusable
+       triple, lower the stages inside it, then fuse — or fall back to
+       lowering the triple stage by stage. *)
+    match split_group_join [] (compose_spine f []) with
+    | Some (outer, (p, g, n, t, pf), inner) ->
+      let app stages base =
+        List.fold_left (fun acc s -> lower st s acc) base (List.rev stages)
+      in
+      let base = app inner input in
+      let mid =
+        match lower_fused_group st p g base with
+        | Some cv -> cv
+        | None -> lower st n (lower st t (lower st pf base))
+      in
+      app outer mid
+    | None -> lower st a (lower st b input))
   | Term.Compose (a, b) -> lower st a (lower st b input)
   | Term.Id -> (
     match input.shape with
     | Sca f -> { input with shape = Sca (fun ctx -> resolve ctx (f ctx)) }
     | Coll (Whole f) ->
       { input with shape = Coll (Whole (fun ctx -> resolve ctx (f ctx))) }
-    | Coll (Pipe _) | Duo _ -> input)
+    | Coll (Pipe _) | Coll (Cols _) | Coll (ICol _) | Duo _ -> input)
   | Term.Pi1 -> fst (as_duo st input)
   | Term.Pi2 -> snd (as_duo st input)
   | Term.Times (a, b) ->
@@ -582,9 +950,9 @@ let rec lower st (f : Term.func) (input : cv) : cv =
     let s = share st input in
     let la = lower st a s and lb = lower st b s in
     { shape = Duo (la, lb); ir = Ir.PairNode (la.ir, lb.ir) }
-  | Term.Kf c -> cv_of_value c
+  | Term.Kf c -> cv_of_value st c
   | Term.Cf (f, c) ->
-    let cc = cv_of_value c in
+    let cc = cv_of_value st c in
     lower st f { shape = Duo (cc, input); ir = Ir.PairNode (cc.ir, input.ir) }
   | Term.Con (p, a, b) ->
     let s = share st input in
@@ -619,33 +987,51 @@ let rec lower st (f : Term.func) (input : cv) : cv =
             ctx.c.tuples <- ctx.c.tuples + 1;
             List.iter emit (as_set ctx s)))
       (Ir.Flatten input.ir)
-  | Term.Iterate (p, f) ->
-    let c = as_coll input in
-    let p' = pc p and f' = fc f in
+  | Term.Iterate (p, f) -> (
     let ir =
       match (p, f) with
       | Term.Kp true, g -> Ir.Map (g, input.ir)
       | q, Term.Id -> Ir.Filter (q, input.ir)
       | q, g -> Ir.Map (g, Ir.Filter (q, input.ir))
     in
-    pipe
-      (fun ctx emit ->
-        iter_coll ctx c (fun x ->
-            ctx.c.tuples <- ctx.c.tuples + 1;
-            if p' ctx x then emit (f' ctx x)))
-      ir
-  | Term.Iter (p, f) ->
+    match as_coll input with
+    | Cols v -> lower_scan_cols st p f v ir
+    | c ->
+      let p' = pc p and f' = fc f in
+      pipe
+        (fun ctx emit ->
+          iter_coll ctx c (fun x ->
+              ctx.c.tuples <- ctx.c.tuples + 1;
+              if p' ctx x then emit (f' ctx x)))
+        ir)
+  | Term.Iter (p, f) -> (
     let e_cv, b_cv = as_duo st input in
-    let c = as_coll b_cv in
-    let p' = pc p and f' = fc f in
-    pipe
-      (fun ctx emit ->
-        let e = force ctx e_cv in
-        iter_coll ctx c (fun y ->
-            ctx.c.tuples <- ctx.c.tuples + 1;
-            let pair = Value.Pair (e, y) in
-            if p' ctx pair then emit (f' ctx pair)))
-      (Ir.IterEnv (p, f, e_cv.ir, b_cv.ir))
+    let ir = Ir.IterEnv (p, f, e_cv.ir, b_cv.ir) in
+    let generic () =
+      let c = as_coll b_cv in
+      let p' = pc p and f' = fc f in
+      pipe
+        (fun ctx emit ->
+          let e = force ctx e_cv in
+          iter_coll ctx c (fun y ->
+              ctx.c.tuples <- ctx.c.tuples + 1;
+              let pair = Value.Pair (e, y) in
+              if p' ctx pair then emit (f' ctx pair)))
+        ir
+    in
+    match as_coll b_cv with
+    | Cols v -> (
+      (* Env-free body: rebase π2-rooted paths onto the row and run the
+         columnar scan; the environment is still forced once per run so
+         its errors surface exactly as on the row path. *)
+      match (pred_reroot p, func_reroot f) with
+      | Some p_r, Some f_r ->
+        let v = vec_add_pre v (fun ctx -> ignore (force ctx e_cv)) in
+        lower_scan_cols st p_r f_r v ir
+      | _ ->
+        degrade st "iter: body reads the loop environment";
+        generic ())
+    | _ -> generic ())
   | Term.Join (p, f) -> lower_join st p f input
   | Term.Nest (f, g) -> lower_nest st f g input
   | Term.Unnest (f, g) ->
@@ -661,7 +1047,7 @@ let rec lower st (f : Term.func) (input : cv) : cv =
               (as_set ctx (fg ctx x))))
       (Ir.UnnestStage (f, g, input.ir))
   | Term.Setop op -> lower_setop st op input
-  | Term.Agg op -> lower_agg op input
+  | Term.Agg op -> lower_agg st op input
   | Term.Prim _ | Term.Arith _ -> scalar_apply f input
   | Term.Fhole h -> unsupported "pattern hole ?%s" h
 
@@ -671,7 +1057,6 @@ and lower_join st p f input =
   let f' = fc f in
   match Eval.hash_joinable p with
   | Some (kind, g1, g2, residual) ->
-    let g1' = fc g1 and g2' = fc g2 in
     let res' = Option.map pc residual in
     let ir =
       Ir.HashJoin
@@ -685,34 +1070,94 @@ and lower_join st p f input =
           build = b_cv.ir;
         }
     in
-    pipe
-      (fun ctx emit ->
-        let index : Value.t list VH.t = VH.create 1024 in
-        let add key y =
-          let prev = Option.value ~default:[] (VH.find_opt index key) in
-          VH.replace index key (y :: prev)
-        in
-        iter_coll ctx cb (fun y ->
-            ctx.c.builds <- ctx.c.builds + 1;
-            match kind with
-            | `Eq -> add (g2' ctx y) y
-            | `In -> List.iter (fun e -> add e y) (as_set ctx (g2' ctx y)));
-        iter_coll ctx ca (fun x ->
-            ctx.c.probes <- ctx.c.probes + 1;
-            match VH.find_opt index (g1' ctx x) with
-            | None -> ()
-            | Some matches ->
-              List.iter
-                (fun y ->
-                  let pair = Value.Pair (x, y) in
-                  let keep =
-                    match res' with None -> true | Some r -> r ctx pair
-                  in
-                  if keep then (
-                    ctx.c.tuples <- ctx.c.tuples + 1;
-                    emit (f' ctx pair)))
-                matches))
-      ir
+    let generic () =
+      let g1' = fc g1 and g2' = fc g2 in
+      pipe
+        (fun ctx emit ->
+          let index : Value.t list VH.t = VH.create 1024 in
+          let add key y =
+            let prev = Option.value ~default:[] (VH.find_opt index key) in
+            VH.replace index key (y :: prev)
+          in
+          iter_coll ctx cb (fun y ->
+              ctx.c.builds <- ctx.c.builds + 1;
+              match kind with
+              | `Eq -> add (g2' ctx y) y
+              | `In -> List.iter (fun e -> add e y) (as_set ctx (g2' ctx y)));
+          iter_coll ctx ca (fun x ->
+              ctx.c.probes <- ctx.c.probes + 1;
+              match VH.find_opt index (g1' ctx x) with
+              | None -> ()
+              | Some matches ->
+                List.iter
+                  (fun y ->
+                    let pair = Value.Pair (x, y) in
+                    let keep =
+                      match res' with None -> true | Some r -> r ctx pair
+                    in
+                    if keep then (
+                      ctx.c.tuples <- ctx.c.tuples + 1;
+                      emit (f' ctx pair)))
+                  matches))
+        ir
+    in
+    (match (kind, ca, cb, st.coldb) with
+    | `Eq, Cols va, Cols vb, Some coldb -> (
+      (* Unboxed keys: probe/build on int, string or row-index keys
+         instead of hashing boxed values.  [-1] row keys (refs resolving
+         to no extent row) can never match an in-extent key, so they are
+         skipped — sound as long as at most one side can produce them. *)
+      let col_join : type k. (int -> k) -> (int -> k) -> skip:(k -> bool) -> cv
+          =
+       fun ga gb ~skip ->
+        st.kernels <- st.kernels + 1;
+        pipe
+          (fun ctx emit ->
+            let tbl : (k, int list) Hashtbl.t = Hashtbl.create 1024 in
+            vec_iter ctx vb (fun j ->
+                ctx.c.builds <- ctx.c.builds + 1;
+                let key = gb j in
+                if not (skip key) then
+                  Hashtbl.replace tbl key
+                    (j
+                    ::
+                    (match Hashtbl.find_opt tbl key with
+                    | Some l -> l
+                    | None -> [])));
+            vec_iter ctx va (fun i ->
+                ctx.c.probes <- ctx.c.probes + 1;
+                let key = ga i in
+                if not (skip key) then
+                  match Hashtbl.find_opt tbl key with
+                  | None -> ()
+                  | Some js ->
+                    let x = va.rel.C.rows.(i) in
+                    List.iter
+                      (fun j ->
+                        let pair = Value.Pair (x, vb.rel.C.rows.(j)) in
+                        let keep =
+                          match res' with None -> true | Some r -> r ctx pair
+                        in
+                        if keep then (
+                          ctx.c.tuples <- ctx.c.tuples + 1;
+                          emit (f' ctx pair)))
+                      js))
+          ir
+      in
+      match (ckey_of coldb g1 va.rel, ckey_of coldb g2 vb.rel) with
+      | Some (KInt ga), Some (KInt gb) ->
+        col_join ga gb ~skip:(fun _ -> false)
+      | Some (KStr ga), Some (KStr gb) ->
+        col_join ga gb ~skip:(fun _ -> false)
+      | Some (KRow (t1, ga, tot_a)), Some (KRow (t2, gb, tot_b))
+        when String.equal t1 t2 && (tot_a || tot_b) ->
+        col_join ga gb ~skip:(fun k -> k < 0)
+      | _ ->
+        degrade st
+          (Fmt.str "join keys over %s/%s not columnar" va.rel.C.name
+             vb.rel.C.name);
+        generic ())
+    | _ -> generic ())
   | None ->
     let p' = pc p in
     pipe
@@ -787,9 +1232,132 @@ and lower_setop st op input =
 (* Under [Eager] every interpreter intermediate is a set, so Count/Sum see
    deduplicated inputs; the fused pipeline streams a bag, so those two get
    a hash dedup barrier.  Max/Min and [Deferred] mode are
-   multiplicity-indifferent / multiplicity-faithful respectively. *)
-and lower_agg op input =
-  let c = as_coll input in
+   multiplicity-indifferent / multiplicity-faithful respectively.
+
+   Columnar feeds get unboxed kernels: an int projection aggregates with
+   an int hash set as the [Eager] dedup barrier (never touching boxed
+   values), and Count over a bare scan is just the selected-row count —
+   extent rows are distinct, so dedup cannot change it.  Both fan out
+   over morsels; partials merge in morsel order, so results are identical
+   at any pool size. *)
+and lower_agg st op input =
+  match as_coll input with
+  | ICol { src; iget } ->
+    st.kernels <- st.kernels + 1;
+    { shape = Sca (icol_agg op src iget); ir = Ir.AggStage (op, input.ir) }
+  | Cols v when op = Term.Count ->
+    st.kernels <- st.kernels + 1;
+    {
+      shape =
+        Sca
+          (fun ctx ->
+            vec_pre ctx v;
+            let n = Array.length v.rel.C.rows in
+            let keep =
+              match v.vp with None -> fun _ -> true | Some k -> k
+            in
+            let chunks =
+              morsel_fold ctx ~n (fun lo hi ->
+                  let c = ref 0 in
+                  for i = lo to hi - 1 do
+                    if keep i then incr c
+                  done;
+                  !c)
+            in
+            let c = List.fold_left ( + ) 0 chunks in
+            ctx.c.tuples <- ctx.c.tuples + c;
+            Value.Int c);
+      ir = Ir.AggStage (op, input.ir);
+    }
+  | c -> lower_agg_generic op c input
+
+and icol_agg op (src : vec) (iget : int -> int) : rctx -> Value.t =
+ fun ctx ->
+  vec_pre ctx src;
+  let n = Array.length src.rel.C.rows in
+  let keep = match src.vp with None -> (fun _ -> true) | Some k -> k in
+  match op with
+  | Term.Count | Term.Sum -> (
+    match ctx.dedup with
+    | Eval.Deferred ->
+      let chunks =
+        morsel_fold ctx ~n (fun lo hi ->
+            let c = ref 0 and s = ref 0 in
+            for i = lo to hi - 1 do
+              if keep i then begin
+                incr c;
+                s := !s + iget i
+              end
+            done;
+            (!c, !s))
+      in
+      let c, s =
+        List.fold_left (fun (c, s) (c', s') -> (c + c', s + s')) (0, 0) chunks
+      in
+      ctx.c.tuples <- ctx.c.tuples + c;
+      Value.Int (match op with Term.Count -> c | _ -> s)
+    | Eval.Eager ->
+      (* the interpreter aggregates a canonical set: distinct values only *)
+      let chunks =
+        morsel_fold ctx ~n (fun lo hi ->
+            let t : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+            let c = ref 0 in
+            for i = lo to hi - 1 do
+              if keep i then begin
+                incr c;
+                Hashtbl.replace t (iget i) ()
+              end
+            done;
+            (t, !c))
+      in
+      let seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+      let sum = ref 0 and distinct = ref 0 in
+      List.iter
+        (fun (t, c) ->
+          ctx.c.tuples <- ctx.c.tuples + c;
+          Hashtbl.iter
+            (fun k () ->
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.replace seen k ();
+                incr distinct;
+                sum := !sum + k
+              end)
+            t)
+        chunks;
+      Value.Int (match op with Term.Count -> !distinct | _ -> !sum))
+  | Term.Max | Term.Min ->
+    let better = match op with Term.Max -> ( > ) | _ -> ( < ) in
+    let chunks =
+      morsel_fold ctx ~n (fun lo hi ->
+          let m = ref None and c = ref 0 in
+          for i = lo to hi - 1 do
+            if keep i then begin
+              incr c;
+              let x = iget i in
+              match !m with
+              | None -> m := Some x
+              | Some cur -> if better x cur then m := Some x
+            end
+          done;
+          (!m, !c))
+    in
+    let best =
+      List.fold_left
+        (fun acc (m, c) ->
+          ctx.c.tuples <- ctx.c.tuples + c;
+          match (acc, m) with
+          | None, m -> m
+          | Some a, Some b -> Some (if better b a then b else a)
+          | Some a, None -> Some a)
+        None chunks
+    in
+    (match best with
+    | Some v -> Value.Int v
+    | None ->
+      error "%s of empty set"
+        (match op with Term.Max -> "max" | _ -> "min"))
+
+and lower_agg_generic op c input =
   let ir = Ir.AggStage (op, input.ir) in
   let thunk =
     match op with
@@ -851,6 +1419,212 @@ and lower_agg op input =
   in
   { shape = Sca thunk; ir }
 
+(* Filter/map over a columnar scan.  The predicate folds into the scan's
+   selection (chained filters become one conjunction, tested in a single
+   pass at consumption); the projection becomes an unboxed int feed, a
+   typed emit loop (morsel-parallel — production is pure, emission is
+   sequential in morsel order), or stays on row closures, counted as a
+   degrade. *)
+and lower_scan_cols st (p : Term.pred) (f : Term.func) (v : vec) ir : cv =
+  let coldb =
+    match st.coldb with
+    | Some cd -> cd
+    | None -> assert false (* Cols values only exist under a coldb *)
+  in
+  match cpred coldb p (PRow (v.rel, fun i -> i)) with
+  | None ->
+    degrade st (Fmt.str "filter over %s not columnar" v.rel.C.name);
+    let p' = pc p and f' = fc f in
+    pipe
+      (fun ctx emit ->
+        vec_iter ctx v (fun i ->
+            ctx.c.tuples <- ctx.c.tuples + 1;
+            let x = v.rel.C.rows.(i) in
+            if p' ctx x then emit (f' ctx x)))
+      ir
+  | Some vp -> (
+    st.kernels <- st.kernels + 1;
+    let v = vec_conj v vp in
+    match f with
+    | Term.Id -> { shape = Coll (Cols v); ir }
+    | f -> (
+      match proj_of_row coldb f v.rel with
+      | Some (PInt g) -> { shape = Coll (ICol { src = v; iget = g }); ir }
+      | Some pr ->
+        let out = proj_emit pr in
+        pipe
+          (fun ctx emit ->
+            match ctx.pool with
+            | None ->
+              vec_iter ctx v (fun i ->
+                  ctx.c.tuples <- ctx.c.tuples + 1;
+                  emit (out i))
+            | Some _ ->
+              vec_pre ctx v;
+              let n = Array.length v.rel.C.rows in
+              let chunks =
+                morsel_fold ctx ~n (fun lo hi ->
+                    let acc = ref [] in
+                    (match v.vp with
+                    | None ->
+                      for i = hi - 1 downto lo do
+                        acc := out i :: !acc
+                      done
+                    | Some keep ->
+                      for i = hi - 1 downto lo do
+                        if keep i then acc := out i :: !acc
+                      done);
+                    !acc)
+              in
+              List.iter
+                (List.iter (fun x ->
+                     ctx.c.tuples <- ctx.c.tuples + 1;
+                     emit x))
+                chunks)
+          ir
+      | None ->
+        degrade st (Fmt.str "map over %s not columnar" v.rel.C.name);
+        let f' = fc f in
+        pipe
+          (fun ctx emit ->
+            vec_iter ctx v (fun i ->
+                ctx.c.tuples <- ctx.c.tuples + 1;
+                emit (f' ctx v.rel.C.rows.(i))))
+          ir))
+
+(* The fused group-join kernel: [nest(π1,π2) ∘ (unnest(π1,π2) × id) ∘
+   ⟨join(p, id × g), π1⟩] over a pair of columnar scans (probe side D,
+   build side E).  One pass over E appends each payload to a dense bucket
+   array indexed by the join key's target row; one pass over D emits every
+   probe row with its group — no boxed hashing anywhere.  The build fans
+   out over morsels when the payload is context-read-only; bucket lists
+   merge in morsel order. *)
+and lower_fused_group st (p : Term.pred) (g : Term.func) (input : cv) :
+    cv option =
+  match (st.coldb, input.shape) with
+  | Some coldb, Duo (a_cv, b_cv) -> (
+    match (a_cv.shape, b_cv.shape) with
+    | Coll (Cols vd), Coll (Cols ve) -> (
+      match Eval.hash_joinable p with
+      | Some (`Eq, g1, g2, None) -> (
+        match (ckey_of coldb g1 vd.rel, ckey_of coldb g2 ve.rel) with
+        | Some (KRow (t1, gd, tot_d)), Some (KRow (t2, ge, tot_e))
+          when String.equal t1 t2 && (tot_d || tot_e) -> (
+          match C.relation coldb t1 with
+          | None -> None
+          | Some trel ->
+            (* payload: the elements Unnest flattens out of [g e].
+               Compiled payloads only read the context (resolve/as_set
+               consult ctx.db), so they are safe to run on pool domains;
+               the fc fallback may touch memo cells and counters, so it
+               keeps the build sequential. *)
+            let parallel_ok, pay =
+              match g with
+              | Term.Compose (Term.Sng, h) -> (
+                match proj_of_row coldb h ve.rel with
+                | Some pr ->
+                  let out = proj_emit pr in
+                  (true, fun ctx j -> [ resolve ctx (out j) ])
+                | None ->
+                  let h' = fc h in
+                  ( false,
+                    fun ctx j -> [ resolve ctx (h' ctx ve.rel.C.rows.(j)) ] ))
+              | g -> (
+                match proj_of_row coldb g ve.rel with
+                | Some pr ->
+                  let out = proj_emit pr in
+                  (true, fun ctx j -> as_set ctx (out j))
+                | None ->
+                  let g' = fc g in
+                  (false, fun ctx j -> as_set ctx (g' ctx ve.rel.C.rows.(j))))
+            in
+            st.kernels <- st.kernels + 1;
+            let ir =
+              Ir.HashGroup
+                {
+                  key = Term.Pi1;
+                  payload = Term.Pi2;
+                  src =
+                    Ir.UnnestStage
+                      ( Term.Pi1,
+                        Term.Pi2,
+                        Ir.HashJoin
+                          {
+                            kind = Ir.Eq;
+                            probe_key = g1;
+                            build_key = g2;
+                            residual = None;
+                            emit = Term.Times (Term.Id, g);
+                            probe = a_cv.ir;
+                            build = b_cv.ir;
+                          } );
+                  groups = a_cv.ir;
+                }
+            in
+            let nd = Array.length trel.C.rows in
+            Some
+              (pipe
+                 (fun ctx emit ->
+                   vec_pre ctx ve;
+                   let ne = Array.length ve.rel.C.rows in
+                   let buckets = Array.make nd [] in
+                   (if parallel_ok && ctx.pool <> None then begin
+                      let keep =
+                        match ve.vp with
+                        | None -> fun _ -> true
+                        | Some k -> k
+                      in
+                      let chunks =
+                        morsel_fold ctx ~n:ne (fun lo hi ->
+                            let b = Array.make nd [] in
+                            let built = ref 0 and flowed = ref 0 in
+                            for j = lo to hi - 1 do
+                              if keep j then begin
+                                incr built;
+                                let k = ge j in
+                                if k >= 0 then begin
+                                  let xs = pay ctx j in
+                                  flowed := !flowed + List.length xs;
+                                  b.(k) <- List.rev_append xs b.(k)
+                                end
+                              end
+                            done;
+                            (b, !built, !flowed))
+                      in
+                      List.iter
+                        (fun (b, built, flowed) ->
+                          ctx.c.builds <- ctx.c.builds + built;
+                          ctx.c.tuples <- ctx.c.tuples + flowed;
+                          Array.iteri
+                            (fun k l ->
+                              if l <> [] then
+                                buckets.(k) <- List.rev_append l buckets.(k))
+                            b)
+                        chunks
+                    end
+                    else
+                      vec_iter ctx ve (fun j ->
+                          ctx.c.builds <- ctx.c.builds + 1;
+                          let k = ge j in
+                          if k >= 0 then begin
+                            let xs = pay ctx j in
+                            ctx.c.tuples <- ctx.c.tuples + List.length xs;
+                            buckets.(k) <- List.rev_append xs buckets.(k)
+                          end));
+                   vec_iter ctx vd (fun i ->
+                       ctx.c.probes <- ctx.c.probes + 1;
+                       let k = gd i in
+                       let grp =
+                         if k >= 0 && k < nd then buckets.(k) else []
+                       in
+                       emit
+                         (Value.Pair (vd.rel.C.rows.(i), collection ctx grp))))
+                 ir))
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 
 type compiled = {
@@ -859,35 +1633,60 @@ type compiled = {
   ir : Ir.node;
   pipe_slots : int;
   val_slots : int;
+  coldb : C.db option;
+  kernels : int;
+  degrades : string list;
 }
 
 let ir c = c.ir
 let compiled_query c = c.query
+let col_kernels c = c.kernels
+let col_degrades c = c.degrades
 
-let compile (q : Term.query) : compiled =
+let compile ?coldb (q : Term.query) : compiled =
   Telemetry.span ~cat:"exec" "exec.compile" @@ fun () ->
-  let st = { pipe_slots = 0; val_slots = 0 } in
-  let plan = lower st q.Term.body (cv_of_value q.Term.arg) in
+  let st =
+    { pipe_slots = 0; val_slots = 0; coldb; kernels = 0; degrades = [] }
+  in
+  let plan = lower st q.Term.body (cv_of_value st q.Term.arg) in
+  if Telemetry.enabled () then begin
+    Telemetry.count ~n:st.kernels "exec.col_kernels";
+    Telemetry.count ~n:(List.length st.degrades) "exec.col_degrades"
+  end;
   {
     query = q;
     plan;
     ir = plan.ir;
     pipe_slots = st.pipe_slots;
     val_slots = st.val_slots;
+    coldb;
+    kernels = st.kernels;
+    degrades = List.rev st.degrades;
   }
 
-let compile_opt q =
-  match compile q with
+let compile_opt ?coldb q =
+  match compile ?coldb q with
   | c -> Ok c
   | exception Unsupported reason -> Error reason
 
-let execute ?(dedup = Eval.Eager) ~db (c : compiled) : Value.t * counters =
+let execute ?(dedup = Eval.Eager) ?pool ~db (c : compiled) :
+    Value.t * counters =
+  (match c.coldb with
+  | Some cd when not (C.source cd == db) ->
+    (* Column indexes are physical row positions in the database the plan
+       was compiled against; running over anything else would silently
+       read the wrong store. *)
+    error
+      "columnar plan executed against a different database — recompile \
+       against its columnar view"
+  | _ -> ());
   let ctx =
     {
       db;
       dedup;
       pipes = Array.make (max 1 c.pipe_slots) None;
       vals = Array.make (max 1 c.val_slots) None;
+      pool;
       c = fresh_counters ();
     }
   in
@@ -901,12 +1700,16 @@ let execute ?(dedup = Eval.Eager) ~db (c : compiled) : Value.t * counters =
            only its distinct elements — the canonical set comes out
            identical to the interpreter's either way.  On a mostly
            distinct stream the table pays a hash per element and saves
-           nothing, so once a 4k-element prefix shows <25% duplicates
-           the table is dropped and the final [Value.set] sort-uniqs the
-           raw stream, which is exactly the interpreter's cost. *)
+           nothing, so the duplicate ratio is checked on geometrically
+           growing prefixes (256, 512, ...): a distinct-heavy stream
+           drops the table within the first few hundred elements instead
+           of hashing a 4k prefix first, and the final [Value.set]
+           sort-uniqs the raw stream, which is exactly the interpreter's
+           cost. *)
         let seen = VH.create 1024 in
         let deduping = ref true in
         let inspected = ref 0 in
+        let next_check = ref 256 in
         let acc = ref [] in
         p ctx (fun x ->
             if !deduping then begin
@@ -914,25 +1717,27 @@ let execute ?(dedup = Eval.Eager) ~db (c : compiled) : Value.t * counters =
               VH.replace seen x ();
               if VH.length seen <> before then acc := x :: !acc;
               incr inspected;
-              if
-                !inspected land 4095 = 0
-                && 4 * VH.length seen > 3 * !inspected
-              then begin
-                deduping := false;
-                VH.reset seen
+              if !inspected = !next_check then begin
+                if 4 * VH.length seen > 3 * !inspected then begin
+                  deduping := false;
+                  VH.reset seen
+                end
+                else next_check := 2 * !next_check
               end
             end
             else acc := x :: !acc);
         Value.set !acc
       | Eval.Deferred -> Eval.finalize (Value.Bag (drain ctx p)))
     | _ -> (
+      (* [force] canonicalises columnar terminals under Eager too *)
       let v = force ctx c.plan in
       match dedup with Eval.Eager -> v | Eval.Deferred -> Eval.finalize v)
   in
   if Telemetry.enabled () then (
     Telemetry.count ~n:ctx.c.tuples "exec.tuples";
     Telemetry.count ~n:ctx.c.probes "exec.probes";
-    Telemetry.count ~n:ctx.c.builds "exec.builds");
+    Telemetry.count ~n:ctx.c.builds "exec.builds";
+    if ctx.c.morsels > 0 then Telemetry.count ~n:ctx.c.morsels "exec.morsels");
   (v, ctx.c)
 
 (* ------------------------------------------------------------------ *)
@@ -963,6 +1768,11 @@ type stats = {
   builds : int;
   stages : int;
   scalar_nodes : int;
+  layout : layout;            (** store layout the plan was compiled for *)
+  jobs : int;                 (** pool size morsel kernels could fan out to *)
+  morsels : int;              (** chunks dispatched by columnar kernels *)
+  col_kernels : int;          (** operators lowered to column kernels *)
+  col_degrades : string list; (** columnar inputs kept on row closures *)
 }
 
 let fallbacks = Atomic.make 0
@@ -985,15 +1795,35 @@ let run_interp ~backend ~dedup ~db q =
       builds = 0;
       stages = 0;
       scalar_nodes = 0;
+      layout = Row;
+      jobs = 1;
+      morsels = 0;
+      col_kernels = 0;
+      col_degrades = [];
     } )
 
-let run ?(backend = Compiled) ?(dedup = Eval.Eager) ~db (q : Term.query) :
-    Value.t * stats =
+(* Borrow the caller's pool, or spin one up for the duration of [k] when
+   more than one job is asked for.  [jobs = 1] never spawns a domain. *)
+let with_exec_pool ?pool ~jobs k =
+  match pool with
+  | Some p -> k (Some p)
+  | None ->
+    if jobs <= 1 then k None
+    else Pool.with_pool ~jobs (fun p -> k (Some p))
+
+let run ?(backend = Compiled) ?(dedup = Eval.Eager) ?(layout = Row)
+    ?(jobs = 1) ?pool ?coldb ~db (q : Term.query) : Value.t * stats =
   match backend with
   | Interp b -> run_interp ~backend:b ~dedup ~db q
   | Compiled -> (
+    let coldb =
+      match layout with
+      | Row -> None
+      | Columnar -> (
+        match coldb with Some _ as cd -> cd | None -> Some (C.of_db db))
+    in
     let t0 = Telemetry.now () in
-    match compile q with
+    match compile ?coldb q with
     | exception Unsupported reason ->
       Atomic.incr fallbacks;
       Telemetry.count "exec.fallback";
@@ -1001,7 +1831,8 @@ let run ?(backend = Compiled) ?(dedup = Eval.Eager) ~db (q : Term.query) :
       (v, { s with fell_back = true; fallback_reason = Some reason })
     | c ->
       let t1 = Telemetry.now () in
-      let v, counters = execute ~dedup ~db c in
+      with_exec_pool ?pool ~jobs @@ fun pool ->
+      let v, counters = execute ~dedup ?pool ~db c in
       let t2 = Telemetry.now () in
       ( v,
         {
@@ -1015,6 +1846,11 @@ let run ?(backend = Compiled) ?(dedup = Eval.Eager) ~db (q : Term.query) :
           builds = counters.builds;
           stages = Ir.stages c.ir;
           scalar_nodes = Ir.scalar_nodes c.ir;
+          layout;
+          jobs = (match pool with Some p -> Pool.size p | None -> 1);
+          morsels = counters.morsels;
+          col_kernels = c.kernels;
+          col_degrades = c.degrades;
         } ))
 
 (* Results are compared modulo set ordering, deferred bags, and Named
@@ -1027,10 +1863,15 @@ let agree ~db a b =
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
-    "backend=%s%s compile=%.1fus run=%.1fus stages=%d scalar-nodes=%d \
-     tuples=%d probes=%d builds=%d"
+    "backend=%s%s layout=%s jobs=%d compile=%.1fus run=%.1fus stages=%d \
+     scalar-nodes=%d tuples=%d probes=%d builds=%d col-kernels=%d \
+     morsels=%d%s"
     (backend_name s.backend)
     (match s.fallback_reason with
     | Some r when s.fell_back -> Fmt.str " (fell back: %s)" r
     | _ -> "")
-    s.compile_us s.run_us s.stages s.scalar_nodes s.tuples s.probes s.builds
+    (layout_name s.layout) s.jobs s.compile_us s.run_us s.stages
+    s.scalar_nodes s.tuples s.probes s.builds s.col_kernels s.morsels
+    (match s.col_degrades with
+    | [] -> ""
+    | ds -> Fmt.str " degrades=[%s]" (String.concat "; " ds))

@@ -15,28 +15,51 @@ type counters = {
   mutable tuples : int;  (** elements flowing through pipeline stages *)
   mutable probes : int;  (** hash-table lookups (joins, set ops, groups) *)
   mutable builds : int;  (** hash-table inserts (build sides, groups) *)
+  mutable morsels : int; (** chunks dispatched by columnar kernels *)
 }
+
+(** {1 Store layout} *)
+
+type layout = Row | Columnar
+
+val layout_name : layout -> string
+val layout_of_string : string -> (layout, string) result
 
 (** {1 Compilation} *)
 
 type compiled
 
-val compile : Term.query -> compiled
-(** Lower a query into closures + an {!Ir.node} description.
+val compile : ?coldb:Colstore.db -> Term.query -> compiled
+(** Lower a query into closures + an {!Ir.node} description.  With
+    [coldb], extent scans bind to its columnar relations and eligible
+    operators lower to column kernels (vectorised filters, unboxed
+    aggregates, int-keyed joins, the fused group-join); everything else
+    keeps the row closures, counted in {!col_degrades}.
     @raise Unsupported on holes; never raises on ground plans. *)
 
-val compile_opt : Term.query -> (compiled, string) result
+val compile_opt : ?coldb:Colstore.db -> Term.query -> (compiled, string) result
 
 val ir : compiled -> Ir.node
 val compiled_query : compiled -> Term.query
 
+val col_kernels : compiled -> int
+(** Operators lowered to column kernels (0 on row-layout plans). *)
+
+val col_degrades : compiled -> string list
+(** Reasons columnar inputs stayed on row closures, in lowering order. *)
+
 val execute :
-  ?dedup:Eval.dedup -> db:(string * Value.t) list -> compiled ->
-  Value.t * counters
+  ?dedup:Eval.dedup -> ?pool:Kola_parallel.Pool.t ->
+  db:(string * Value.t) list -> compiled -> Value.t * counters
 (** Run a compiled plan.  Under [Eager] the final set is built by a
     streaming hash dedup (only distinct elements are sorted); under
     [Deferred] the raw stream is finalized exactly like {!Eval.run}.
-    @raise Eval.Error with the interpreter's messages on ill-typed data. *)
+    With [pool], pure columnar kernels fan out over fixed-size morsels;
+    morsel boundaries and merge order never depend on the pool size, so
+    results are bit-identical at any [jobs].
+    @raise Eval.Error with the interpreter's messages on ill-typed data,
+    and when a columnar plan is executed against a database other than
+    the one its column store was materialized from. *)
 
 (** {1 Backend selection} *)
 
@@ -58,15 +81,28 @@ type stats = {
   builds : int;
   stages : int;        (** pipeline stages in the compiled IR *)
   scalar_nodes : int;  (** spine nodes compiled as scalar closures *)
+  layout : layout;     (** store layout the plan was compiled for *)
+  jobs : int;          (** pool size morsel kernels could fan out to *)
+  morsels : int;       (** chunks dispatched by columnar kernels *)
+  col_kernels : int;   (** operators lowered to column kernels *)
+  col_degrades : string list;
+      (** columnar inputs kept on row closures, with reasons *)
 }
 
 val run :
-  ?backend:backend -> ?dedup:Eval.dedup -> db:(string * Value.t) list ->
-  Term.query -> Value.t * stats
+  ?backend:backend -> ?dedup:Eval.dedup -> ?layout:layout -> ?jobs:int ->
+  ?pool:Kola_parallel.Pool.t -> ?coldb:Colstore.db ->
+  db:(string * Value.t) list -> Term.query -> Value.t * stats
 (** Execute a query under the chosen backend (default [Compiled]).  A
     compiled run that raises {!Unsupported} is retried on the hashed
     interpreter with [fell_back] set; the fallback is counted globally and
-    in telemetry ([exec.fallback]). *)
+    in telemetry ([exec.fallback]).
+
+    [layout = Columnar] compiles against [coldb] (materialized from [db]
+    with {!Kola.Colstore.of_db} when not supplied).  [jobs > 1] lets pure
+    columnar kernels fan out over a transient pool of that many domains;
+    passing [pool] instead reuses a caller-owned pool (and [jobs] is
+    ignored).  Results are identical across layouts and pool sizes. *)
 
 val fallback_count : unit -> int
 (** Process-wide count of compiled runs that fell back to the

@@ -135,13 +135,15 @@ let run ~db (r : report) : Value.t =
    the plan into loop closures instead (falling back to the interpreter
    on unsupported plans, recorded in the stats).  The dedup dimension
    always follows the chosen plan — it is part of what was costed. *)
-let execute ?backend ~db (r : report) : Value.t * Kola_exec.Exec.stats =
+let execute ?backend ?layout ?jobs ?pool ?coldb ~db (r : report) :
+    Value.t * Kola_exec.Exec.stats =
   let backend =
     match backend with
     | Some b -> b
     | None -> Kola_exec.Exec.Interp r.chosen.backend
   in
-  Kola_exec.Exec.run ~backend ~dedup:r.chosen.dedup ~db r.chosen.query
+  Kola_exec.Exec.run ~backend ~dedup:r.chosen.dedup ?layout ?jobs ?pool ?coldb
+    ~db r.chosen.query
 
 let pp_report ppf (r : report) =
   Option.iter (fun s -> Fmt.pf ppf "OQL:        %s@." s) r.source;

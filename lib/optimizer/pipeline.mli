@@ -59,6 +59,10 @@ val run : db:(string * Kola.Value.t) list -> report -> Kola.Value.t
 
 val execute :
   ?backend:Kola_exec.Exec.backend ->
+  ?layout:Kola_exec.Exec.layout ->
+  ?jobs:int ->
+  ?pool:Kola_parallel.Pool.t ->
+  ?coldb:Kola.Colstore.db ->
   db:(string * Kola.Value.t) list ->
   report ->
   Kola.Value.t * Kola_exec.Exec.stats
@@ -66,6 +70,9 @@ val execute :
     default is the interpreter backend the optimizer chose;
     [~backend:Compiled] runs the fused-loop closures instead, falling
     back to the interpreter on unsupported plans (recorded in the
-    stats).  Dedup always follows the chosen plan. *)
+    stats).  Dedup always follows the chosen plan.  [layout], [jobs],
+    [pool] and [coldb] are forwarded to {!Kola_exec.Exec.run}: under
+    [Columnar] the compiled backend binds extent scans to the columnar
+    store and fans pure kernels out over morsels. *)
 
 val pp_report : report Fmt.t

@@ -94,6 +94,10 @@ let ocache_clear oc =
 
 type t = {
   db : (string * Kola.Value.t) list;
+  coldb : Kola.Colstore.db;
+      (* the columnar view of [db], materialized once at startup and
+         shared by every columnar execute request (rows shared with the
+         boxed store, so a request can never see a different database) *)
   cache : Cost.cache;
   hc_cache : Cost.hc_cache;
   plan_cache : Cost.plan_cache;
@@ -119,6 +123,7 @@ let create ?(params = default_params) () =
   in
   {
     db = Datagen.Store.db store;
+    coldb = Datagen.Store.columnar store;
     cache = Cost.cache ();
     hc_cache = Cost.hc_cache ();
     plan_cache = Cost.plan_cache ();
@@ -281,13 +286,19 @@ let explain_core t (r : Protocol.optimize) :
   | Protocol.Paper _ ->
     Error "explain requires an OQL \"query\" (the pipeline starts at OQL)"
   | Protocol.Oql text -> (
-    (* The execute mode is outcome-affecting (the response embeds which
-       backend ran and its loop counters), so it is part of the key. *)
+    (* The execute mode, layout and jobs are outcome-affecting (the
+       response embeds which backend ran, its loop counters, and the
+       morsel count — which depends on how many domains could fan out),
+       so all three are part of the key. *)
     let key =
-      Printf.sprintf "explain|%s|%s" text
+      Printf.sprintf "explain|%s|%s|%s|%d" text
         (match r.Protocol.execute with
         | None -> "-"
         | Some b -> Kola_exec.Exec.backend_name b)
+        (match r.Protocol.layout with
+        | None -> "-"
+        | Some l -> Kola_exec.Exec.layout_name l)
+        r.Protocol.jobs
     in
     match ocache_find t.outcomes key with
     | Some core -> Ok (core, `Hit)
@@ -304,14 +315,35 @@ let explain_core t (r : Protocol.optimize) :
         match r.Protocol.execute with
         | None -> []
         | Some backend ->
-          let _, st = Optimizer.Pipeline.execute ~backend ~db:t.db report in
+          let coldb =
+            match r.Protocol.layout with
+            | Some Kola_exec.Exec.Columnar -> Some t.coldb
+            | Some Kola_exec.Exec.Row | None -> None
+          in
+          let execute () =
+            Optimizer.Pipeline.execute ~backend ?layout:r.Protocol.layout
+              ~jobs:r.Protocol.jobs ?coldb ~db:t.db report
+          in
+          let _, st =
+            (* Like search: a request that fans out over domains takes
+               the single-submitter pool lease, serializing against other
+               parallel requests. *)
+            if r.Protocol.jobs = 1 || coldb = None then execute ()
+            else Mutex.protect t.pool_lease execute
+          in
           [
             ("execute", jstr (Kola_exec.Exec.backend_name st.Kola_exec.Exec.backend));
             ("fell_back", Json.Bool st.Kola_exec.Exec.fell_back);
+            ("layout", jstr (Kola_exec.Exec.layout_name st.Kola_exec.Exec.layout));
+            ("exec_jobs", jint st.Kola_exec.Exec.jobs);
             ("exec_tuples", jint st.Kola_exec.Exec.tuples);
             ("exec_probes", jint st.Kola_exec.Exec.probes);
             ("exec_builds", jint st.Kola_exec.Exec.builds);
             ("exec_stages", jint st.Kola_exec.Exec.stages);
+            ("col_kernels", jint st.Kola_exec.Exec.col_kernels);
+            ("morsels", jint st.Kola_exec.Exec.morsels);
+            ( "col_degrades",
+              Json.Arr (List.map jstr st.Kola_exec.Exec.col_degrades) );
           ]
       in
       let core =

@@ -47,6 +47,7 @@ type optimize = {
   telemetry : bool;
   explain : bool;
   execute : Kola_exec.Exec.backend option;
+  layout : Kola_exec.Exec.layout option;
   sleep_ms : int;
 }
 
@@ -151,6 +152,22 @@ let optimize_of_json json =
         else Ok (Some b)
       | Error msg -> Error msg)
   in
+  let* layout =
+    let* v = opt_field json "layout" Json.str "a string" in
+    match v with
+    | None -> Ok None
+    | Some s -> (
+      (* Same parser as kolaopt's --layout, so CLI and wire requests
+         reject the same names with the same message. *)
+      match Kola_exec.Exec.layout_of_string s with
+      | Ok l ->
+        if execute = None then
+          Error
+            "field \"layout\" requires \"execute\" (the layout selects how \
+             the chosen plan is executed)"
+        else Ok (Some l)
+      | Error msg -> Error msg)
+  in
   let* sleep_ms =
     int_field json "sleep_ms" ~default:0 (nonneg_int ~what:"\"sleep_ms\"")
   in
@@ -169,6 +186,7 @@ let optimize_of_json json =
          telemetry;
          explain;
          execute;
+         layout;
          sleep_ms;
        })
 

@@ -58,6 +58,12 @@ type optimize = {
       (** with [explain]: also execute the chosen plan through this
           backend and report execution stats; [compiled] falls back to
           the interpreter on unsupported plans (reported, never wrong) *)
+  layout : Kola_exec.Exec.layout option;
+      (** with [execute]: store layout for the run — ["columnar"] binds
+          the plan to the daemon's preloaded column store (eligible
+          operators run as column kernels, [jobs] domains fan pure
+          kernels over morsels); results are identical across layouts
+          and jobs counts *)
   sleep_ms : int;
       (** debug lever: hold the worker for this long before answering —
           lets tests and the smoke drive the admission gate

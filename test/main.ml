@@ -40,4 +40,5 @@ let () =
       ("telemetry (spans, counters, deadlines)", Test_telemetry.tests);
       ("server (kolaoptd serving layer)", Test_server.tests);
       ("exec (compiled backend)", Test_exec.tests);
+      ("columnar (column store + morsel kernels)", Test_columnar.tests);
     ]
