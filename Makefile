@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check serve-smoke bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph bench-serve bench-exec baseline trace-demo clean
+.PHONY: all build test check certify-packs serve-smoke bench bench-fast bench-smoke bench-parallel bench-hashcons bench-egraph bench-serve bench-exec baseline trace-demo clean
 
 all: build
 
@@ -14,7 +14,12 @@ test:
 # and the serving smoke (daemon end-to-end: engines, malformed input,
 # overload rejection, telemetry, clean shutdown).
 check:
-	dune build && dune runtest && dune build @bench-smoke && $(MAKE) serve-smoke
+	dune build && dune runtest && dune build @bench-smoke && $(MAKE) certify-packs && $(MAKE) serve-smoke
+
+# Cold-cache certification of every committed COKO rule pack: exhaustive
+# small-scope checking, exit 3 on the first pack with an uncertified rule.
+certify-packs:
+	dune exec bin/kolaopt.exe -- certify coko/*.coko
 
 # In-process daemon smoke: one request per engine plus a malformed line
 # and a deterministic overload, asserting a clean shutdown.

@@ -1325,7 +1325,10 @@ module Exec_bench = struct
                   query = name;
                   size;
                   layout = Exec.layout_name layout;
-                  jobs = st.Exec.jobs;
+                  (* the requested grid cell, not [st.Exec.jobs]: below
+                     one morsel the executor now declines the pool, and
+                     the tiny-input pin below must still find the cell *)
+                  jobs;
                   interp_ms = Option.map (fun (_, s) -> s *. 1e3) interp;
                   compiled_ms = compiled_s *. 1e3;
                   compile_us = st.Exec.compile_us;
@@ -1409,6 +1412,30 @@ module Exec_bench = struct
               "exec bench: rich_mentors compiled regressed below the \
                interpreter at %d (%.2fx)"
               r.size s
+          | _ -> ())
+      rows;
+    (* The PR-10 regression pin: below one morsel (65 536 rows) nothing
+       can fan out, so extra jobs must cost (almost) nothing.  The seed
+       paid a transient domain-pool spawn/join per run and clocked
+       0.15-0.21x at 10^3.  A small absolute slack keeps sub-0.1 ms
+       cells from tripping on scheduler noise. *)
+    let one_morsel = 65_536 in
+    List.iter
+      (fun r ->
+        if r.layout = "columnar" && r.jobs > 1 && r.size <= one_morsel then
+          match
+            List.find_opt
+              (fun b ->
+                b.query = r.query && b.size = r.size && b.layout = r.layout
+                && b.jobs = 1)
+              rows
+          with
+          | Some base
+            when r.compiled_ms > (2.0 *. base.compiled_ms) +. 0.05 ->
+            Fmt.failwith
+              "exec bench: %s at %d (%s) pays parallel dispatch below one \
+               morsel: jobs=%d %.3f ms vs jobs=1 %.3f ms"
+              r.query r.size r.layout r.jobs r.compiled_ms base.compiled_ms
           | _ -> ())
       rows
 

@@ -39,6 +39,27 @@ let handle_errors f =
   | Kola.Eval.Error msg | Aqua.Eval.Error msg ->
     Fmt.epr "evaluation error: %s@." msg;
     exit 1
+  | Coko.Syntax.Error msg ->
+    Fmt.epr "coko error: %s@." msg;
+    exit 1
+
+(* Load a .coko rule pack and gate it through the certifier (persisted
+   cache at [cache_path] when given).  Admission is all-or-nothing: any
+   refuted or vacuous rule prints every failing verdict and exits 3 —
+   a bad rule is never silently dropped. *)
+let admit_pack ?cache_path ?strategy path =
+  let cache =
+    match cache_path with
+    | Some p -> Rules.Cert.Cache.load p
+    | None -> Rules.Cert.Cache.in_memory ()
+  in
+  let outcome = Coko.Pack.admit ?strategy ~cache (Coko.Pack.load path) in
+  Rules.Cert.Cache.save cache;
+  match outcome with
+  | Ok a -> (a, cache)
+  | Error a ->
+    Fmt.epr "%a@." Coko.Pack.pp_rejection a;
+    exit 3
 
 let explain_cmd =
   let run src store =
@@ -470,8 +491,30 @@ let search_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OQL" ~doc:"An OQL query over extents P, V, A.")
   in
+  let rules_pack =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"PACK.coko"
+          ~doc:
+            "Load a COKO rule pack and search with its rules shadowing \
+             same-named catalog rules (new rules extend the catalog).  \
+             Every pack rule must pass certification first; a refuted or \
+             vacuous rule rejects the whole pack (exit 3) with its \
+             counterexample.")
+  in
+  let cert_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert-cache" ] ~docv:"FILE"
+          ~doc:
+            "Persisted certificate cache for --rules: verdicts are keyed \
+             by rule fingerprint and certifier version, so re-admitting an \
+             unchanged pack is O(1).")
+  in
   let run src store depth states naive jobs legacy_terms engine trace stats
-      deadline node_budget iter_budget paper =
+      deadline node_budget iter_budget paper rules_pack cert_cache =
     handle_errors (fun () ->
         let db = Datagen.Store.db store in
         let q =
@@ -494,10 +537,29 @@ let search_cmd =
                 iter_budget;
           }
         in
+        let pack =
+          Option.map
+            (fun path -> admit_pack ?cache_path:cert_cache path)
+            rules_pack
+        in
+        let rules =
+          match pack with
+          | None -> Optimizer.Search.default_config.rules
+          | Some (a, cache) ->
+            List.iter
+              (fun v -> Fmt.pr "pack: %a@." Rules.Cert.pp_verdict v)
+              a.Coko.Pack.verdicts;
+            Fmt.pr "pack: cert cache %d hits, %d misses@."
+              (Rules.Cert.Cache.hits cache)
+              (Rules.Cert.Cache.misses cache);
+            Coko.Pack.shadow ~base:Rules.Catalog.all
+              (Coko.Pack.rules a.Coko.Pack.pack)
+        in
         let config =
           {
             Optimizer.Search.default_config with
             engine;
+            rules;
             max_depth = depth;
             max_states = states;
             indexed = not naive;
@@ -536,6 +598,20 @@ let search_cmd =
         Fmt.pr "derivation: %a@."
           Fmt.(list ~sep:comma string)
           o.Optimizer.Search.best.Optimizer.Search.path;
+        (match pack with
+        | None -> ()
+        | Some (a, _) ->
+          let path = o.Optimizer.Search.best.Optimizer.Search.path in
+          List.iter
+            (fun (r : Rewrite.Rule.t) ->
+              let fired =
+                List.length
+                  (List.filter (String.equal r.Rewrite.Rule.name) path)
+              in
+              Fmt.pr "pack: rule %s fired %d time%s on the winning path@."
+                r.Rewrite.Rule.name fired
+                (if fired = 1 then "" else "s"))
+            (Coko.Pack.rules a.Coko.Pack.pack));
         Fmt.pr "best plan (cost %.1f):@.  %a@."
           o.Optimizer.Search.best.Optimizer.Search.cost Kola.Pretty.pp_query
           o.Optimizer.Search.best.Optimizer.Search.query;
@@ -560,7 +636,60 @@ let search_cmd =
     Term.(
       const run $ query_opt $ store_term $ depth $ states $ naive $ jobs
       $ legacy_terms $ engine $ trace $ stats $ deadline $ node_budget
-      $ iter_budget $ paper)
+      $ iter_budget $ paper $ rules_pack $ cert_cache)
+
+(* [kolaopt certify PACK.coko ...] — the admission gate as a standalone
+   command, used by [make certify-packs] to keep every committed pack
+   certified from a cold cache. *)
+let certify_cmd =
+  let packs =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"PACK.coko" ~doc:"COKO rule packs to certify.")
+  in
+  let cache_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert-cache" ] ~docv:"FILE"
+          ~doc:"Persisted certificate cache (omit for a cold run).")
+  in
+  let sampled =
+    Arg.(
+      value & flag
+      & info [ "sampled" ]
+          ~doc:
+            "Use the randomized checker only, instead of exhaustive \
+             small-scope certification with sampled fallback.")
+  in
+  let run packs cache_path sampled =
+    handle_errors (fun () ->
+        let strategy = if sampled then `Sampled else `Auto in
+        (* [admit_pack] exits 3 itself on a rejected pack, so reaching the
+           end of the loop means every pack certified. *)
+        List.iter
+          (fun path ->
+            let a, cache = admit_pack ?cache_path ~strategy path in
+            Fmt.pr "%s: %d rule%s admitted@."
+              (Coko.Pack.name a.Coko.Pack.pack)
+              (List.length a.Coko.Pack.verdicts)
+              (if List.length a.Coko.Pack.verdicts = 1 then "" else "s");
+            List.iter
+              (fun v -> Fmt.pr "  %a@." Rules.Cert.pp_verdict v)
+              a.Coko.Pack.verdicts;
+            Fmt.pr "  cert cache: %d hits, %d misses@."
+              (Rules.Cert.Cache.hits cache)
+              (Rules.Cert.Cache.misses cache))
+          packs)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certify COKO rule packs: exhaustive small-scope checking within \
+          budget, randomized otherwise.  Exits 3 on the first rejected \
+          pack, printing each failing rule's counterexample.")
+    Term.(const run $ packs $ cache_path $ sampled)
 
 let main =
   Cmd.group
@@ -568,7 +697,7 @@ let main =
        ~doc:"Rule-based query optimization over the KOLA combinator algebra.")
     [
       explain_cmd; run_cmd; rules_cmd; untangle_cmd; translate_cmd; coko_cmd;
-      search_cmd;
+      search_cmd; certify_cmd;
     ]
 
 let () = exit (Cmd.eval main)

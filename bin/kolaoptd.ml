@@ -77,9 +77,28 @@ let serve_cmd =
     Arg.(value & opt int 30 & info [ "vehicles" ] ~doc:"Number of vehicles in V.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
-  let run socket workers queue outcome_capacity people vehicles seed =
+  let cert_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert-cache" ] ~docv:"FILE"
+          ~doc:
+            "Persisted certificate cache for rule-pack admission: verdicts \
+             are keyed by rule fingerprint and certifier version, so a \
+             known pack re-admits in O(1) even across daemon restarts.")
+  in
+  let run socket workers queue outcome_capacity people vehicles seed cert_cache
+      =
     let params =
-      { Daemon.workers; queue; people; vehicles; seed; outcome_capacity }
+      {
+        Daemon.workers;
+        queue;
+        people;
+        vehicles;
+        seed;
+        outcome_capacity;
+        cert_cache;
+      }
     in
     let t = Daemon.create ~params () in
     let stop _ = Daemon.request_stop t in
@@ -99,7 +118,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the optimizer daemon on a Unix-domain socket.")
     Term.(
       const run $ socket_arg $ workers $ queue $ outcome_capacity $ people
-      $ vehicles $ seed)
+      $ vehicles $ seed $ cert_cache)
 
 (* ------------------------------------------------------------------ *)
 (* request *)
@@ -205,15 +224,38 @@ let request_cmd =
             "With --execute: store layout (row or columnar); columnar binds \
              the plan to the daemon's preloaded column store.")
   in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"PACK.coko"
+          ~doc:
+            "Read this COKO rule pack and send its source inline in the \
+             request's $(b,rules) field — the daemon certifies the pack \
+             before searching with it (rejections come back with each \
+             failing rule's counterexample).")
+  in
   let run socket query paper cmd raw engine depth states jobs deadline
-      node_budget iter_budget telemetry explain execute layout =
+      node_budget iter_budget telemetry explain execute layout rules =
+    let rules_source =
+      (* Read the pack here — the daemon never touches client files; the
+         wire carries the source text itself. *)
+      match rules with
+      | None -> Ok None
+      | Some path -> (
+        match In_channel.with_open_bin path In_channel.input_all with
+        | source -> Ok (Some source)
+        | exception Sys_error msg ->
+          Error (Fmt.str "--rules: cannot read %s: %s" path msg))
+    in
     let request_json =
-      match raw with
-      | Some line -> (
+      match (raw, rules_source) with
+      | _, Error msg -> Error msg
+      | Some line, _ -> (
         match Json.parse_result line with
         | Ok j -> Ok j
         | Error msg -> Error (Fmt.str "--json is not valid JSON: %s" msg))
-      | None -> (
+      | None, Ok rules_source -> (
         match cmd with
         | Some c -> Ok (Json.Obj [ ("cmd", Json.Str c) ])
         | None ->
@@ -245,6 +287,7 @@ let request_cmd =
                      (if explain then Some ("explain", Json.Bool true) else None);
                      Option.map (fun b -> ("execute", Json.Str b)) execute;
                      Option.map (fun l -> ("layout", Json.Str l)) layout;
+                     Option.map (fun s -> ("rules", Json.Str s)) rules_source;
                    ]))
             source)
     in
@@ -275,7 +318,7 @@ let request_cmd =
     Term.(
       const run $ socket_arg $ query_opt $ paper $ cmd $ raw $ engine $ depth
       $ states $ jobs $ deadline $ node_budget $ iter_budget $ telemetry
-      $ explain $ execute $ layout)
+      $ explain $ execute $ layout $ rules)
 
 (* ------------------------------------------------------------------ *)
 (* smoke: an in-process end-to-end exercise of the serving path, small
@@ -487,6 +530,47 @@ let smoke_cmd =
     in
     check "layout without execute is rejected by validation"
       (status bad_layout = Some "error");
+    (* Rule-pack admission: an inline COKO pack must certify, be served,
+       and memoize by digest; an unsound pack must come back rejected
+       with its counterexample — never silently dropped. *)
+    let good_pack =
+      "GIVEN injective(?f)\n\
+       RULE smoke-inter: inter o (iterate(Kp(T), ?f) x iterate(Kp(T), ?f)) \
+       --> iterate(Kp(T), ?f) o inter\n"
+    in
+    let pack_req id pack =
+      Daemon.Client.request c
+        (Json.Obj
+           [
+             ("id", Json.Num (float_of_int id));
+             ("paper", Json.Str "t1k");
+             ("rules", Json.Str pack);
+           ])
+    in
+    let p1 = pack_req 13 good_pack in
+    check "certified pack answers ok with per-rule verdicts"
+      (status p1 = Some "ok"
+      && field p1 "pack_rules" <> None
+      && field p1 "pack_fired" <> None);
+    let p2 = pack_req 14 good_pack in
+    check "re-sent pack hits the outcome cache"
+      (status p2 = Some "ok"
+      && Option.bind (field p2 "outcome_cache") Json.str = Some "hit");
+    let bad_pack =
+      "RULE smoke-r13: ?p (+) <?f, Kf(?k)> --> Cp(?p^-1, ?k) (+) ?f\n"
+    in
+    let p3 = pack_req 15 bad_pack in
+    check "unsound pack is rejected with a counterexample"
+      (status p3 = Some "rejected"
+      &&
+      match field p3 "rules" with
+      | Some (Json.Arr [ v ]) -> (
+        Json.mem "ok" v = Some (Json.Bool false)
+        &&
+        match Option.bind (Json.mem "reason" v) Json.str with
+        | Some reason -> contains reason "?f :="
+        | None -> false)
+      | _ -> false);
     let stats =
       Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "stats") ])
     in
@@ -497,6 +581,16 @@ let smoke_cmd =
     check "stats reports the rejection"
       (status stats = Some "ok"
       && match rejected_count with Some n -> n >= 1 | None -> false);
+    check "stats reports pack admissions and the rejection"
+      (match field stats "packs" with
+      | Some packs ->
+        Option.bind (Json.mem "admitted" packs) Json.int = Some 1
+        && Option.bind (Json.mem "rejected" packs) Json.int = Some 1
+        &&
+        (match Option.bind (Json.mem "cert_cache" packs) (Json.mem "misses") with
+        | Some m -> Json.int m = Some 2
+        | None -> false)
+      | None -> false);
     let sd =
       Daemon.Client.request c (Json.Obj [ ("cmd", Json.Str "shutdown") ])
     in

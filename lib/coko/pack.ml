@@ -1,0 +1,100 @@
+(* Runtime-loadable rule packs: a .coko file as a unit of deployment.
+
+   A pack is parsed source (rules + transformations) plus a content
+   digest.  Loading only validates scoping (see {!Syntax.parse_program});
+   *admission* — the gate the optimizer and the daemon apply before a pack
+   rule may fire — additionally requires every rule to hold a current
+   certificate from {!Rules.Cert}, exhaustively checked at the small-scope
+   bound where the budget allows.  Rejection is total: one refuted or
+   vacuous rule rejects the pack, with the counterexample surfaced, so a
+   bad rule is never silently dropped.
+
+   Admitted rules are ordinary {!Rewrite.Rule.t} values — head-mask
+   indexing, e-graph compilation and BFS dispatch treat them exactly like
+   catalog rules.  {!shadow} splices them over the catalog by name so a
+   pack can both override and extend the built-ins. *)
+
+type t = {
+  path : string option;
+  source : string;
+  digest : string;  (** hex digest of the source text *)
+  program : Syntax.program;
+}
+
+let of_string ?path source =
+  {
+    path;
+    source;
+    digest = Digest.to_hex (Digest.string source);
+    program = Syntax.parse_program source;
+  }
+
+let load path =
+  let source =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> Syntax.error "cannot read rule pack: %s" msg
+  in
+  of_string ~path source
+
+let rules t = t.program.Syntax.rules
+let name t = match t.path with Some p -> Filename.basename p | None -> "<inline>"
+
+(* ------------------------------------------------------------------ *)
+
+type admission = {
+  pack : t;
+  verdicts : Rules.Cert.verdict list;  (** one per rule, in pack order *)
+}
+
+let rejected a = List.filter (fun v -> not v.Rules.Cert.ok) a.verdicts
+
+(* Certify every rule in the pack through [cache].  [Ok] iff all hold;
+   [Error] carries the full verdict list so callers can report every
+   failure, not just the first. *)
+let admit ?schema ?strategy ?scope ?budget ?cache t :
+    (admission, admission) result =
+  let cache =
+    match cache with Some c -> c | None -> Rules.Cert.Cache.in_memory ()
+  in
+  let verdicts =
+    List.map
+      (fun r ->
+        Rules.Cert.certify_cached ?schema ?strategy ?scope ?budget ~cache r)
+      (rules t)
+  in
+  let a = { pack = t; verdicts } in
+  if List.for_all (fun v -> v.Rules.Cert.ok) verdicts then Ok a else Error a
+
+(* Splice [pack_rules] over [base]: same-named base rules are replaced in
+   place (keeping the base's dispatch order, so a pack that redefines a
+   catalog rule verbatim searches identically), genuinely new rules are
+   appended in pack order. *)
+let shadow ~base pack_rules =
+  let replaced =
+    List.map
+      (fun b ->
+        match
+          List.find_opt
+            (fun r -> r.Rewrite.Rule.name = b.Rewrite.Rule.name)
+            pack_rules
+        with
+        | Some r -> r
+        | None -> b)
+      base
+  in
+  let extra =
+    List.filter
+      (fun r ->
+        not
+          (List.exists
+             (fun b -> b.Rewrite.Rule.name = r.Rewrite.Rule.name)
+             base))
+      pack_rules
+  in
+  replaced @ extra
+
+let pp_rejection ppf a =
+  Fmt.pf ppf "pack %s rejected:@ %a" (name a.pack)
+    (Fmt.list ~sep:Fmt.sp Rules.Cert.pp_verdict)
+    (rejected a)

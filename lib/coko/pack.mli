@@ -1,0 +1,52 @@
+(** Runtime-loadable rule packs: a [.coko] file as a unit of deployment.
+
+    Loading parses and scope-checks the source ({!Syntax.Error} with a
+    [line N:] position on rejection).  {!admit} is the certification gate:
+    every rule must hold a current {!Rules.Cert} certificate — exhaustive
+    small-scope checking where the budget allows — before the optimizer or
+    the daemon will fire it.  A failed rule rejects the whole pack with
+    its counterexample surfaced; nothing is silently dropped. *)
+
+type t = {
+  path : string option;
+  source : string;
+  digest : string;  (** hex digest of the source text *)
+  program : Syntax.program;
+}
+
+val of_string : ?path:string -> string -> t
+(** @raise Syntax.Error on parse or scoping problems. *)
+
+val load : string -> t
+(** Read a pack from a file.  @raise Syntax.Error (also on IO failure). *)
+
+val rules : t -> Rewrite.Rule.t list
+val name : t -> string
+
+type admission = {
+  pack : t;
+  verdicts : Rules.Cert.verdict list;  (** one per rule, in pack order *)
+}
+
+val rejected : admission -> Rules.Cert.verdict list
+(** The failing verdicts of an admission. *)
+
+val admit :
+  ?schema:Kola.Schema.t ->
+  ?strategy:Rules.Cert.strategy ->
+  ?scope:int ->
+  ?budget:int ->
+  ?cache:Rules.Cert.Cache.t ->
+  t ->
+  (admission, admission) result
+(** Certify every rule through the cache (default: a fresh in-memory one;
+    pass a {!Rules.Cert.Cache.load}ed cache for O(1) re-admission).
+    [Ok] iff every rule certifies; [Error] carries all verdicts so every
+    failure can be reported. *)
+
+val shadow :
+  base:Rewrite.Rule.t list -> Rewrite.Rule.t list -> Rewrite.Rule.t list
+(** Splice pack rules over [base]: same-named rules replace in place
+    (preserving dispatch order), new rules append in pack order. *)
+
+val pp_rejection : admission Fmt.t

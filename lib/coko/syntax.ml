@@ -75,12 +75,21 @@ let pp_tok ppf = function
 
 (* Tokenize the structural level.  Rule sides (between ':' and '-->', and
    between '-->' and the end of the rule) are captured verbatim as [Body]
-   so Kola.Parse handles them. *)
+   so Kola.Parse handles them.  Every token carries its 1-based source
+   line so parse- and elaboration-time rejections can point at it. *)
 let tokenize src =
   let src = strip_comments src in
   let n = String.length src in
+  (* prefix newline counts: line_at i = 1 + newlines in src.[0..i) *)
+  let line_at =
+    let lines = Array.make (n + 1) 1 in
+    for i = 0 to n - 1 do
+      lines.(i + 1) <- (lines.(i) + if src.[i] = '\n' then 1 else 0)
+    done;
+    fun i -> lines.(min (max i 0) n)
+  in
   let toks = ref [] in
-  let push t = toks := t :: !toks in
+  let push t i = toks := (t, line_at i) :: !toks in
   let is_word c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
     || c = '-' || c = '_' || c = '?'
@@ -92,11 +101,11 @@ let tokenize src =
       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then structural (i + 1)
       else if c = ';' || c = '{' || c = '}' || c = '(' || c = ')' || c = ','
               || c = '|' || c = '/' then begin
-        push (Sym c);
+        push (Sym c) i;
         structural (i + 1)
       end
       else if c = ':' then begin
-        push (Sym ':');
+        push (Sym ':') i;
         (* capture a rule side: up to --> *)
         side (i + 1)
       end
@@ -104,21 +113,21 @@ let tokenize src =
         let j = ref i in
         while !j < n && is_word src.[!j] do incr j done;
         let w = String.sub src i (!j - i) in
-        push (Word w);
+        push (Word w) i;
         structural !j
       end
-      else error "unexpected character %C in COKO source" c
+      else error "line %d: unexpected character %C in COKO source" (line_at i) c
   and side i =
     (* everything up to --> is the LHS body; then everything up to the next
        RULE/GIVEN/TRANSFORMATION keyword or end of input is the RHS body *)
     let rec find_arrow j =
-      if j + 2 >= n then error "rule without -->"
+      if j + 2 >= n then error "line %d: rule without -->" (line_at i)
       else if src.[j] = '-' && src.[j + 1] = '-' && src.[j + 2] = '>' then j
       else find_arrow (j + 1)
     in
     let a = find_arrow i in
-    push (Body (String.trim (String.sub src i (a - i))));
-    push Arrow;
+    push (Body (String.trim (String.sub src i (a - i)))) i;
+    push Arrow a;
     (* RHS: scan forward for a keyword at word-boundary *)
     let rec find_end j =
       if j >= n then n
@@ -131,7 +140,7 @@ let tokenize src =
       else find_end (j + 1)
     in
     let e = find_end (a + 3) in
-    push (Body (String.trim (String.sub src (a + 3) (e - (a + 3)))));
+    push (Body (String.trim (String.sub src (a + 3) (e - (a + 3))))) (a + 3);
     structural e
   in
   structural 0;
@@ -140,24 +149,33 @@ let tokenize src =
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                              *)
 
-type pstate = { mutable toks : tok list }
+type pstate = {
+  mutable toks : (tok * int) list;
+  mutable line : int;  (** line of the most recently peeked token *)
+}
 
-let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let peek st =
+  match st.toks with
+  | [] -> None
+  | (t, l) :: _ ->
+    st.line <- l;
+    Some t
+
 let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
 
 let expect st t what =
   match peek st with
   | Some t' when t' = t -> advance st
-  | Some other -> error "expected %s, found %a" what pp_tok other
-  | None -> error "expected %s, found end of input" what
+  | Some other -> error "line %d: expected %s, found %a" st.line what pp_tok other
+  | None -> error "line %d: expected %s, found end of input" st.line what
 
 let expect_word st what =
   match peek st with
   | Some (Word w) ->
     advance st;
     w
-  | Some other -> error "expected %s, found %a" what pp_tok other
-  | None -> error "expected %s, found end of input" what
+  | Some other -> error "line %d: expected %s, found %a" st.line what pp_tok other
+  | None -> error "line %d: expected %s, found end of input" st.line what
 
 (* Rule sides: infer the kind from the LHS text. *)
 let looks_like_pred src =
@@ -186,12 +204,12 @@ let parse_rule_body ~name ~preconditions lhs_src rhs_src =
       (Kola.Parse.func lhs_src) (Kola.Parse.func rhs_src)
 
 let prop_of_string = function
-  | "injective" -> Rewrite.Props.Injective
-  | "total" -> Rewrite.Props.Total
-  | "constant" -> Rewrite.Props.Constant
-  | "preserves-pair" -> Rewrite.Props.Preserves_pair
-  | "set-valued" -> Rewrite.Props.Set_valued
-  | p -> error "unknown property %s" p
+  | "injective" -> Some Rewrite.Props.Injective
+  | "total" -> Some Rewrite.Props.Total
+  | "constant" -> Some Rewrite.Props.Constant
+  | "preserves-pair" -> Some Rewrite.Props.Preserves_pair
+  | "set-valued" -> Some Rewrite.Props.Set_valued
+  | _ -> None
 
 let drop_question h =
   if String.length h > 0 && h.[0] = '?' then String.sub h 1 (String.length h - 1)
@@ -200,19 +218,27 @@ let drop_question h =
 let parse_given st =
   (* GIVEN prop(?h) [, prop(?h)]* *)
   let rec go acc =
-    let prop = expect_word st "property name" in
+    let prop_w = expect_word st "property name" in
+    let prop_line = st.line in
+    let prop =
+      match prop_of_string prop_w with
+      | Some p -> p
+      | None ->
+        error
+          "line %d: unknown property %s (expected injective, total, \
+           constant, preserves-pair or set-valued)"
+          prop_line prop_w
+    in
     expect st (Sym '(') "(";
     let hole =
       match peek st with
       | Some (Word w) ->
         advance st;
         w
-      | _ -> error "expected a hole name in GIVEN"
+      | _ -> error "line %d: expected a hole name in GIVEN" st.line
     in
     expect st (Sym ')') ")";
-    let pre =
-      { Rewrite.Rule.prop = prop_of_string prop; hole = drop_question hole }
-    in
+    let pre = { Rewrite.Rule.prop; hole = drop_question hole } in
     match peek st with
     | Some (Sym ',') ->
       advance st;
@@ -223,13 +249,14 @@ let parse_given st =
 
 let parse_rule st preconditions =
   let name = expect_word st "rule name" in
+  let rule_line = st.line in
   expect st (Sym ':') ":";
   let lhs =
     match peek st with
     | Some (Body b) ->
       advance st;
       b
-    | _ -> error "expected a rule left-hand side"
+    | _ -> error "line %d: expected a rule left-hand side" st.line
   in
   expect st Arrow "-->";
   let rhs =
@@ -237,9 +264,23 @@ let parse_rule st preconditions =
     | Some (Body b) ->
       advance st;
       b
-    | _ -> error "expected a rule right-hand side"
+    | _ -> error "line %d: expected a rule right-hand side" st.line
   in
-  parse_rule_body ~name ~preconditions lhs rhs
+  let rule =
+    try parse_rule_body ~name ~preconditions lhs rhs
+    with Kola.Parse.Error msg ->
+      error "line %d: in rule %s: %s" rule_line name msg
+  in
+  (* Reject ill-scoped rules at load time: an RHS hole the pattern never
+     binds would survive substitution as a hole in the rewritten program
+     (Subst leaves unbound holes in place), and a precondition naming an
+     absent hole could never be checked.  Schema-dependent validation
+     (typing, semantics) is certification's job, not the loader's. *)
+  (match Rules.Lint.scoping rule with
+  | [] -> ()
+  | p :: _ ->
+    error "line %d: rule %s: %a" rule_line name Rules.Lint.pp_problem p);
+  rule
 
 (* steps *)
 let rec parse_step st : Block.step =
@@ -304,8 +345,10 @@ and parse_alt st : Block.step =
   | Some (Word name) when not (List.mem name keywords) ->
     advance st;
     Block.Use [ name ]
-  | Some other -> error "unexpected %a in a transformation body" pp_tok other
-  | None -> error "unexpected end of input in a transformation body"
+  | Some other ->
+    error "line %d: unexpected %a in a transformation body" st.line pp_tok other
+  | None ->
+    error "line %d: unexpected end of input in a transformation body" st.line
 
 let parse_transformation st =
   let name = expect_word st "transformation name" in
@@ -315,7 +358,7 @@ let parse_transformation st =
   Block.block name step
 
 let parse_program (src : string) : program =
-  let st = { toks = tokenize src } in
+  let st = { toks = tokenize src; line = 1 } in
   let rec go rules transformations =
     match peek st with
     | None -> { rules = List.rev rules; transformations = List.rev transformations }
@@ -330,7 +373,9 @@ let parse_program (src : string) : program =
     | Some (Word "TRANSFORMATION") ->
       advance st;
       go rules (parse_transformation st :: transformations)
-    | Some other -> error "expected RULE, GIVEN or TRANSFORMATION, found %a" pp_tok other
+    | Some other ->
+      error "line %d: expected RULE, GIVEN or TRANSFORMATION, found %a"
+        st.line pp_tok other
   in
   go [] []
 

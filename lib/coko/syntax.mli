@@ -20,6 +20,9 @@
 
 exception Error of string
 
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
 type program = {
   rules : Rewrite.Rule.t list;
   transformations : Block.t list;

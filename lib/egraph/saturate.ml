@@ -40,8 +40,16 @@ module Pool = Kola_parallel.Pool
 
 type budgets = { max_enodes : int; max_iterations : int; max_millis : float }
 
+(* The wall-clock budget is a safety valve, not the intended stop: the
+   time check truncates the match sweep wherever the clock happens to
+   trip, so any run it cuts short is load-dependent and two identical
+   searches may build different proof forests (same classes reachable
+   sooner stay equal; replayed derivations differ).  Keep the default
+   high enough that the deterministic e-node budget binds first on every
+   standard workload — a caller that wants a real deadline passes one
+   explicitly (the daemon's [deadline] knob tightens [max_millis]). *)
 let default_budgets =
-  { max_enodes = 20_000; max_iterations = 12; max_millis = 2_000. }
+  { max_enodes = 20_000; max_iterations = 12; max_millis = 20_000. }
 
 type stop_reason =
   | Saturated  (** a full iteration added no e-node and united no classes *)

@@ -1811,6 +1811,20 @@ let with_exec_pool ?pool ~jobs k =
     if jobs <= 1 then k None
     else Pool.with_pool ~jobs (fun p -> k (Some p))
 
+(* A transient pool is only worth spawning when some columnar kernel can
+   actually fan out — i.e. a scanned relation spans more than one morsel.
+   Row plans and small columnar stores run the sequential kernels either
+   way ([morsel_fold] ignores the pool at or below [morsel_rows]), so at
+   those sizes domain spawn/join would be pure coordination overhead.
+   Caller-provided pools are unaffected: borrowing costs nothing and the
+   per-kernel gate in [morsel_fold] already keeps tiny inputs sequential. *)
+let can_fan_out = function
+  | None -> false
+  | Some cdb ->
+    List.exists
+      (fun (_, (r : C.relation)) -> Array.length r.C.rows > morsel_rows)
+      (C.relations cdb)
+
 let run ?(backend = Compiled) ?(dedup = Eval.Eager) ?(layout = Row)
     ?(jobs = 1) ?pool ?coldb ~db (q : Term.query) : Value.t * stats =
   match backend with
@@ -1831,6 +1845,7 @@ let run ?(backend = Compiled) ?(dedup = Eval.Eager) ?(layout = Row)
       (v, { s with fell_back = true; fallback_reason = Some reason })
     | c ->
       let t1 = Telemetry.now () in
+      let jobs = if can_fan_out coldb then jobs else 1 in
       with_exec_pool ?pool ~jobs @@ fun pool ->
       let v, counters = execute ~dedup ?pool ~db c in
       let t2 = Telemetry.now () in

@@ -1,18 +1,36 @@
 (** Rule certification — the reproduction's analogue of the paper's
     Larch/LP machine-checked proofs of 500 rules.
 
-    For each rule: instantiate every hole with random well-typed terms from
-    a pool over the paper schema, discard instantiations that do not type,
-    then compare both sides' denotations on random inputs of the inferred
-    input type.  Testing, not proof — but it validates the same artifact
-    and catches the same defect class (it refutes the paper's printed rule
-    13; see test_rules_cert.ml). *)
+    Two strategies share one checking core.  [`Sampled] instantiates every
+    hole with random well-typed terms from a pool over the paper schema and
+    compares both sides' denotations on random inputs of the inferred input
+    type.  [`Exhaustive] (small-scope) enumerates {e all} instantiations
+    from a finite combinator grammar up to a depth bound and compares
+    denotations on enumerated small inputs, shrinking the scope — and
+    finally falling back to the sampler — when the space exceeds the check
+    budget.  Testing, not proof — but it validates the same artifact and
+    catches the same defect class (both refute the paper's printed rule 13;
+    see test_rules_cert.ml).
+
+    Verdicts are keyed by {!fingerprint} (a digest of the canonical rule
+    rendering plus {!cert_version}) and persist across runs via {!Cache}. *)
+
+val cert_version : int
+(** Bumped when checking semantics change; part of every fingerprint and
+    of the cache file header. *)
+
+type mode =
+  | Sampled
+  | Exhaustive of int  (** the scope (grammar depth bound) it ran at *)
+
+val mode_name : mode -> string
 
 type result = {
   rule : Rewrite.Rule.t;
   instances : int;  (** well-typed instantiations exercised *)
   checks : int;     (** (instance, input) comparisons made *)
   counterexample : (Rewrite.Subst.t * Kola.Value.t) option;
+  mode : mode;      (** the strategy that actually ran *)
 }
 
 type ('a, 'b) either = L of 'a | R of 'b
@@ -28,15 +46,68 @@ val default_pool : pool
 val value_of_ty : Datagen.Store.rng -> Kola.Ty.t -> Kola.Value.t option
 (** Random well-typed value, drawing objects from a fixed store. *)
 
+type strategy = [ `Sampled | `Exhaustive | `Auto ]
+
 val certify :
   ?schema:Kola.Schema.t -> ?samples:int -> ?inputs:int -> ?pool:pool ->
-  ?seed:int -> Rewrite.Rule.t -> result
+  ?seed:int -> ?strategy:strategy -> ?scope:int -> ?budget:int ->
+  Rewrite.Rule.t -> result
+(** Defaults: [`Sampled] with [samples = 60], [inputs = 12].  The
+    exhaustive strategies use [scope] (default 2) and [budget] (default
+    50_000 worst-case comparisons). *)
 
 val certified : result -> bool
 (** No counterexample and at least one real instantiation. *)
 
 val certify_all :
   ?schema:Kola.Schema.t -> ?samples:int -> ?inputs:int -> ?pool:pool ->
-  ?seed:int -> Rewrite.Rule.t list -> result list
+  ?seed:int -> ?strategy:strategy -> ?scope:int -> ?budget:int ->
+  Rewrite.Rule.t list -> result list
 
 val pp_result : result Fmt.t
+
+val fingerprint : Rewrite.Rule.t -> string
+(** Stable digest of the rule's canonical (reassociated) rendering, its
+    preconditions and {!cert_version}.  Independent of the rule's name and
+    of hash-cons ids (which are process-dependent). *)
+
+type verdict = {
+  fingerprint : string;
+  name : string;  (** rule name at certification time; informational *)
+  ok : bool;
+  vmode : mode;
+  vinstances : int;
+  vchecks : int;
+  reason : string option;  (** rendered counterexample when refuted *)
+  from_cache : bool;
+}
+
+val verdict_of_result : ?from_cache:bool -> result -> verdict
+
+(** Persisted certificate cache: a versioned line-oriented text file keyed
+    by {!fingerprint}.  Missing, corrupt or version-skewed files load as
+    empty — certificates are only ever a performance artifact. *)
+module Cache : sig
+  type t
+
+  val in_memory : unit -> t
+  (** No backing file; {!save} is a no-op. *)
+
+  val load : string -> t
+  val save : t -> unit
+  (** Atomic (write-then-rename); only writes when dirty. *)
+
+  val hits : t -> int
+  val misses : t -> int
+  val size : t -> int
+end
+
+val certify_cached :
+  ?schema:Kola.Schema.t -> ?samples:int -> ?inputs:int -> ?pool:pool ->
+  ?seed:int -> ?strategy:strategy -> ?scope:int -> ?budget:int ->
+  cache:Cache.t -> Rewrite.Rule.t -> verdict
+(** Cache-through: O(1) on a fingerprint hit, a full certification run
+    (recorded into [cache]) on a miss.  Default strategy is [`Auto].
+    The caller owns persistence via {!Cache.save}. *)
+
+val pp_verdict : verdict Fmt.t

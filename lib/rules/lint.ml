@@ -16,8 +16,16 @@ type problem =
   | Unknown_precondition_hole of string
       (** a precondition refers to a hole the pattern does not contain *)
 
+(* Holes are sort-tagged internally ("f:g" = function hole g); strip the
+   tag for display. *)
+let untag h =
+  match String.split_on_char ':' h with
+  | [ ("f" | "p" | "v"); base ] -> base
+  | _ -> h
+
 let pp_problem ppf = function
-  | Unbound_rhs_hole h -> Fmt.pf ppf "right-hand side hole ?%s is never bound" h
+  | Unbound_rhs_hole h ->
+    Fmt.pf ppf "right-hand side hole ?%s is never bound" (untag h)
   | Lhs_is_a_bare_hole -> Fmt.string ppf "left-hand side is a bare hole"
   | Side_does_not_type msg -> Fmt.pf ppf "pattern does not type: %s" msg
   | Unknown_precondition_hole h ->
@@ -51,7 +59,11 @@ let types schema = function
     | exception Typing.Type_error msg -> Some msg
     | exception Schema.Schema_error msg -> Some msg)
 
-let check ?(schema = Schema.paper) (r : Rewrite.Rule.t) : problem list =
+(* The schema-free subset: hole scoping only.  This is what the COKO
+   loader runs at parse time — a pack must not depend on any particular
+   schema just to load, but an RHS-only hole would survive substitution
+   and miscompile downstream, so it can never be admitted. *)
+let scoping (r : Rewrite.Rule.t) : problem list =
   let lhs, rhs = sides r in
   let lhs_holes = holes_of_side lhs in
   let rhs_holes = holes_of_side rhs in
@@ -64,12 +76,6 @@ let check ?(schema = Schema.paper) (r : Rewrite.Rule.t) : problem list =
     match lhs with
     | `F (Term.Fhole _) | `P (Term.Phole _) -> [ Lhs_is_a_bare_hole ]
     | _ -> []
-  in
-  let typing =
-    List.filter_map
-      (fun (name, side) ->
-        Option.map (fun msg -> Side_does_not_type (name ^ ": " ^ msg)) (types schema side))
-      [ ("lhs", lhs); ("rhs", rhs) ]
   in
   let precond =
     List.filter_map
@@ -84,7 +90,17 @@ let check ?(schema = Schema.paper) (r : Rewrite.Rule.t) : problem list =
         else Some (Unknown_precondition_hole pre.Rewrite.Rule.hole))
       r.Rewrite.Rule.preconditions
   in
-  unbound @ bare @ typing @ precond
+  unbound @ bare @ precond
+
+let check ?(schema = Schema.paper) (r : Rewrite.Rule.t) : problem list =
+  let lhs, rhs = sides r in
+  let typing =
+    List.filter_map
+      (fun (name, side) ->
+        Option.map (fun msg -> Side_does_not_type (name ^ ": " ^ msg)) (types schema side))
+      [ ("lhs", lhs); ("rhs", rhs) ]
+  in
+  scoping r @ typing
 
 let check_all ?schema rules =
   List.filter_map

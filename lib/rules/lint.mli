@@ -10,6 +10,12 @@ type problem =
   | Unknown_precondition_hole of string
 
 val pp_problem : problem Fmt.t
+
+val scoping : Rewrite.Rule.t -> problem list
+(** The schema-free subset — hole scoping only (unbound RHS holes,
+    catch-all LHS, preconditions naming unknown holes).  Run by the COKO
+    loader at parse time, where no schema is in play yet. *)
+
 val check : ?schema:Kola.Schema.t -> Rewrite.Rule.t -> problem list
 
 val check_all :

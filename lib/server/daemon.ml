@@ -25,6 +25,9 @@ type params = {
   vehicles : int;
   seed : int;
   outcome_capacity : int;
+  cert_cache : string option;
+      (* persisted certificate cache for rule-pack admission; [None]
+         keeps verdicts in memory for the daemon's lifetime only *)
 }
 
 (* Store shape defaults match kolaopt's CLI defaults, so a daemon and a
@@ -38,6 +41,7 @@ let default_params =
     vehicles = 30;
     seed = 42;
     outcome_capacity = 4096;
+    cert_cache = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -105,6 +109,21 @@ type t = {
   service : Pool.Service.t;
   pool_lease : Mutex.t;
   telemetry_lock : Mutex.t;
+  certs : Rules.Cert.Cache.t;
+      (* shared certificate cache: pack admission certifies through it,
+         so an unchanged rule re-admits in O(1) even across daemon
+         restarts when [params.cert_cache] names a file *)
+  packs : (string, (Coko.Pack.admission, Coko.Pack.admission) result) Hashtbl.t;
+      (* admission outcomes keyed by pack source digest — re-sending the
+         same pack costs one table probe, success or failure *)
+  pack_lock : Mutex.t;
+      (* guards [certs], [packs] and [pack_fires]: admissions are rare
+         and serialize; searches touch none of these *)
+  pack_fires : (string, int) Hashtbl.t;
+      (* daemon-lifetime winning-path fire counts, per pack rule name *)
+  pack_hits : int Atomic.t;
+  pack_admitted : int Atomic.t;
+  pack_rejected : int Atomic.t;
   stop : bool Atomic.t;
   served : int Atomic.t;
   errored : int Atomic.t;
@@ -131,6 +150,16 @@ let create ?(params = default_params) () =
     service = Pool.Service.create ~workers:params.workers ~queue:params.queue ();
     pool_lease = Mutex.create ();
     telemetry_lock = Mutex.create ();
+    certs =
+      (match params.cert_cache with
+      | Some path -> Rules.Cert.Cache.load path
+      | None -> Rules.Cert.Cache.in_memory ());
+    packs = Hashtbl.create 16;
+    pack_lock = Mutex.create ();
+    pack_fires = Hashtbl.create 16;
+    pack_hits = Atomic.make 0;
+    pack_admitted = Atomic.make 0;
+    pack_rejected = Atomic.make 0;
     stop = Atomic.make false;
     served = Atomic.make 0;
     errored = Atomic.make 0;
@@ -195,7 +224,88 @@ let telemetry_json (tr : Telemetry.trace) =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Rule-pack admission.  A pack arrives as inline COKO source; admission
+   parses it, certifies every rule through the shared certificate cache,
+   and memoizes the outcome by source digest.  A failing rule rejects the
+   whole pack with a structured response — never a silent drop. *)
+
+let verdict_json (v : Rules.Cert.verdict) =
+  Json.Obj
+    ([
+       ("name", jstr v.Rules.Cert.name);
+       ("ok", Json.Bool v.Rules.Cert.ok);
+       ("mode", jstr (Rules.Cert.mode_name v.Rules.Cert.vmode));
+       ("instances", jint v.Rules.Cert.vinstances);
+       ("checks", jint v.Rules.Cert.vchecks);
+       ("cached", Json.Bool v.Rules.Cert.from_cache);
+     ]
+    @ match v.Rules.Cert.reason with
+      | None -> []
+      | Some reason -> [ ("reason", jstr reason) ])
+
+let pack_rejection_fields (a : Coko.Pack.admission) =
+  let failed = Coko.Pack.rejected a in
+  [
+    ("status", jstr "rejected");
+    ( "error",
+      jstr
+        (Printf.sprintf "rule pack rejected: %d of %d rule%s failed certification"
+           (List.length failed)
+           (List.length a.Coko.Pack.verdicts)
+           (if List.length a.Coko.Pack.verdicts = 1 then "" else "s")) );
+    ("pack_digest", jstr a.Coko.Pack.pack.Coko.Pack.digest);
+    ("rules", Json.Arr (List.map verdict_json a.Coko.Pack.verdicts));
+  ]
+
+(* Parse + certify-or-recall.  Certification serializes behind
+   [pack_lock] (it is rare and cheap at small scope); the digest probe
+   makes re-sent packs O(1). *)
+let admit_pack t source =
+  match Coko.Pack.of_string source with
+  | exception Coko.Syntax.Error msg -> Error (`Msg ("pack error: " ^ msg))
+  | pack -> (
+    let digest = pack.Coko.Pack.digest in
+    let outcome =
+      Mutex.protect t.pack_lock @@ fun () ->
+      match Hashtbl.find_opt t.packs digest with
+      | Some outcome ->
+        Atomic.incr t.pack_hits;
+        Telemetry.count "serve.pack_hit";
+        outcome
+      | None ->
+        let outcome = Coko.Pack.admit ~cache:t.certs pack in
+        Rules.Cert.Cache.save t.certs;
+        Hashtbl.replace t.packs digest outcome;
+        (match outcome with
+        | Ok _ ->
+          Atomic.incr t.pack_admitted;
+          Telemetry.count "serve.pack_admit"
+        | Error _ ->
+          Atomic.incr t.pack_rejected;
+          Telemetry.count "serve.pack_reject");
+        outcome
+    in
+    match outcome with
+    | Ok a -> Ok a
+    | Error a -> Error (`Rejected (pack_rejection_fields a)))
+
+let record_pack_fires t pack_rules path =
+  Mutex.protect t.pack_lock @@ fun () ->
+  List.iter
+    (fun (r : Rewrite.Rule.t) ->
+      let name = r.Rewrite.Rule.name in
+      let fired = List.length (List.filter (String.equal name) path) in
+      if fired > 0 then begin
+        Telemetry.count ~n:fired ("serve.pack_fire." ^ name);
+        Hashtbl.replace t.pack_fires name
+          (fired + Option.value ~default:0 (Hashtbl.find_opt t.pack_fires name))
+      end)
+    pack_rules
+
+(* ------------------------------------------------------------------ *)
 (* The optimize path. *)
+
+let ( let* ) = Result.bind
 
 let query_of_source (src : Protocol.source) =
   match src with
@@ -205,7 +315,7 @@ let query_of_source (src : Protocol.source) =
     | Error msg -> failwith msg (* unreachable: of_json resolved it *))
   | Protocol.Oql text -> Translate.Compile.query (Oql.Parser.parse text)
 
-let config_of t (r : Protocol.optimize) =
+let config_of ?pack t (r : Protocol.optimize) =
   let egraph_budgets =
     let b = Search.default_config.Search.egraph_budgets in
     {
@@ -217,9 +327,17 @@ let config_of t (r : Protocol.optimize) =
           r.iter_budget;
     }
   in
+  let rules =
+    match pack with
+    | None -> Search.default_config.Search.rules
+    | Some (a : Coko.Pack.admission) ->
+      Coko.Pack.shadow ~base:Rules.Catalog.all
+        (Coko.Pack.rules a.Coko.Pack.pack)
+  in
   {
     Search.default_config with
     Search.engine = r.Protocol.engine;
+    rules;
     egraph_budgets;
     max_depth = r.Protocol.depth;
     max_states = r.Protocol.states;
@@ -235,18 +353,23 @@ let config_of t (r : Protocol.optimize) =
    invariants), and so is the deadline (a cached complete outcome is a
    valid answer for a deadlined request; deadline-truncated outcomes are
    never inserted). *)
-let outcome_key ~config q =
-  Printf.sprintf "%s|%s|%d|%d|%d|%d"
+let outcome_key ?pack ~config q =
+  Printf.sprintf "%s|%s|%d|%d|%d|%d|%s"
     (Search.canonical q)
     (Protocol.engine_label config.Search.engine)
     config.Search.max_depth config.Search.max_states
     config.Search.egraph_budgets.Kola_egraph.Saturate.max_enodes
     config.Search.egraph_budgets.Kola_egraph.Saturate.max_iterations
+    (* a pack changes which rules search with; its source digest keys
+       the outcome (no pack = "-") *)
+    (match pack with
+    | None -> "-"
+    | Some (a : Coko.Pack.admission) -> a.Coko.Pack.pack.Coko.Pack.digest)
 
-let search_core t (r : Protocol.optimize) q :
+let search_core ?pack t (r : Protocol.optimize) q :
     (string * Json.t) list * [ `Hit | `Miss ] =
-  let config = config_of t r in
-  let key = outcome_key ~config q in
+  let config = config_of ?pack t r in
+  let key = outcome_key ?pack ~config q in
   match ocache_find t.outcomes key with
   | Some core -> (core, `Hit)
   | None ->
@@ -256,6 +379,29 @@ let search_core t (r : Protocol.optimize) q :
          parallelism serializes across requests behind the lease. *)
       if r.Protocol.jobs = 1 then explore ()
       else Mutex.protect t.pool_lease explore
+    in
+    let pack_fields =
+      match pack with
+      | None -> []
+      | Some (a : Coko.Pack.admission) ->
+        let pack_rules = Coko.Pack.rules a.Coko.Pack.pack in
+        let path = o.Search.best.Search.path in
+        (* Daemon-lifetime fire counters bump only here (a cached
+           outcome means no new search, so no new firings). *)
+        record_pack_fires t pack_rules path;
+        [
+          ("pack_digest", jstr a.Coko.Pack.pack.Coko.Pack.digest);
+          ("pack_rules", Json.Arr (List.map verdict_json a.Coko.Pack.verdicts));
+          ( "pack_fired",
+            Json.Obj
+              (List.map
+                 (fun (ru : Rewrite.Rule.t) ->
+                   let name = ru.Rewrite.Rule.name in
+                   ( name,
+                     jint
+                       (List.length (List.filter (String.equal name) path)) ))
+                 pack_rules) );
+        ]
     in
     let core =
       [
@@ -276,6 +422,7 @@ let search_core t (r : Protocol.optimize) q :
             ] );
         ("sharing_ratio", jnum o.Search.sharing_ratio);
       ]
+      @ pack_fields
     in
     if o.Search.stop <> Search.Deadline then ocache_insert t.outcomes key core;
     (core, `Miss)
@@ -378,19 +525,33 @@ let explain_core t (r : Protocol.optimize) :
       Ok (core, `Miss))
 
 let optimize_core t (r : Protocol.optimize) :
-    ((string * Json.t) list * [ `Hit | `Miss ], string) result =
+    ( (string * Json.t) list * [ `Hit | `Miss ],
+      [ `Msg of string | `Rejected of (string * Json.t) list ] )
+    result =
   try
     if r.Protocol.sleep_ms > 0 then
       Unix.sleepf (float_of_int r.Protocol.sleep_ms /. 1000.);
-    if r.Protocol.explain then explain_core t r
-    else Ok (search_core t r (query_of_source r.Protocol.source))
+    if r.Protocol.explain then
+      Result.map_error (fun m -> `Msg m) (explain_core t r)
+    else
+      (* Pack admission gates the search: the request either runs with
+         every pack rule certified or is rejected with each failing
+         rule's verdict — nothing in between. *)
+      let* pack =
+        match r.Protocol.rules with
+        | None -> Ok None
+        | Some source -> Result.map Option.some (admit_pack t source)
+      in
+      Ok (search_core ?pack t r (query_of_source r.Protocol.source))
   with
   | Oql.Parser.Error m | Oql.Lexer.Error m | Kola.Parse.Error m ->
-    Error ("parse error: " ^ m)
-  | Translate.Compile.Untranslatable m -> Error ("translation error: " ^ m)
-  | Kola.Eval.Error m | Aqua.Eval.Error m -> Error ("evaluation error: " ^ m)
-  | Failure m -> Error m
-  | e -> Error ("internal error: " ^ Printexc.to_string e)
+    Error (`Msg ("parse error: " ^ m))
+  | Translate.Compile.Untranslatable m ->
+    Error (`Msg ("translation error: " ^ m))
+  | Kola.Eval.Error m | Aqua.Eval.Error m ->
+    Error (`Msg ("evaluation error: " ^ m))
+  | Failure m -> Error (`Msg m)
+  | e -> Error (`Msg ("internal error: " ^ Printexc.to_string e))
 
 let handle_optimize t (r : Protocol.optimize) =
   let t0 = Telemetry.now () in
@@ -408,10 +569,18 @@ let handle_optimize t (r : Protocol.optimize) =
   in
   let micros = (Telemetry.now () -. t0) *. 1e6 in
   match result with
-  | Error msg ->
+  | Error (`Msg msg) ->
     Atomic.incr t.errored;
     Telemetry.count "serve.error";
     Protocol.error_response ~id:r.Protocol.id ~queue_depth:(queue_depth t) msg
+  | Error (`Rejected fields) ->
+    (* Pack admission failure: structured per-rule verdicts, counted as
+       an error (the request did not serve an outcome). *)
+    Atomic.incr t.errored;
+    Telemetry.count "serve.error";
+    Json.Obj
+      (("id", r.Protocol.id) :: fields
+      @ [ ("queue_depth", jint (queue_depth t)); ("micros", jnum micros) ])
   | Ok (core, cached) ->
     Atomic.incr t.served;
     Json.Obj
@@ -480,6 +649,27 @@ let handle_command t (c : Protocol.command) id =
                        Hashtbl.length t.outcomes.tbl)) );
               ("capacity", jint t.outcomes.cap);
             ] );
+        ( "packs",
+          Mutex.protect t.pack_lock (fun () ->
+              Json.Obj
+                [
+                  ("admitted", jint (Atomic.get t.pack_admitted));
+                  ("rejected", jint (Atomic.get t.pack_rejected));
+                  ("admission_hits", jint (Atomic.get t.pack_hits));
+                  ( "cert_cache",
+                    Json.Obj
+                      [
+                        ("hits", jint (Rules.Cert.Cache.hits t.certs));
+                        ("misses", jint (Rules.Cert.Cache.misses t.certs));
+                        ("entries", jint (Rules.Cert.Cache.size t.certs));
+                      ] );
+                  ( "fires",
+                    Json.Obj
+                      (List.sort compare
+                         (Hashtbl.fold
+                            (fun name n acc -> (name, jint n) :: acc)
+                            t.pack_fires [])) );
+                ]) );
         ("cost_cache", cost_stats_json (Cost.cache_stats t.cache));
         ("hc_cost_cache", cost_stats_json (Cost.hc_cache_stats t.hc_cache));
         ("plan_cache", cost_stats_json (Cost.plan_cache_stats t.plan_cache));

@@ -22,7 +22,21 @@
     intra-request parallelism ([jobs <> 1]) serializes behind a pool
     lease, because {!Kola_parallel.Pool} is single-submitter.  Traced
     requests ([telemetry: true]) serialize behind the global telemetry
-    session and embed their own domain's spans in the response. *)
+    session and embed their own domain's spans in the response.
+
+    {2 Rule packs}
+
+    A search request may carry inline COKO source in its ["rules"] field.
+    Admission certifies every pack rule through a shared
+    {!Rules.Cert.Cache} (persisted when [params.cert_cache] names a
+    file) and memoizes the outcome by source digest, so re-sending a
+    pack costs one probe.  An admitted pack's rules shadow same-named
+    catalog rules for that request only; its digest joins the outcome
+    key.  A failing rule rejects the whole request with
+    [{"status":"rejected"}] and per-rule verdicts (counterexamples
+    included) — a pack rule is never silently dropped.  [stats] reports
+    admissions, rejections, cert-cache hits/misses and per-pack-rule
+    winning-path fire counts. *)
 
 type t
 
@@ -34,6 +48,10 @@ type params = {
   vehicles : int;
   seed : int;  (** sample-store shape, defaults matching [kolaopt]'s *)
   outcome_capacity : int;  (** resident outcome-cache entries *)
+  cert_cache : string option;
+      (** persisted certificate cache file for rule-pack admission —
+          verdicts survive restarts, so a known pack re-admits without
+          re-certifying; [None] (default) keeps verdicts in memory *)
 }
 
 val default_params : params

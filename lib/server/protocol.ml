@@ -48,6 +48,7 @@ type optimize = {
   explain : bool;
   execute : Kola_exec.Exec.backend option;
   layout : Kola_exec.Exec.layout option;
+  rules : string option;
   sleep_ms : int;
 }
 
@@ -168,6 +169,19 @@ let optimize_of_json json =
         else Ok (Some l)
       | Error msg -> Error msg)
   in
+  let* rules =
+    let* v = opt_field json "rules" Json.str "a string" in
+    match v with
+    | None -> Ok None
+    | Some s ->
+      if explain then
+        Error
+          "field \"rules\" applies to rewrite-space search, not \"explain\" \
+           (the pipeline runs fixed transformations)"
+      else if String.trim s = "" then
+        Error "field \"rules\" must be non-empty COKO source"
+      else Ok (Some s)
+  in
   let* sleep_ms =
     int_field json "sleep_ms" ~default:0 (nonneg_int ~what:"\"sleep_ms\"")
   in
@@ -187,6 +201,7 @@ let optimize_of_json json =
          explain;
          execute;
          layout;
+         rules;
          sleep_ms;
        })
 

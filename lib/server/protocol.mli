@@ -64,6 +64,14 @@ type optimize = {
           operators run as column kernels, [jobs] domains fan pure
           kernels over morsels); results are identical across layouts
           and jobs counts *)
+  rules : string option;
+      (** inline COKO rule-pack source (the contents of a [.coko] file,
+          not a path — the daemon never reads client filesystems).  The
+          daemon admits the pack — certifying every rule, caching the
+          admission by source digest — before searching with its rules
+          shadowing same-named catalog rules; a failing rule rejects the
+          request with each refuted rule's counterexample.  Search
+          requests only; [explain] runs fixed transformations. *)
   sleep_ms : int;
       (** debug lever: hold the worker for this long before answering —
           lets tests and the smoke drive the admission gate

@@ -27,6 +27,7 @@ let () =
       ("store", Test_store.tests);
       ("parse", Test_parse.tests);
       ("coko-syntax", Test_syntax.tests);
+      ("rule-packs (runtime-loadable, certified)", Test_rule_packs.tests);
       ("bags (Sec 6 extension)", Test_bags.tests);
       ("rules-extra (E-C3)", Test_rules_extra.tests);
       ("monolithic-ablation", Test_monolithic.tests);
